@@ -1,0 +1,137 @@
+//! SimAttr (citations [56], [57]): rank all nodes by the attribute
+//! similarity to the seed, ignoring topology entirely.
+//!
+//! * SimAttr (C): cosine similarity `x⁽ˢ⁾ · x⁽ᵗ⁾` (rows are unit-norm).
+//! * SimAttr (E): exponential cosine `exp(x⁽ˢ⁾·x⁽ᵗ⁾ / δ)` — a monotone
+//!   transform of the cosine, hence the identical precision of the two
+//!   rows in Table V; both are implemented for completeness.
+//!
+//! One query costs a sparse mat-vec `X · x⁽ˢ⁾` — `Õ(n)` online, no
+//! preprocessing (Table IV).
+
+use crate::{BaselineError, Score};
+use laca_graph::{AttributeMatrix, NodeId};
+
+/// Which similarity transform to rank by.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttrSimKind {
+    /// Cosine similarity.
+    Cosine,
+    /// Exponential cosine with sensitivity `δ`.
+    ExpCosine {
+        /// Sensitivity factor.
+        delta: f64,
+    },
+}
+
+/// Attribute-similarity clusterer.
+#[derive(Debug, Clone)]
+pub struct SimAttr<'a> {
+    attrs: &'a AttributeMatrix,
+    /// The transform.
+    pub kind: AttrSimKind,
+}
+
+impl<'a> SimAttr<'a> {
+    /// Creates a SimAttr scorer.
+    pub fn new(attrs: &'a AttributeMatrix, kind: AttrSimKind) -> Result<Self, BaselineError> {
+        if attrs.is_empty() {
+            return Err(BaselineError::NoAttributes);
+        }
+        if let AttrSimKind::ExpCosine { delta } = kind {
+            if delta <= 0.0 {
+                return Err(BaselineError::BadParameter("delta must be > 0"));
+            }
+        }
+        Ok(SimAttr { attrs, kind })
+    }
+
+    /// Similarity of every node to the seed.
+    pub fn score(&self, seed: NodeId) -> Result<Score, BaselineError> {
+        if seed as usize >= self.attrs.n() {
+            return Err(BaselineError::BadSeed(seed));
+        }
+        let seed_row = self.attrs.dense_row(seed as usize);
+        let mut cos = self.attrs.mul_vec(&seed_row)?;
+        if let AttrSimKind::ExpCosine { delta } = self.kind {
+            for v in &mut cos {
+                *v = (*v / delta).exp();
+            }
+        }
+        Ok(Score::Dense(cos))
+    }
+
+    /// Top-`size` cluster.
+    pub fn cluster(&self, seed: NodeId, size: usize) -> Result<Vec<NodeId>, BaselineError> {
+        Ok(self.score(seed)?.top_k(seed, size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs() -> AttributeMatrix {
+        AttributeMatrix::from_rows(
+            6,
+            &[
+                vec![(0, 1.0), (1, 1.0)],
+                vec![(0, 1.0), (1, 0.5)],
+                vec![(2, 1.0)],
+                vec![(3, 1.0), (4, 1.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ranks_attribute_twins_first() {
+        let x = attrs();
+        let sa = SimAttr::new(&x, AttrSimKind::Cosine).unwrap();
+        let c = sa.cluster(0, 2).unwrap();
+        assert_eq!(c, vec![0, 1]);
+    }
+
+    #[test]
+    fn exp_and_cosine_produce_the_same_ranking() {
+        // exp(·/δ) is monotone, so the orderings agree wherever the cosine
+        // is informative — this is why Table V shows identical precision
+        // for the two rows. (A shared background attribute keeps every
+        // pairwise cosine strictly positive, avoiding the zero-score tie
+        // region where the dense extractor drops cosine-zero entries.)
+        let x = AttributeMatrix::from_rows(
+            6,
+            &[
+                vec![(5, 0.2), (0, 1.0), (1, 1.0)],
+                vec![(5, 0.2), (0, 1.0), (1, 0.5)],
+                vec![(5, 0.2), (2, 1.0)],
+                vec![(5, 0.2), (3, 1.0), (4, 1.0)],
+            ],
+        )
+        .unwrap();
+        let c1 = SimAttr::new(&x, AttrSimKind::Cosine).unwrap();
+        let c2 = SimAttr::new(&x, AttrSimKind::ExpCosine { delta: 1.0 }).unwrap();
+        for seed in 0..4 {
+            assert_eq!(c1.cluster(seed, 3).unwrap(), c2.cluster(seed, 3).unwrap());
+        }
+    }
+
+    #[test]
+    fn orthogonal_attributes_score_zero_cosine() {
+        let x = attrs();
+        let sa = SimAttr::new(&x, AttrSimKind::Cosine).unwrap();
+        if let Score::Dense(s) = sa.score(2).unwrap() {
+            assert_eq!(s[0], 0.0);
+            assert_eq!(s[3], 0.0);
+            assert!((s[2] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let x = attrs();
+        assert!(SimAttr::new(&AttributeMatrix::empty(3), AttrSimKind::Cosine).is_err());
+        assert!(SimAttr::new(&x, AttrSimKind::ExpCosine { delta: 0.0 }).is_err());
+        assert!(SimAttr::new(&x, AttrSimKind::Cosine).unwrap().score(100).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! Node2Vec (Grover & Leskovec, KDD'16 — citation [59]): biased
+//! second-order random walks + skip-gram with negative sampling (SGNS),
+//! trained from scratch.
+//!
+//! The return parameter `p` and in-out parameter `q` bias each step given
+//! the previous node: weight `1/p` to return, `1` to a common neighbor of
+//! the previous node, `1/q` otherwise. Walks become skip-gram windows;
+//! SGNS with `neg` negative samples (noise ∝ d^{3/4}) learns the
+//! embeddings. Everything is seeded and deterministic.
+
+use crate::BaselineError;
+use laca_graph::{CsrGraph, NodeId};
+use laca_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Node2Vec hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node2VecConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Walks started per node.
+    pub walks_per_node: usize,
+    /// Steps per walk.
+    pub walk_length: usize,
+    /// Skip-gram window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Return parameter `p`.
+    pub p: f64,
+    /// In-out parameter `q`.
+    pub q: f64,
+    /// Training epochs over the walk corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed).
+    pub lr: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Node2VecConfig {
+    fn default() -> Self {
+        Node2VecConfig {
+            dim: 64,
+            walks_per_node: 4,
+            walk_length: 20,
+            window: 4,
+            negatives: 3,
+            p: 1.0,
+            q: 1.0,
+            epochs: 1,
+            lr: 0.025,
+            seed: 0x42,
+        }
+    }
+}
+
+/// Generates the biased walk corpus.
+fn generate_walks(graph: &CsrGraph, cfg: &Node2VecConfig, rng: &mut StdRng) -> Vec<Vec<NodeId>> {
+    let n = graph.n();
+    let mut walks = Vec::with_capacity(n * cfg.walks_per_node);
+    let mut weights: Vec<f64> = Vec::new();
+    for _ in 0..cfg.walks_per_node {
+        for start in 0..n as NodeId {
+            let mut walk = Vec::with_capacity(cfg.walk_length);
+            walk.push(start);
+            let mut prev: Option<NodeId> = None;
+            let mut cur = start;
+            for _ in 1..cfg.walk_length {
+                let nbrs = graph.neighbors(cur);
+                if nbrs.is_empty() {
+                    break;
+                }
+                let next = match prev {
+                    None => nbrs[rng.gen_range(0..nbrs.len())],
+                    Some(pv) => {
+                        weights.clear();
+                        let prev_nbrs = graph.neighbors(pv);
+                        let mut total = 0.0;
+                        for &x in nbrs {
+                            let w = if x == pv {
+                                1.0 / cfg.p
+                            } else if prev_nbrs.binary_search(&x).is_ok() {
+                                1.0
+                            } else {
+                                1.0 / cfg.q
+                            };
+                            total += w;
+                            weights.push(total);
+                        }
+                        let r = rng.gen::<f64>() * total;
+                        let idx = weights.partition_point(|&c| c < r);
+                        nbrs[idx.min(nbrs.len() - 1)]
+                    }
+                };
+                walk.push(next);
+                prev = Some(cur);
+                cur = next;
+            }
+            walks.push(walk);
+        }
+    }
+    walks
+}
+
+/// Trains Node2Vec embeddings. `O(walks · length · window · (neg+1) · dim)`.
+pub fn node2vec_embeddings(
+    graph: &CsrGraph,
+    cfg: &Node2VecConfig,
+) -> Result<DenseMatrix, BaselineError> {
+    if cfg.dim == 0 || cfg.walk_length < 2 {
+        return Err(BaselineError::BadParameter("dim and walk_length must be positive"));
+    }
+    if cfg.p <= 0.0 || cfg.q <= 0.0 {
+        return Err(BaselineError::BadParameter("p and q must be > 0"));
+    }
+    let n = graph.n();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let walks = generate_walks(graph, cfg, &mut rng);
+
+    // Negative-sampling table ∝ d^{3/4}.
+    let table_size = (n * 8).clamp(1 << 12, 1 << 22);
+    let mut table = Vec::with_capacity(table_size);
+    {
+        let pows: Vec<f64> =
+            (0..n).map(|v| (graph.weighted_degree(v as NodeId)).powf(0.75)).collect();
+        let total: f64 = pows.iter().sum();
+        let mut cum = 0.0;
+        let mut v = 0usize;
+        for i in 0..table_size {
+            let target = (i as f64 + 0.5) / table_size as f64 * total;
+            while cum + pows[v] < target && v + 1 < n {
+                cum += pows[v];
+                v += 1;
+            }
+            table.push(v as NodeId);
+        }
+    }
+
+    // Input ("in") and context ("out") vectors, f64 for simplicity.
+    let mut emb_in: Vec<f64> = (0..n * cfg.dim)
+        .map(|_| (rng.gen::<f64>() - 0.5) / cfg.dim as f64)
+        .collect();
+    let mut emb_out: Vec<f64> = vec![0.0; n * cfg.dim];
+
+    let total_pairs = (walks.len() * cfg.walk_length * cfg.epochs).max(1);
+    let mut seen_pairs = 0usize;
+    let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
+    let mut grad = vec![0.0f64; cfg.dim];
+    for _ in 0..cfg.epochs {
+        for walk in &walks {
+            for (pos, &center) in walk.iter().enumerate() {
+                seen_pairs += 1;
+                let lr = cfg.lr * (1.0 - seen_pairs as f64 / total_pairs as f64).max(1e-4);
+                let lo = pos.saturating_sub(cfg.window);
+                let hi = (pos + cfg.window + 1).min(walk.len());
+                for ctx_pos in lo..hi {
+                    if ctx_pos == pos {
+                        continue;
+                    }
+                    let context = walk[ctx_pos];
+                    let ci = center as usize * cfg.dim;
+                    grad.iter_mut().for_each(|g| *g = 0.0);
+                    // Positive update + negatives.
+                    for neg in 0..=cfg.negatives {
+                        let (target, label) = if neg == 0 {
+                            (context, 1.0)
+                        } else {
+                            (table[rng.gen_range(0..table.len())], 0.0)
+                        };
+                        if neg > 0 && target == center {
+                            continue;
+                        }
+                        let ti = target as usize * cfg.dim;
+                        let mut dp = 0.0;
+                        for d in 0..cfg.dim {
+                            dp += emb_in[ci + d] * emb_out[ti + d];
+                        }
+                        let g = (label - sigmoid(dp)) * lr;
+                        for d in 0..cfg.dim {
+                            grad[d] += g * emb_out[ti + d];
+                            emb_out[ti + d] += g * emb_in[ci + d];
+                        }
+                    }
+                    for d in 0..cfg.dim {
+                        emb_in[ci + d] += grad[d];
+                    }
+                }
+            }
+        }
+    }
+    Ok(DenseMatrix::from_fn(n, cfg.dim, |i, j| emb_in[i * cfg.dim + j]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed_cluster::knn_cluster;
+    use laca_graph::gen::AttributedGraphSpec;
+    use laca_graph::AttributedDataset;
+
+    fn dataset() -> AttributedDataset {
+        AttributedGraphSpec {
+            n: 120,
+            n_clusters: 2,
+            avg_degree: 10.0,
+            p_intra: 0.95,
+            missing_intra: 0.0,
+            degree_exponent: 0.0,
+            cluster_size_skew: 0.0,
+            attributes: None,
+            seed: 10,
+        }
+        .generate("n2v")
+        .unwrap()
+    }
+
+    #[test]
+    fn walks_stay_on_the_graph() {
+        let ds = dataset();
+        let cfg = Node2VecConfig { walks_per_node: 1, walk_length: 10, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let walks = generate_walks(&ds.graph, &cfg, &mut rng);
+        assert_eq!(walks.len(), ds.graph.n());
+        for walk in &walks {
+            for pair in walk.windows(2) {
+                assert!(ds.graph.has_edge(pair[0], pair[1]), "non-edge step {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn return_bias_changes_walk_statistics() {
+        let ds = dataset();
+        let revisits = |p: f64| {
+            let cfg = Node2VecConfig { walks_per_node: 2, walk_length: 12, p, ..Default::default() };
+            let mut rng = StdRng::seed_from_u64(5);
+            let walks = generate_walks(&ds.graph, &cfg, &mut rng);
+            walks
+                .iter()
+                .map(|w| w.windows(3).filter(|t| t[0] == t[2]).count())
+                .sum::<usize>()
+        };
+        // Small p strongly encourages immediate backtracking.
+        assert!(revisits(0.05) > revisits(20.0), "return bias had no effect");
+    }
+
+    #[test]
+    fn embeddings_separate_communities() {
+        let ds = dataset();
+        let cfg = Node2VecConfig { dim: 32, epochs: 2, ..Default::default() };
+        let emb = node2vec_embeddings(&ds.graph, &cfg).unwrap();
+        let seed = 0;
+        let truth = ds.ground_truth(seed);
+        let cluster = knn_cluster(&emb, seed, truth.len());
+        let tset: std::collections::HashSet<_> = truth.iter().collect();
+        let precision =
+            cluster.iter().filter(|v| tset.contains(v)).count() as f64 / cluster.len() as f64;
+        assert!(precision > 0.7, "precision {precision}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = dataset();
+        let cfg = Node2VecConfig { dim: 8, walks_per_node: 1, walk_length: 8, ..Default::default() };
+        let a = node2vec_embeddings(&ds.graph, &cfg).unwrap();
+        let b = node2vec_embeddings(&ds.graph, &cfg).unwrap();
+        assert!(a.max_abs_diff(&b) == 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let ds = dataset();
+        let bad = Node2VecConfig { dim: 0, ..Default::default() };
+        assert!(node2vec_embeddings(&ds.graph, &bad).is_err());
+        let bad_q = Node2VecConfig { q: 0.0, ..Default::default() };
+        assert!(node2vec_embeddings(&ds.graph, &bad_q).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks for one representative query per baseline
+//! family, against LACA on the same dataset — the per-family cost
+//! hierarchy of Table IV.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laca_baselines::attr_sim::{AttrSimKind, SimAttr};
+use laca_baselines::flow_diffusion::FlowDiffusion;
+use laca_baselines::hk_relax::HkRelax;
+use laca_baselines::link_sim::{LinkSim, LinkSimKind};
+use laca_baselines::pr_nibble::PrNibble;
+use laca_core::{Laca, LacaParams, MetricFn, Tnam, TnamConfig};
+use laca_graph::datasets::cora_like;
+
+fn bench_baselines(c: &mut Criterion) {
+    let ds = cora_like().generate("cora").unwrap();
+    let size = 200usize;
+    let mut group = c.benchmark_group("baseline_query");
+    group.sample_size(10);
+
+    let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(32, MetricFn::Cosine)).unwrap();
+    let engine = Laca::new(&ds.graph, Some(&tnam), LacaParams::new(1e-6)).unwrap();
+    group.bench_function("laca_c", |b| b.iter(|| engine.cluster(0, size).unwrap()));
+
+    group.bench_function("pr_nibble", |b| {
+        b.iter(|| PrNibble::new(&ds.graph, 0.8, 1e-6).cluster(0, size).unwrap())
+    });
+    group.bench_function("hk_relax", |b| {
+        b.iter(|| HkRelax::new(&ds.graph, 5.0, 1e-6).cluster(0, size).unwrap())
+    });
+    group.bench_function("flow_diffusion_p2", |b| {
+        b.iter(|| FlowDiffusion::new(&ds.graph).cluster(0, size).unwrap())
+    });
+    group.bench_function("jaccard", |b| {
+        b.iter(|| LinkSim::new(&ds.graph, LinkSimKind::Jaccard).cluster(0, size).unwrap())
+    });
+    group.bench_function("sim_attr_c", |b| {
+        b.iter(|| {
+            SimAttr::new(&ds.attributes, AttrSimKind::Cosine)
+                .unwrap()
+                .cluster(0, size)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion micro-benchmarks for the diffusion solvers (Section IV):
+//! GreedyDiffuse vs the non-greedy iteration vs AdaptiveDiffuse across
+//! thresholds — the quantitative backing for Fig. 5 / Table II.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laca_diffusion::{adaptive_diffuse, greedy_diffuse, nongreedy_diffuse, DiffusionParams, SparseVec};
+use laca_graph::datasets::pubmed_like;
+
+fn bench_diffusion(c: &mut Criterion) {
+    let ds = pubmed_like().generate("pubmed").unwrap();
+    let f = SparseVec::unit(0);
+    let mut group = c.benchmark_group("diffusion");
+    group.sample_size(10);
+    for eps in [1e-4f64, 1e-6f64] {
+        let params = DiffusionParams::new(0.8, eps);
+        group.bench_with_input(BenchmarkId::new("greedy", format!("{eps:.0e}")), &params, |b, p| {
+            b.iter(|| greedy_diffuse(&ds.graph, &f, p).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("nongreedy", format!("{eps:.0e}")),
+            &params,
+            |b, p| b.iter(|| nongreedy_diffuse(&ds.graph, &f, p).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("adaptive", format!("{eps:.0e}")),
+            &params,
+            |b, p| b.iter(|| adaptive_diffuse(&ds.graph, &f, p).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diffusion);
+criterion_main!(benches);

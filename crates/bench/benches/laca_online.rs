@@ -1,0 +1,28 @@
+//! Criterion micro-benchmarks for the LACA online phase (Algo. 4): one
+//! full seed query across diffusion thresholds — the `O(k/((1−α)ε))`
+//! claim behind Fig. 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laca_core::{Laca, LacaParams, MetricFn, Tnam, TnamConfig};
+use laca_graph::datasets::{cora_like, pubmed_like};
+
+fn bench_online(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laca_online");
+    group.sample_size(10);
+    for (name, spec) in [("cora", cora_like()), ("pubmed", pubmed_like())] {
+        let ds = spec.generate(name).unwrap();
+        let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(32, MetricFn::Cosine)).unwrap();
+        for eps in [1e-4f64, 1e-6f64] {
+            let engine = Laca::new(&ds.graph, Some(&tnam), LacaParams::new(eps)).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{eps:.0e}")),
+                &engine,
+                |b, e| b.iter(|| e.bdd(0).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

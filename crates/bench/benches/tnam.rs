@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks for TNAM construction (Algo. 3): the k-SVD
+//! path (cosine) and the orthogonal-random-feature path (exp-cosine),
+//! across TNAM dimensions — the preprocessing cost of Lemma V.3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laca_core::{MetricFn, Tnam, TnamConfig};
+use laca_graph::datasets::cora_like;
+
+fn bench_tnam(c: &mut Criterion) {
+    let ds = cora_like().generate("cora").unwrap();
+    let mut group = c.benchmark_group("tnam_build");
+    group.sample_size(10);
+    for k in [16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("cosine_ksvd", k), &k, |b, &k| {
+            b.iter(|| {
+                Tnam::build(&ds.attributes, &TnamConfig::new(k, MetricFn::Cosine)).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exp_orf", k), &k, |b, &k| {
+            b.iter(|| {
+                Tnam::build(
+                    &ds.attributes,
+                    &TnamConfig::new(k, MetricFn::ExpCosine { delta: 1.0 }),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tnam);
+criterion_main!(benches);

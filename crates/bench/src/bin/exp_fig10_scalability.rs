@@ -1,0 +1,73 @@
+//! **Fig. 10**: scalability of LACA (C) / LACA (E) on the four large
+//! analogues — online running time when varying `ε` (a,b) and the TNAM
+//! dimension `k` (c,d). The expected shapes: time grows ×10 per tenfold
+//! decrease of `ε`, and is flat in `k` while `k ≪ 1/ε` dominates.
+//!
+//! `cargo run --release -p laca-bench --bin exp_fig10_scalability -- --param epsilon`
+
+use laca_bench::{banner, load_dataset, ExpArgs};
+use laca_core::{Laca, LacaParams, MetricFn, Tnam, TnamConfig};
+use laca_eval::harness::sample_seeds;
+use laca_eval::table::{fmt_duration, Table};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args = ExpArgs::parse(10);
+    let names = args.dataset_names(&["arxiv", "yelp", "reddit", "amazon2m"]);
+    let sweeps: Vec<&str> = match args.param.as_deref() {
+        Some("epsilon") => vec!["epsilon"],
+        Some("k") => vec!["k"],
+        Some(other) => panic!("unknown --param {other} (epsilon|k)"),
+        None => vec!["epsilon", "k"],
+    };
+    let metrics = [("C", MetricFn::Cosine), ("E", MetricFn::ExpCosine { delta: 1.0 })];
+
+    for sweep in sweeps {
+        for (mlabel, metric) in metrics {
+            let mut headers = vec![sweep.to_string()];
+            headers.extend(names.iter().cloned());
+            let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let mut table = Table::new(&header_refs);
+            let values: Vec<f64> = match sweep {
+                "epsilon" => vec![1.0, 1e-2, 1e-4, 1e-6, 1e-8],
+                _ => vec![8.0, 16.0, 32.0, 64.0, 128.0],
+            };
+            let mut rows: Vec<Vec<String>> = values
+                .iter()
+                .map(|&v| {
+                    vec![if sweep == "epsilon" { format!("{v:.0e}") } else { format!("{v:.0}") }]
+                })
+                .collect();
+            for name in &names {
+                let ds = load_dataset(name, args.scale);
+                let seeds = sample_seeds(&ds, args.seeds, 0xF1A);
+                for (ri, &v) in values.iter().enumerate() {
+                    let (k, eps) = match sweep {
+                        "epsilon" => (32usize, v),
+                        _ => (v as usize, 1e-6),
+                    };
+                    let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(k, metric)).unwrap();
+                    let engine =
+                        Laca::new(&ds.graph, Some(&tnam), LacaParams::new(eps)).unwrap();
+                    let mut total = Duration::ZERO;
+                    for &s in &seeds {
+                        let t0 = Instant::now();
+                        let _ = engine.bdd(s).unwrap();
+                        total += t0.elapsed();
+                    }
+                    let avg = total / seeds.len() as u32;
+                    eprintln!("[{name}] LACA({mlabel}) {sweep}={v:.0e}: {avg:?}/query");
+                    rows[ri].push(fmt_duration(avg));
+                }
+            }
+            for row in rows {
+                table.add_row(row);
+            }
+            banner(&format!("Fig. 10 analogue: online time vs {sweep}, LACA ({mlabel})"));
+            println!("{}", table.render());
+            table
+                .write_csv(&args.out_dir.join(format!("fig10_{sweep}_laca_{mlabel}.csv")))
+                .expect("write csv");
+        }
+    }
+}

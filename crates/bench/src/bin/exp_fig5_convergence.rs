@@ -1,0 +1,53 @@
+//! **Fig. 5**: residual sum `‖r‖₁` after each iteration, greedy vs
+//! non-greedy, on PubMed-like (ε = 1e-5) and ArXiv-like (ε = 1e-7) — the
+//! motivation for AdaptiveDiffuse.
+//!
+//! `cargo run --release -p laca-bench --bin exp_fig5_convergence`
+
+use laca_bench::{banner, load_dataset, ExpArgs};
+use laca_diffusion::{greedy_diffuse, nongreedy_diffuse, DiffusionParams, SparseVec};
+use laca_eval::table::Table;
+
+fn main() {
+    let args = ExpArgs::parse(1);
+    let configs = [("pubmed", 1e-5f64), ("arxiv", 1e-7f64)];
+    for (name, eps) in configs {
+        if !args.datasets.is_empty() && !args.datasets.iter().any(|d| d == name) {
+            continue;
+        }
+        let ds = load_dataset(name, args.scale);
+        let f = SparseVec::unit(0);
+        let params = DiffusionParams::new(0.8, eps).with_residual_recording();
+        let greedy = greedy_diffuse(&ds.graph, &f, &params).unwrap();
+        let nongreedy = nongreedy_diffuse(&ds.graph, &f, &params).unwrap();
+        banner(&format!("Fig. 5 analogue: residual sum vs iteration ({name}, eps = {eps:.0e})"));
+        let mut table = Table::new(&["Iteration", "Greedy ||r||1", "Non-greedy ||r||1"]);
+        let rows = greedy.stats.residual_history.len().max(nongreedy.stats.residual_history.len());
+        // Sample ~25 evenly spaced iterations for readability.
+        let step = (rows / 25).max(1);
+        for it in (0..rows).step_by(step) {
+            let g = greedy
+                .stats
+                .residual_history
+                .get(it)
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_else(|| "(done)".into());
+            let n = nongreedy
+                .stats
+                .residual_history
+                .get(it)
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_else(|| "(done)".into());
+            table.add_row(vec![(it + 1).to_string(), g, n]);
+        }
+        table.add_row(vec![
+            "total iters".into(),
+            greedy.stats.iterations.to_string(),
+            nongreedy.stats.iterations.to_string(),
+        ]);
+        println!("{}", table.render());
+        table
+            .write_csv(&args.out_dir.join(format!("fig5_convergence_{name}.csv")))
+            .expect("write csv");
+    }
+}

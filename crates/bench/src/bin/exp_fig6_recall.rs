@@ -1,0 +1,107 @@
+//! **Fig. 6**: recall of the explored region when varying the diffusion
+//! threshold `ε ∈ {1, 1e-2, …, 1e-8}` — LACA (C), LACA (E),
+//! LACA (w/o SNAS) vs the diffusion baselines PR-Nibble, APR-Nibble and
+//! HK-Relax. The predicted cluster is the full output support (its size is
+//! the `O(1/ε)` runtime budget the figure varies).
+//!
+//! `cargo run --release -p laca-bench --bin exp_fig6_recall -- --seeds 15`
+
+use laca_baselines::hk_relax::HkRelax;
+use laca_baselines::kernel::gaussian_reweighted;
+use laca_baselines::pr_nibble::PrNibble;
+use laca_baselines::Score;
+use laca_bench::{banner, load_dataset, ExpArgs};
+use laca_core::{Laca, LacaParams, MetricFn, Tnam, TnamConfig};
+use laca_eval::harness::sample_seeds;
+use laca_eval::metrics::recall;
+use laca_eval::table::{fmt3, Table};
+use laca_graph::{AttributedDataset, NodeId};
+
+const EPSILONS: [f64; 5] = [1.0, 1e-2, 1e-4, 1e-6, 1e-8];
+
+fn support_cluster(score: &Score, seed: NodeId) -> Vec<NodeId> {
+    match score {
+        Score::Sparse(s) => {
+            let mut c: Vec<NodeId> = s.iter().map(|(v, _)| v).collect();
+            if !c.contains(&seed) {
+                c.push(seed);
+            }
+            c
+        }
+        Score::Dense(_) => unreachable!("diffusion methods are sparse"),
+    }
+}
+
+fn avg_recall(
+    ds: &AttributedDataset,
+    seeds: &[NodeId],
+    mut run: impl FnMut(NodeId) -> Vec<NodeId>,
+) -> f64 {
+    let mut acc = 0.0;
+    for &s in seeds {
+        acc += recall(&run(s), ds.ground_truth(s));
+    }
+    acc / seeds.len() as f64
+}
+
+fn main() {
+    let args = ExpArgs::parse(15);
+    let names = args.dataset_names(&["cora", "pubmed", "blogcl", "flickr", "arxiv", "yelp"]);
+    for name in &names {
+        let ds = load_dataset(name, args.scale);
+        let seeds = sample_seeds(&ds, args.seeds, 0xF16);
+        let tnam_c = Tnam::build(&ds.attributes, &TnamConfig::new(32, MetricFn::Cosine)).unwrap();
+        let tnam_e = Tnam::build(
+            &ds.attributes,
+            &TnamConfig::new(32, MetricFn::ExpCosine { delta: 1.0 }),
+        )
+        .unwrap();
+        let weighted = gaussian_reweighted(&ds.graph, &ds.attributes, 1.0).unwrap();
+
+        let mut table = Table::new(&[
+            "epsilon",
+            "LACA (C)",
+            "LACA (E)",
+            "LACA (w/o SNAS)",
+            "PR-Nibble",
+            "APR-Nibble",
+            "HK-Relax",
+        ]);
+        for &eps in &EPSILONS {
+            let engine_c = Laca::new(&ds.graph, Some(&tnam_c), LacaParams::new(eps)).unwrap();
+            let engine_e = Laca::new(&ds.graph, Some(&tnam_e), LacaParams::new(eps)).unwrap();
+            let engine_w =
+                Laca::new(&ds.graph, None, LacaParams::new(eps).without_snas()).unwrap();
+            let run_engine = |engine: &Laca, s: NodeId| -> Vec<NodeId> {
+                let rho = engine.bdd(s).unwrap_or_default();
+                let mut c: Vec<NodeId> = rho.iter().map(|(v, _)| v).collect();
+                if !c.contains(&s) {
+                    c.push(s);
+                }
+                c
+            };
+            let row = vec![
+                format!("{eps:.0e}"),
+                fmt3(avg_recall(&ds, &seeds, |s| run_engine(&engine_c, s))),
+                fmt3(avg_recall(&ds, &seeds, |s| run_engine(&engine_e, s))),
+                fmt3(avg_recall(&ds, &seeds, |s| run_engine(&engine_w, s))),
+                fmt3(avg_recall(&ds, &seeds, |s| {
+                    support_cluster(&PrNibble::new(&ds.graph, 0.8, eps.max(1e-9)).score(s).unwrap(), s)
+                })),
+                fmt3(avg_recall(&ds, &seeds, |s| {
+                    support_cluster(&PrNibble::new(&weighted, 0.8, eps.max(1e-9)).score(s).unwrap(), s)
+                })),
+                fmt3(avg_recall(&ds, &seeds, |s| {
+                    support_cluster(&HkRelax::new(&ds.graph, 5.0, eps.max(1e-9)).score(s).unwrap(), s)
+                })),
+            ];
+            table.add_row(row);
+            eprintln!("[{name}] eps {eps:.0e} done");
+        }
+        banner(&format!("Fig. 6 analogue: recall vs epsilon ({name})"));
+        println!("{}", table.render());
+        table
+            .write_csv(&args.out_dir.join(format!("fig6_recall_{name}.csv")))
+            .expect("write csv");
+    }
+}

@@ -1,0 +1,71 @@
+//! **Fig. 7**: preprocessing and online (per-query) wall-clock of
+//! LACA (C) / LACA (E) against the strongest competitors on each dataset.
+//! Absolute numbers differ from the paper's testbed; the *shape* to check
+//! is local-diffusion online costs in the milliseconds vs global methods
+//! in the 100 ms–minutes range, with LACA preprocessing in seconds where
+//! embedding methods take minutes.
+//!
+//! `cargo run --release -p laca-bench --bin exp_fig7_runtime -- --seeds 10`
+
+use laca_bench::{banner, load_dataset, ExpArgs};
+use laca_eval::harness::{evaluate, sample_seeds};
+use laca_eval::methods::{Extraction, MethodSpec};
+use laca_eval::table::{fmt3, fmt_duration, Table};
+use laca_eval::EvalComputeConfig;
+use laca_graph::datasets::ATTRIBUTED_NAMES;
+
+/// The per-dataset competitor panels of Fig. 7 (top-precision baselines).
+fn panel(name: &str) -> Vec<MethodSpec> {
+    use MethodSpec::*;
+    match name {
+        "cora" => vec![Cfane(Extraction::Knn), HkRelax, Pane(Extraction::Knn), SimRank],
+        "pubmed" => vec![Cfane(Extraction::Knn), SimRank, Pane(Extraction::Knn), PrNibble],
+        "blogcl" => vec![Cfane(Extraction::Knn), Pane(Extraction::Knn), SimAttrC, HkRelax],
+        "flickr" => vec![Pane(Extraction::Knn), HkRelax, Jaccard, Cfane(Extraction::Knn)],
+        "arxiv" => vec![HkRelax, PrNibble, AprNibble, Wfd],
+        "yelp" => vec![SimAttrC, Pane(Extraction::Knn), AttriRank, Node2Vec(Extraction::Knn)],
+        "reddit" => vec![PNormFd, HkRelax, PrNibble, Crd],
+        "amazon2m" => vec![Wfd, PNormFd, PrNibble, Pane(Extraction::Knn)],
+        _ => vec![HkRelax, PrNibble],
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse(10);
+    let names = args.dataset_names(&ATTRIBUTED_NAMES);
+    let cfg = EvalComputeConfig::default();
+    for name in &names {
+        let ds = load_dataset(name, args.scale);
+        let seeds = sample_seeds(&ds, args.seeds, 0xF17);
+        let mut methods = vec![MethodSpec::LacaC, MethodSpec::LacaE];
+        methods.extend(panel(name));
+        let mut table =
+            Table::new(&["Method", "Preprocessing", "Online (per query)", "Precision"]);
+        for spec in methods {
+            match spec.prepare(&ds, &cfg) {
+                Ok(prepared) => {
+                    // Sequential evaluation: online latency must not be
+                    // perturbed by rayon contention.
+                    let out = evaluate(&prepared, &ds, &seeds);
+                    table.add_row(vec![
+                        out.label.clone(),
+                        fmt_duration(out.prep_time),
+                        fmt_duration(out.avg_online_time),
+                        fmt3(out.avg_precision),
+                    ]);
+                }
+                Err(laca_eval::EvalError::NotApplicable { method, reason }) => {
+                    table.add_row(vec![method, "-".into(), "-".into(), reason.to_string()]);
+                }
+                Err(e) => {
+                    table.add_row(vec![spec.label(), "err".into(), e.to_string(), String::new()]);
+                }
+            }
+        }
+        banner(&format!("Fig. 7 analogue: running times ({name})"));
+        println!("{}", table.render());
+        table
+            .write_csv(&args.out_dir.join(format!("fig7_runtime_{name}.csv")))
+            .expect("write csv");
+    }
+}

@@ -1,0 +1,47 @@
+//! **Table II**: average node degree of the diffusion output ("local
+//! cluster" = support of `q`), greedy vs non-greedy, versus the global
+//! average degree — the paper's evidence that GreedyDiffuse is biased
+//! toward low-degree nodes.
+//!
+//! `cargo run --release -p laca-bench --bin exp_table2_degrees`
+
+use laca_bench::{banner, load_dataset, ExpArgs};
+use laca_diffusion::{greedy_diffuse, nongreedy_diffuse, DiffusionParams, SparseVec};
+use laca_eval::harness::sample_seeds;
+use laca_eval::table::Table;
+
+fn main() {
+    let args = ExpArgs::parse(15);
+    let names = args.dataset_names(&["pubmed", "yelp"]);
+    let epsilon = 1e-6;
+    let mut table =
+        Table::new(&["Dataset", "Global avg. degree", "Greedy", "Non-greedy"]);
+    for name in &names {
+        let ds = load_dataset(name, args.scale);
+        let g = &ds.graph;
+        let global = 2.0 * g.m() as f64 / g.n() as f64;
+        let seeds = sample_seeds(&ds, args.seeds, 0x7AB2);
+        let params = DiffusionParams::new(0.8, epsilon);
+        let mut deg = [0.0f64; 2];
+        for &s in &seeds {
+            let f = SparseVec::unit(s);
+            let outs = [
+                greedy_diffuse(g, &f, &params).unwrap(),
+                nongreedy_diffuse(g, &f, &params).unwrap(),
+            ];
+            for (acc, out) in deg.iter_mut().zip(&outs) {
+                let supp = out.reserve.support_size().max(1) as f64;
+                *acc += out.reserve.volume(g) / supp / seeds.len() as f64;
+            }
+        }
+        table.add_row(vec![
+            name.clone(),
+            format!("{global:.2}"),
+            format!("{:.2}", deg[0]),
+            format!("{:.2}", deg[1]),
+        ]);
+    }
+    banner(&format!("Table II analogue: avg. node degree of diffusion output (eps = {epsilon})"));
+    println!("{}", table.render());
+    table.write_csv(&args.out_dir.join("table2_degrees.csv")).expect("write csv");
+}

@@ -1,0 +1,60 @@
+//! **Table V**: average precision of all methods on the 8 attributed
+//! dataset analogues, evaluated with `|Cs| = |Ys|` against planted ground
+//! truth. Methods that exceed their scalability caps on a dataset print
+//! `-`, mirroring the paper's exclusions.
+//!
+//! `cargo run --release -p laca-bench --bin exp_table5_precision -- --seeds 30`
+
+use laca_bench::{banner, load_dataset, ExpArgs};
+use laca_eval::harness::{evaluate_parallel, sample_seeds};
+use laca_eval::methods::MethodSpec;
+use laca_eval::table::{fmt3, Table};
+use laca_eval::EvalComputeConfig;
+use laca_graph::datasets::ATTRIBUTED_NAMES;
+
+fn main() {
+    let args = ExpArgs::parse(25);
+    let names = args.dataset_names(&ATTRIBUTED_NAMES);
+    let cfg = EvalComputeConfig::default();
+    let methods = MethodSpec::table_v_rows();
+
+    let mut headers: Vec<&str> = vec!["Method"];
+    let name_strs: Vec<String> = names.clone();
+    headers.extend(name_strs.iter().map(String::as_str));
+    let mut table = Table::new(&headers);
+    let mut cells: Vec<Vec<String>> =
+        methods.iter().map(|m| vec![m.label()]).collect();
+
+    for name in &names {
+        let ds = load_dataset(name, args.scale);
+        let seeds = sample_seeds(&ds, args.seeds, 0xBEEF);
+        for (row, spec) in methods.iter().enumerate() {
+            let cell = match spec.prepare(&ds, &cfg) {
+                Ok(prepared) => {
+                    let out = evaluate_parallel(&prepared, &ds, &seeds);
+                    eprintln!(
+                        "[{name}] {:<18} precision {:.3} (prep {:?}, online {:?}/q)",
+                        out.label, out.avg_precision, out.prep_time, out.avg_online_time
+                    );
+                    fmt3(out.avg_precision)
+                }
+                Err(laca_eval::EvalError::NotApplicable { .. }) => "-".to_string(),
+                Err(e) => {
+                    eprintln!("[{name}] {} failed: {e}", spec.label());
+                    "err".to_string()
+                }
+            };
+            cells[row].push(cell);
+        }
+    }
+    for row in cells {
+        table.add_row(row);
+    }
+    banner("Table V analogue: average precision (|Cs| = |Ys|)");
+    println!("{}", table.render());
+    let suffix =
+        if args.datasets.is_empty() { "all".to_string() } else { args.datasets.join("_") };
+    let path = args.out_dir.join(format!("table5_precision_{suffix}.csv"));
+    table.write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+}

@@ -1,0 +1,55 @@
+//! **Table VII**: average conductance and WCSS of the predicted clusters
+//! vs the ground-truth clusters, for every applicable method.
+//!
+//! `cargo run --release -p laca-bench --bin exp_table7_cond_wcss -- --seeds 15`
+
+use laca_bench::{banner, load_dataset, ExpArgs};
+use laca_eval::harness::{evaluate_parallel, sample_seeds};
+use laca_eval::methods::MethodSpec;
+use laca_eval::metrics::{conductance, wcss};
+use laca_eval::table::{fmt3, Table};
+use laca_eval::EvalComputeConfig;
+use laca_graph::datasets::ATTRIBUTED_NAMES;
+
+fn main() {
+    let args = ExpArgs::parse(15);
+    let names = args.dataset_names(&ATTRIBUTED_NAMES);
+    let cfg = EvalComputeConfig::default();
+    let methods = MethodSpec::table_v_rows();
+
+    for name in &names {
+        let ds = load_dataset(name, args.scale);
+        let seeds = sample_seeds(&ds, args.seeds, 0x7AB7);
+        let mut table = Table::new(&["Method", "Conductance", "WCSS"]);
+        // Ground-truth row first, averaged over the sampled seeds' clusters.
+        let (mut gc, mut gw) = (0.0, 0.0);
+        for &s in &seeds {
+            let truth = ds.ground_truth(s);
+            gc += conductance(&ds.graph, truth) / seeds.len() as f64;
+            gw += wcss(&ds.attributes, truth) / seeds.len() as f64;
+        }
+        table.add_row(vec!["Ground-truth".into(), fmt3(gc), fmt3(gw)]);
+        for spec in &methods {
+            match spec.prepare(&ds, &cfg) {
+                Ok(prepared) => {
+                    let out = evaluate_parallel(&prepared, &ds, &seeds);
+                    table.add_row(vec![
+                        out.label.clone(),
+                        fmt3(out.avg_conductance),
+                        fmt3(out.avg_wcss),
+                    ]);
+                    eprintln!(
+                        "[{name}] {:<18} cond {:.3} wcss {:.3}",
+                        out.label, out.avg_conductance, out.avg_wcss
+                    );
+                }
+                Err(_) => table.add_row(vec![spec.label(), "-".into(), "-".into()]),
+            }
+        }
+        banner(&format!("Table VII analogue: conductance & WCSS ({name})"));
+        println!("{}", table.render());
+        table
+            .write_csv(&args.out_dir.join(format!("table7_cond_wcss_{name}.csv")))
+            .expect("write csv");
+    }
+}

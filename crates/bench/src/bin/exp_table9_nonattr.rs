@@ -1,0 +1,65 @@
+//! **Tables VIII–IX**: LGC quality on graphs *without* attributes —
+//! LACA (w/o SNAS) vs the four strong structural baselines (PR-Nibble,
+//! HK-Relax, CRD, p-Norm FD) on com-DBLP/com-Amazon/com-Orkut analogues.
+//!
+//! `cargo run --release -p laca-bench --bin exp_table9_nonattr -- --seeds 25`
+
+use laca_bench::{banner, load_dataset, ExpArgs};
+use laca_eval::harness::{evaluate_parallel, sample_seeds};
+use laca_eval::methods::MethodSpec;
+use laca_eval::table::{fmt3, Table};
+use laca_eval::EvalComputeConfig;
+use laca_graph::datasets::NON_ATTRIBUTED_NAMES;
+
+fn main() {
+    let args = ExpArgs::parse(25);
+    let names = args.dataset_names(&NON_ATTRIBUTED_NAMES);
+    let cfg = EvalComputeConfig::default();
+    let methods = [
+        MethodSpec::PrNibble,
+        MethodSpec::HkRelax,
+        MethodSpec::Crd,
+        MethodSpec::PNormFd,
+        MethodSpec::LacaWoSnas,
+    ];
+    // Print the dataset statistics first (Table VIII).
+    let mut stats_table = Table::new(&["Dataset", "n", "m", "|Ys|"]);
+    let mut headers = vec!["Method".to_string()];
+    headers.extend(names.iter().cloned());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    let mut rows: Vec<Vec<String>> = methods.iter().map(|m| vec![m.label()]).collect();
+    for name in &names {
+        let ds = load_dataset(name, args.scale);
+        let st = ds.stats();
+        stats_table.add_row(vec![
+            name.clone(),
+            st.n.to_string(),
+            st.m.to_string(),
+            format!("{:.0}", st.avg_cluster_size),
+        ]);
+        let seeds = sample_seeds(&ds, args.seeds, 0x7AB9);
+        for (row, spec) in methods.iter().enumerate() {
+            let cell = match spec.prepare(&ds, &cfg) {
+                Ok(prepared) => {
+                    let out = evaluate_parallel(&prepared, &ds, &seeds);
+                    eprintln!("[{name}] {:<16} precision {:.3}", out.label, out.avg_precision);
+                    fmt3(out.avg_precision)
+                }
+                Err(e) => {
+                    eprintln!("[{name}] {} failed: {e}", spec.label());
+                    "err".into()
+                }
+            };
+            rows[row].push(cell);
+        }
+    }
+    for row in rows {
+        table.add_row(row);
+    }
+    banner("Table VIII analogue: non-attributed dataset statistics");
+    println!("{}", stats_table.render());
+    banner("Table IX analogue: precision on non-attributed graphs");
+    println!("{}", table.render());
+    table.write_csv(&args.out_dir.join("table9_nonattr.csv")).expect("write csv");
+}

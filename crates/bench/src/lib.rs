@@ -1,0 +1,114 @@
+//! Shared plumbing for the experiment binaries (one binary per paper table
+//! or figure; see DESIGN.md §4 for the index).
+//!
+//! Every binary accepts:
+//!
+//! * `--seeds N` — seed nodes per dataset (paper: 500; defaults here are
+//!   smaller so the whole suite finishes on a laptop),
+//! * `--scale X` — multiplier on the registry's default dataset scale
+//!   factors (1.0 = the documented defaults; see EXPERIMENTS.md),
+//! * `--datasets a,b,c` — restrict to named datasets,
+//! * `--out DIR` — also write CSVs (default `results/`).
+
+use laca_graph::datasets::{by_name, default_scale};
+use laca_graph::AttributedDataset;
+use std::path::PathBuf;
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Seeds per dataset.
+    pub seeds: usize,
+    /// Multiplier applied to the default dataset scale factors.
+    pub scale: f64,
+    /// Dataset-name filter (empty = binary's default set).
+    pub datasets: Vec<String>,
+    /// CSV output directory.
+    pub out_dir: PathBuf,
+    /// Free-form parameter selector (e.g. `--param alpha`).
+    pub param: Option<String>,
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args`, with a default seed count per binary.
+    pub fn parse(default_seeds: usize) -> ExpArgs {
+        let mut out = ExpArgs {
+            seeds: default_seeds,
+            scale: 1.0,
+            datasets: Vec::new(),
+            out_dir: PathBuf::from("results"),
+            param: None,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let take = |i: &mut usize| -> Option<String> {
+                *i += 1;
+                args.get(*i).cloned()
+            };
+            match args[i].as_str() {
+                "--seeds" => {
+                    if let Some(v) = take(&mut i) {
+                        out.seeds = v.parse().unwrap_or(out.seeds);
+                    }
+                }
+                "--scale" => {
+                    if let Some(v) = take(&mut i) {
+                        out.scale = v.parse().unwrap_or(out.scale);
+                    }
+                }
+                "--datasets" => {
+                    if let Some(v) = take(&mut i) {
+                        out.datasets = v.split(',').map(|s| s.trim().to_string()).collect();
+                    }
+                }
+                "--out" => {
+                    if let Some(v) = take(&mut i) {
+                        out.out_dir = PathBuf::from(v);
+                    }
+                }
+                "--param" => {
+                    out.param = take(&mut i);
+                }
+                other => {
+                    eprintln!("warning: ignoring unknown argument {other}");
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// The dataset list to use: the CLI filter, or the given default.
+    pub fn dataset_names(&self, default: &[&str]) -> Vec<String> {
+        if self.datasets.is_empty() {
+            default.iter().map(|s| s.to_string()).collect()
+        } else {
+            self.datasets.clone()
+        }
+    }
+}
+
+/// Generates a registry dataset at `default_scale × extra_scale`.
+pub fn load_dataset(name: &str, extra_scale: f64) -> AttributedDataset {
+    let scale = default_scale(name) * extra_scale;
+    let spec = by_name(name, scale)
+        .unwrap_or_else(|| panic!("unknown dataset '{name}' (see laca_graph::datasets)"));
+    let t0 = std::time::Instant::now();
+    let ds = spec.generate(format!("{name}-like")).expect("dataset generation failed");
+    let stats = ds.stats();
+    eprintln!(
+        "[gen] {name}: n={} m={} d={} |Ys|~{:.0} ({:.1}s)",
+        stats.n,
+        stats.m,
+        stats.dim,
+        stats.avg_cluster_size,
+        t0.elapsed().as_secs_f64()
+    );
+    ds
+}
+
+/// Prints a section header in the experiment binaries' output.
+pub fn banner(title: &str) {
+    println!("\n==== {title} ====");
+}

@@ -1,0 +1,141 @@
+//! The GNN connection (Section V-C).
+//!
+//! Lemma V.6: the closed-form solution of graph-signal denoising is the
+//! smoother `H = Σ_{ℓ≥0} (1−α)·αˡ·Pˡ·H◦`. With `H◦ = Z` (the TNAM) and the
+//! factorized SNAS, the paper shows `ρ_t = h⁽ˢ⁾ · h⁽ᵗ⁾` — LACA computes a
+//! K-NN over GNN-style embeddings without materializing them. This module
+//! materializes them (densely, truncated) so tests can verify the identity
+//! and examples can demonstrate it.
+
+use crate::Tnam;
+use laca_graph::{CsrGraph, NodeId};
+use laca_linalg::DenseMatrix;
+
+/// Computes the smoothed embeddings `H = Σ_{ℓ=0}^{L} (1−α)·αˡ·Pˡ·Z`
+/// densely, truncating once the tail weight `α^{L+1}` drops below `tol`.
+///
+/// `O(L · m · k)` — a reference implementation for verification, not a
+/// local algorithm.
+pub fn smooth_embeddings(graph: &CsrGraph, tnam: &Tnam, alpha: f64, tol: f64) -> DenseMatrix {
+    let n = graph.n();
+    let k = tnam.width();
+    // cur = Pˡ·Z rows, initialized to Z.
+    let mut cur = DenseMatrix::zeros(n, k);
+    for i in 0..n {
+        tnam.accumulate_into(cur.row_mut(i), i, 1.0);
+    }
+    let mut h = DenseMatrix::zeros(n, k);
+    let mut weight = 1.0 - alpha;
+    let mut tail = 1.0;
+    while tail > tol {
+        for i in 0..n {
+            let crow: Vec<f64> = cur.row(i).to_vec();
+            let hrow = h.row_mut(i);
+            for (hv, cv) in hrow.iter_mut().zip(&crow) {
+                *hv += weight * cv;
+            }
+        }
+        // cur ← P·cur: (P·cur)[i] = Σ_j (w_ij / d(i)) · cur[j].
+        let mut next = DenseMatrix::zeros(n, k);
+        for i in 0..n {
+            let d = graph.weighted_degree(i as NodeId);
+            let mut acc = vec![0.0; k];
+            for (j, w) in graph.edges_of(i as NodeId) {
+                let share = w / d;
+                for (a, &v) in acc.iter_mut().zip(cur.row(j as usize)) {
+                    *a += share * v;
+                }
+            }
+            next.row_mut(i).copy_from_slice(&acc);
+        }
+        cur = next;
+        weight *= alpha;
+        tail *= alpha;
+    }
+    h
+}
+
+/// The BDD value predicted by the GNN identity: `ρ_t = h⁽ˢ⁾ · h⁽ᵗ⁾`.
+pub fn bdd_from_embeddings(h: &DenseMatrix, s: NodeId, t: NodeId) -> f64 {
+    laca_linalg::dense::dot(h.row(s as usize), h.row(t as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_bdd_with_tnam;
+    use crate::tnam::TnamConfig;
+    use crate::MetricFn;
+    use laca_graph::AttributeMatrix;
+
+    fn setup() -> (CsrGraph, Tnam) {
+        let g = CsrGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
+        )
+        .unwrap();
+        let x = AttributeMatrix::from_rows(
+            4,
+            &[
+                vec![(0, 1.0), (1, 0.5)],
+                vec![(0, 1.0)],
+                vec![(1, 1.0)],
+                vec![(2, 1.0)],
+                vec![(2, 1.0), (3, 0.5)],
+                vec![(3, 1.0)],
+            ],
+        )
+        .unwrap();
+        let tnam = Tnam::build(&x, &TnamConfig::new(4, MetricFn::Cosine)).unwrap();
+        (g, tnam)
+    }
+
+    #[test]
+    fn gnn_identity_matches_exact_bdd() {
+        // Section V-C: ρ_t = h⁽ˢ⁾·h⁽ᵗ⁾ when Eq. 10 holds. The max(·,0)
+        // clamp in exact_bdd_with_tnam is inactive here because cosine
+        // TNAM entries are non-negative for non-negative attributes.
+        let (g, tnam) = setup();
+        let h = smooth_embeddings(&g, &tnam, 0.8, 1e-12);
+        for s in 0..6u32 {
+            let rho = exact_bdd_with_tnam(&g, &tnam, s, 0.8, 1e-14);
+            for t in 0..6u32 {
+                let via_gnn = bdd_from_embeddings(&h, s, t);
+                assert!(
+                    (rho[t as usize] - via_gnn).abs() < 1e-6,
+                    "s={s} t={t}: {} vs {via_gnn}",
+                    rho[t as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn embeddings_of_adjacent_nodes_are_smoothed_together() {
+        let (g, tnam) = setup();
+        let h_raw = smooth_embeddings(&g, &tnam, 0.95, 1e-12);
+        // Strong smoothing (α→1) pulls all rows toward a common direction:
+        // cosine between any two rows should be high.
+        let cos = |a: &[f64], b: &[f64]| {
+            let d = laca_linalg::dense::dot(a, b);
+            let na = laca_linalg::dense::norm2(a);
+            let nb = laca_linalg::dense::norm2(b);
+            d / (na * nb)
+        };
+        assert!(cos(h_raw.row(0), h_raw.row(3)) > 0.5);
+    }
+
+    #[test]
+    fn zero_alpha_returns_initial_features() {
+        // α→0: H = (1−α)·Z + O(α) ≈ Z.
+        let (g, tnam) = setup();
+        let h = smooth_embeddings(&g, &tnam, 1e-9, 1e-12);
+        for i in 0..6 {
+            for j in 0..6 {
+                let expect = tnam.s_approx(i, j);
+                let got = laca_linalg::dense::dot(h.row(i), h.row(j));
+                assert!((got - expect).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! The LACA algorithm (Algo. 4): three-step online BDD estimation.
+//!
+//! 1. **Estimate RWR** — `π' = AdaptiveDiffuse(P, α, σ, ε, 1⁽ˢ⁾)`;
+//! 2. **RWR–SNAS vector** — `ψ = Σ_{i∈supp(π')} π'_i · z⁽ⁱ⁾` (Eq. 12), then
+//!    `φ'_i = (ψ · z⁽ⁱ⁾) · d(v_i)` on `supp(π')` (Eq. 13);
+//! 3. **Estimate BDD** — `ρ' = AdaptiveDiffuse(P, α, σ, ε·‖φ'‖₁, φ')`,
+//!    then divide each entry by its degree.
+//!
+//! The predicted local cluster is the top-`|Cs|` nodes of `ρ'`
+//! (Section II-D). Total time `O(k / ((1−α)·ε))` — Theorem V.4 gives the
+//! approximation bound, Lemma IV.3 the output-volume bound.
+
+use crate::extract::top_k_cluster;
+use crate::{CoreError, Tnam};
+use laca_diffusion::{adaptive_diffuse, greedy_diffuse, nongreedy_diffuse, DiffusionParams, DiffusionStats, SparseVec};
+use laca_graph::{CsrGraph, NodeId};
+
+/// Which diffusion solver Algo. 4 invokes (the "w/o AdaptiveDiffuse"
+/// ablation of Table VI swaps in GreedyDiffuse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiffusionBackend {
+    /// Algo. 2 (the paper's choice).
+    #[default]
+    Adaptive,
+    /// Algo. 1 (ablation).
+    Greedy,
+    /// Pure Eq. 17 iteration (reference; no locality bound).
+    NonGreedy,
+}
+
+/// LACA query parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LacaParams {
+    /// RWR continue probability `α ∈ (0, 1)`; the paper's sweeps favor 0.8–0.9.
+    pub alpha: f64,
+    /// Diffusion threshold `ε`; output volume and cost are `O(1/ε)`.
+    pub epsilon: f64,
+    /// Greedy/non-greedy balance `σ ∈ [0, 1]` of AdaptiveDiffuse.
+    pub sigma: f64,
+    /// Diffusion solver selection.
+    pub backend: DiffusionBackend,
+    /// `false` disables attribute information entirely — the
+    /// "LACA (w/o SNAS)" configuration, where the BDD degenerates to the
+    /// CoSimRank-style topology-only measure (Section II-C remark).
+    pub use_snas: bool,
+}
+
+impl LacaParams {
+    /// Paper-typical defaults: `α = 0.8`, `σ = 0.1`.
+    pub fn new(epsilon: f64) -> Self {
+        LacaParams { alpha: 0.8, epsilon, sigma: 0.1, backend: DiffusionBackend::Adaptive, use_snas: true }
+    }
+
+    /// Sets `α`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets `σ`.
+    pub fn with_sigma(mut self, sigma: f64) -> Self {
+        self.sigma = sigma;
+        self
+    }
+
+    /// Selects the diffusion backend.
+    pub fn with_backend(mut self, backend: DiffusionBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Disables the SNAS (topology-only BDD).
+    pub fn without_snas(mut self) -> Self {
+        self.use_snas = false;
+        self
+    }
+}
+
+/// Telemetry from one LACA query.
+#[derive(Debug, Clone, Default)]
+pub struct LacaQueryStats {
+    /// Stats of the Step-1 RWR diffusion.
+    pub rwr: DiffusionStats,
+    /// Stats of the Step-3 BDD diffusion.
+    pub bdd: DiffusionStats,
+    /// `|supp(π')|`.
+    pub rwr_support: usize,
+    /// `‖φ'‖₁` fed to Step 3.
+    pub phi_l1: f64,
+}
+
+/// A LACA instance bound to a graph and (optionally) a prebuilt TNAM.
+///
+/// The TNAM is the reusable preprocessing artifact: build it once per
+/// dataset ([`Tnam::build`]), then answer any number of seed queries.
+#[derive(Debug, Clone)]
+pub struct Laca<'g> {
+    graph: &'g CsrGraph,
+    tnam: Option<&'g Tnam>,
+    params: LacaParams,
+}
+
+impl<'g> Laca<'g> {
+    /// Creates a query engine. `tnam = None` is only valid together with
+    /// `params.use_snas = false`.
+    pub fn new(
+        graph: &'g CsrGraph,
+        tnam: Option<&'g Tnam>,
+        params: LacaParams,
+    ) -> Result<Self, CoreError> {
+        if params.use_snas {
+            match tnam {
+                None => return Err(CoreError::NoAttributes),
+                Some(t) if t.n() != graph.n() => {
+                    return Err(CoreError::BadParameter("TNAM size does not match graph"))
+                }
+                _ => {}
+            }
+        }
+        Ok(Laca { graph, tnam, params })
+    }
+
+    /// The graph this engine queries.
+    pub fn graph(&self) -> &CsrGraph {
+        self.graph
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &LacaParams {
+        &self.params
+    }
+
+    fn diffuse(
+        &self,
+        f: &SparseVec,
+        epsilon: f64,
+    ) -> Result<laca_diffusion::DiffusionResult, CoreError> {
+        let dp = DiffusionParams {
+            alpha: self.params.alpha,
+            epsilon,
+            sigma: self.params.sigma,
+            record_residuals: false,
+        };
+        let out = match self.params.backend {
+            DiffusionBackend::Adaptive => adaptive_diffuse(self.graph, f, &dp)?,
+            DiffusionBackend::Greedy => greedy_diffuse(self.graph, f, &dp)?,
+            DiffusionBackend::NonGreedy => nongreedy_diffuse(self.graph, f, &dp)?,
+        };
+        Ok(out)
+    }
+
+    /// Approximate BDD vector `ρ'` for a seed node, with telemetry.
+    pub fn bdd_with_stats(&self, seed: NodeId) -> Result<(SparseVec, LacaQueryStats), CoreError> {
+        if seed as usize >= self.graph.n() {
+            return Err(CoreError::BadParameter("seed node out of range"));
+        }
+        let mut stats = LacaQueryStats::default();
+
+        // Step 1: π' = AdaptiveDiffuse(1⁽ˢ⁾).
+        let rwr = self.diffuse(&SparseVec::unit(seed), self.params.epsilon)?;
+        stats.rwr = rwr.stats.clone();
+        stats.rwr_support = rwr.reserve.support_size();
+        let pi = rwr.reserve;
+
+        // Step 2: φ'.
+        let phi = match (self.params.use_snas, self.tnam) {
+            (true, Some(tnam)) => {
+                let mut psi = tnam.new_accumulator();
+                for (i, v) in pi.iter() {
+                    tnam.accumulate_into(&mut psi, i as usize, v);
+                }
+                let mut phi = SparseVec::new();
+                for (i, _) in pi.iter() {
+                    // Random-feature noise can push ψ·z⁽ⁱ⁾ slightly below
+                    // zero; clamp so Step 3's input stays a valid
+                    // non-negative diffusion vector.
+                    let val = tnam.dot_row(&psi, i as usize).max(0.0)
+                        * self.graph.weighted_degree(i);
+                    phi.set(i, val);
+                }
+                phi
+            }
+            _ => {
+                // w/o SNAS: s(v_i, v_j) = [i = j], so φ'_i = π'_i · d(v_i).
+                let mut phi = SparseVec::new();
+                for (i, v) in pi.iter() {
+                    phi.set(i, v * self.graph.weighted_degree(i));
+                }
+                phi
+            }
+        };
+        let phi_l1 = phi.l1_norm();
+        stats.phi_l1 = phi_l1;
+        if phi_l1 == 0.0 {
+            return Ok((SparseVec::new(), stats));
+        }
+
+        // Step 3: diffuse φ' with threshold ε·‖φ'‖₁, then divide by degree.
+        let bdd = self.diffuse(&phi, self.params.epsilon * phi_l1)?;
+        stats.bdd = bdd.stats.clone();
+        let mut rho = SparseVec::new();
+        for (i, v) in bdd.reserve.iter() {
+            rho.set(i, v / self.graph.weighted_degree(i));
+        }
+        Ok((rho, stats))
+    }
+
+    /// Approximate BDD vector `ρ'` for a seed node.
+    pub fn bdd(&self, seed: NodeId) -> Result<SparseVec, CoreError> {
+        Ok(self.bdd_with_stats(seed)?.0)
+    }
+
+    /// Predicted local cluster: the `size` nodes with the largest BDD
+    /// values (the seed is always included).
+    pub fn cluster(&self, seed: NodeId, size: usize) -> Result<Vec<NodeId>, CoreError> {
+        let rho = self.bdd(seed)?;
+        Ok(top_k_cluster(&rho, seed, size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_bdd_with_tnam;
+    use crate::tnam::TnamConfig;
+    use crate::MetricFn;
+    use laca_graph::gen::{AttributeSpec, AttributedGraphSpec};
+    use laca_graph::AttributedDataset;
+
+    fn dataset() -> AttributedDataset {
+        AttributedGraphSpec {
+            n: 200,
+            n_clusters: 4,
+            avg_degree: 8.0,
+            p_intra: 0.85,
+            missing_intra: 0.05,
+            degree_exponent: 2.5,
+            cluster_size_skew: 0.2,
+            attributes: Some(AttributeSpec { dim: 64, topic_words: 12, tokens_per_node: 25, attr_noise: 0.2 }),
+            seed: 77,
+        }
+        .generate("laca-test")
+        .unwrap()
+    }
+
+    #[test]
+    fn bdd_satisfies_theorem_v4_bound() {
+        // When Eq. 10 holds (s := z·z from the TNAM itself), Theorem V.4:
+        // 0 ≤ ρ_t − ρ'_t ≤ (1 + Σ_i d_i · max_j s(i,j)) · ε.
+        let ds = dataset();
+        let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(16, MetricFn::Cosine)).unwrap();
+        let eps = 1e-4;
+        let params = LacaParams::new(eps);
+        let engine = Laca::new(&ds.graph, Some(&tnam), params).unwrap();
+        let seed = 3;
+        let rho_approx = engine.bdd(seed).unwrap();
+        let rho_exact = exact_bdd_with_tnam(&ds.graph, &tnam, seed, 0.8, 1e-12);
+        // Slack term of the bound.
+        let mut slack = 1.0;
+        for i in 0..ds.graph.n() {
+            let max_s = (0..ds.graph.n())
+                .map(|j| tnam.s_approx(i, j))
+                .fold(0.0f64, f64::max);
+            slack += ds.graph.weighted_degree(i as u32) * max_s;
+        }
+        let bound = slack * eps;
+        for t in 0..ds.graph.n() as NodeId {
+            let gap = rho_exact[t as usize] - rho_approx.get(t);
+            assert!(gap >= -1e-8, "t={t}: ρ'_t exceeds ρ_t by {}", -gap);
+            assert!(gap <= bound + 1e-8, "t={t}: gap {gap} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn cluster_recovers_planted_community() {
+        let ds = dataset();
+        let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(16, MetricFn::Cosine)).unwrap();
+        let engine = Laca::new(&ds.graph, Some(&tnam), LacaParams::new(1e-5)).unwrap();
+        let seed = 0;
+        let truth = ds.ground_truth(seed);
+        let cluster = engine.cluster(seed, truth.len()).unwrap();
+        let truth_set: std::collections::HashSet<_> = truth.iter().copied().collect();
+        let hits = cluster.iter().filter(|v| truth_set.contains(v)).count();
+        let precision = hits as f64 / cluster.len() as f64;
+        assert!(precision > 0.7, "precision {precision}");
+        assert!(cluster.contains(&seed));
+    }
+
+    #[test]
+    fn exp_cosine_variant_also_recovers_community() {
+        let ds = dataset();
+        let tnam =
+            Tnam::build(&ds.attributes, &TnamConfig::new(16, MetricFn::ExpCosine { delta: 1.0 }))
+                .unwrap();
+        let engine = Laca::new(&ds.graph, Some(&tnam), LacaParams::new(1e-5)).unwrap();
+        let seed = 10;
+        let truth = ds.ground_truth(seed);
+        let cluster = engine.cluster(seed, truth.len()).unwrap();
+        let truth_set: std::collections::HashSet<_> = truth.iter().copied().collect();
+        let precision =
+            cluster.iter().filter(|v| truth_set.contains(v)).count() as f64 / cluster.len() as f64;
+        assert!(precision > 0.6, "precision {precision}");
+    }
+
+    #[test]
+    fn without_snas_matches_identity_snas_semantics() {
+        let ds = dataset();
+        let engine =
+            Laca::new(&ds.graph, None, LacaParams::new(1e-5).without_snas()).unwrap();
+        let rho = engine.bdd(5).unwrap();
+        assert!(!rho.is_empty());
+        // Seed should be among its own top nodes.
+        let ranked = rho.to_ranked_pairs();
+        let pos = ranked.iter().position(|&(v, _)| v == 5).unwrap();
+        assert!(pos < 20, "seed ranked at {pos}");
+    }
+
+    #[test]
+    fn support_is_bounded_by_lemma_iv3() {
+        let ds = dataset();
+        let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(8, MetricFn::Cosine)).unwrap();
+        let eps = 1e-3;
+        let engine = Laca::new(&ds.graph, Some(&tnam), LacaParams::new(eps)).unwrap();
+        let (rho, stats) = engine.bdd_with_stats(1).unwrap();
+        // Step 3 ran with threshold ε·‖φ'‖₁ on input of mass ‖φ'‖₁, so its
+        // support is ≤ 2/( (1−α)·ε ) regardless of ‖φ'‖₁.
+        let cap = 2.0 / ((1.0 - 0.8) * eps);
+        assert!((rho.support_size() as f64) <= cap, "support {}", rho.support_size());
+        assert!(stats.rwr_support > 0);
+        assert!(stats.phi_l1 > 0.0);
+    }
+
+    #[test]
+    fn greedy_backend_is_usable_but_not_better() {
+        let ds = dataset();
+        let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(8, MetricFn::Cosine)).unwrap();
+        let adaptive = Laca::new(&ds.graph, Some(&tnam), LacaParams::new(1e-5)).unwrap();
+        let greedy = Laca::new(
+            &ds.graph,
+            Some(&tnam),
+            LacaParams::new(1e-5).with_backend(DiffusionBackend::Greedy),
+        )
+        .unwrap();
+        let (_, sa) = adaptive.bdd_with_stats(2).unwrap();
+        let (_, sg) = greedy.bdd_with_stats(2).unwrap();
+        assert!(sa.rwr.iterations <= sg.rwr.iterations);
+    }
+
+    #[test]
+    fn rejects_inconsistent_construction() {
+        let ds = dataset();
+        // use_snas without a TNAM.
+        assert!(Laca::new(&ds.graph, None, LacaParams::new(1e-4)).is_err());
+        // Seed out of range.
+        let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(8, MetricFn::Cosine)).unwrap();
+        let engine = Laca::new(&ds.graph, Some(&tnam), LacaParams::new(1e-4)).unwrap();
+        assert!(engine.bdd(10_000).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! LACA — *Adaptive Local Clustering over Attributed Graphs* (ICDE 2025).
+//!
+//! This crate implements the paper's primary contribution:
+//!
+//! * [`snas`] — the symmetric normalized attribute similarity (Eq. 1–4),
+//!   with exact reference computations plus the Jaccard and Pearson
+//!   alternatives of the Table XI ablation,
+//! * [`tnam`] — the transformed node-attribute matrix `Z` with
+//!   `s(v_i, v_j) = z⁽ⁱ⁾ · z⁽ʲ⁾` (Algo. 3), via randomized k-SVD and
+//!   orthogonal random features,
+//! * [`laca`] — the three-step online algorithm (Algo. 4) estimating the
+//!   bidirectional diffusion distribution (BDD, Eq. 5),
+//! * [`exact`] — dense exact BDD references for correctness tests,
+//! * [`extract`] — top-`|Cs|` and sweep-cut cluster extraction,
+//! * [`variants`] — the ablations of Table VI and the alternative BDD
+//!   estimators of Table X,
+//! * [`gnn`] — the graph-signal-denoising smoother of Section V-C, used to
+//!   verify the GNN connection (`ρ_t = h⁽ˢ⁾ · h⁽ᵗ⁾`).
+
+pub mod exact;
+pub mod extract;
+pub mod gnn;
+pub mod laca;
+pub mod snas;
+pub mod tnam;
+pub mod variants;
+
+pub use laca::{Laca, LacaParams};
+pub use snas::MetricFn;
+pub use tnam::{Tnam, TnamConfig};
+
+/// Errors from LACA construction and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Underlying graph error.
+    Graph(laca_graph::GraphError),
+    /// Underlying linear-algebra error.
+    Linalg(laca_linalg::LinalgError),
+    /// Underlying diffusion error.
+    Diffusion(laca_diffusion::DiffusionError),
+    /// The dataset has no usable attributes for an attribute-dependent
+    /// operation.
+    NoAttributes,
+    /// A parameter was out of range.
+    BadParameter(&'static str),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            CoreError::Diffusion(e) => write!(f, "diffusion error: {e}"),
+            CoreError::NoAttributes => write!(f, "dataset has no attributes"),
+            CoreError::BadParameter(p) => write!(f, "bad parameter: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<laca_graph::GraphError> for CoreError {
+    fn from(e: laca_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<laca_linalg::LinalgError> for CoreError {
+    fn from(e: laca_linalg::LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+impl From<laca_diffusion::DiffusionError> for CoreError {
+    fn from(e: laca_diffusion::DiffusionError) -> Self {
+        CoreError::Diffusion(e)
+    }
+}

@@ -1,0 +1,276 @@
+//! Symmetric Normalized Attribute Similarity (SNAS, Section II-B).
+//!
+//! ```text
+//! s(v_i, v_j) = f(x⁽ⁱ⁾, x⁽ʲ⁾) / ( √Σ_ℓ f(x⁽ⁱ⁾, x⁽ˡ⁾) · √Σ_ℓ f(x⁽ʲ⁾, x⁽ˡ⁾) )   (Eq. 1)
+//! ```
+//!
+//! This module provides *exact* SNAS computation. The cosine variant is
+//! `O(nd)` exact (its denominator is a dot with the column-sum vector); the
+//! exponential-cosine, Jaccard and Pearson variants need `O(n²)` pair
+//! evaluations and are used as references on small graphs and for the
+//! Table XI brute-force ablation — the production path is the TNAM
+//! factorization in [`crate::tnam`].
+
+use crate::CoreError;
+use laca_graph::AttributeMatrix;
+
+/// The metric function `f(·,·)` of Eq. 1 used by the production LACA path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricFn {
+    /// `f = x⁽ⁱ⁾ · x⁽ʲ⁾` (Eq. 2); LACA (C).
+    Cosine,
+    /// `f = exp(x⁽ⁱ⁾ · x⁽ʲ⁾ / δ)` (Eq. 3); LACA (E). `δ` is typically 1 or 2.
+    ExpCosine {
+        /// Sensitivity factor δ.
+        delta: f64,
+    },
+}
+
+impl MetricFn {
+    /// Evaluates `f` on the attribute rows `i`, `j`.
+    pub fn eval(&self, attrs: &AttributeMatrix, i: usize, j: usize) -> f64 {
+        match *self {
+            MetricFn::Cosine => attrs.dot(i, j),
+            MetricFn::ExpCosine { delta } => (attrs.dot(i, j) / delta).exp(),
+        }
+    }
+}
+
+/// The brute-force similarity family for the Table XI ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AltMetricFn {
+    /// Jaccard coefficient over attribute supports (binary attributes).
+    Jaccard,
+    /// Pearson correlation of dense attribute rows, shifted to `[0, 1]`
+    /// (Eq. 1 needs a non-negative `f` for its square roots).
+    Pearson,
+}
+
+/// Exact SNAS oracle: precomputes the Eq. 1 denominators.
+#[derive(Debug, Clone)]
+pub struct ExactSnas {
+    /// `√(Σ_ℓ f(i, ℓ))` per node.
+    inv_sqrt_denom: Vec<f64>,
+    kind: SnasKind,
+}
+
+#[derive(Debug, Clone)]
+enum SnasKind {
+    Metric(MetricFn),
+    Alt(AltMetricFn),
+}
+
+impl ExactSnas {
+    /// Exact SNAS for a production metric. Cosine runs in `O(nnz(X))`;
+    /// exp-cosine in `O(n²)` pair evaluations (small graphs only).
+    pub fn new(attrs: &AttributeMatrix, metric: MetricFn) -> Result<Self, CoreError> {
+        if attrs.is_empty() {
+            return Err(CoreError::NoAttributes);
+        }
+        let n = attrs.n();
+        let denoms: Vec<f64> = match metric {
+            MetricFn::Cosine => {
+                // Σ_ℓ x⁽ⁱ⁾·x⁽ˡ⁾ = x⁽ⁱ⁾ · (Σ_ℓ x⁽ˡ⁾).
+                let ones = vec![1.0; n];
+                let colsum = attrs.mul_transpose_vec(&ones)?;
+                attrs.mul_vec(&colsum)?
+            }
+            MetricFn::ExpCosine { delta } => {
+                if delta <= 0.0 {
+                    return Err(CoreError::BadParameter("delta must be > 0"));
+                }
+                (0..n)
+                    .map(|i| (0..n).map(|l| (attrs.dot(i, l) / delta).exp()).sum())
+                    .collect()
+            }
+        };
+        Ok(ExactSnas {
+            inv_sqrt_denom: to_inv_sqrt(&denoms),
+            kind: SnasKind::Metric(metric),
+        })
+    }
+
+    /// Exact SNAS for a Table XI alternative metric (`O(n²)`).
+    pub fn new_alt(attrs: &AttributeMatrix, metric: AltMetricFn) -> Result<Self, CoreError> {
+        if attrs.is_empty() {
+            return Err(CoreError::NoAttributes);
+        }
+        let n = attrs.n();
+        let denoms: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|l| alt_f(attrs, metric, i, l)).sum())
+            .collect();
+        Ok(ExactSnas { inv_sqrt_denom: to_inv_sqrt(&denoms), kind: SnasKind::Alt(metric) })
+    }
+
+    /// The SNAS value `s(v_i, v_j)` (Eq. 1), in `[0, 1]`.
+    pub fn s(&self, attrs: &AttributeMatrix, i: usize, j: usize) -> f64 {
+        let f = match &self.kind {
+            SnasKind::Metric(m) => m.eval(attrs, i, j),
+            SnasKind::Alt(m) => alt_f(attrs, *m, i, j),
+        };
+        f * self.inv_sqrt_denom[i] * self.inv_sqrt_denom[j]
+    }
+}
+
+fn to_inv_sqrt(denoms: &[f64]) -> Vec<f64> {
+    denoms
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect()
+}
+
+fn alt_f(attrs: &AttributeMatrix, metric: AltMetricFn, i: usize, j: usize) -> f64 {
+    match metric {
+        AltMetricFn::Jaccard => {
+            let (ai, _) = attrs.row(i);
+            let (bi, _) = attrs.row(j);
+            if ai.is_empty() && bi.is_empty() {
+                return 0.0;
+            }
+            let mut inter = 0usize;
+            let mut p = 0usize;
+            let mut q = 0usize;
+            while p < ai.len() && q < bi.len() {
+                match ai[p].cmp(&bi[q]) {
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                    std::cmp::Ordering::Equal => {
+                        inter += 1;
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            let union = ai.len() + bi.len() - inter;
+            if union == 0 {
+                0.0
+            } else {
+                inter as f64 / union as f64
+            }
+        }
+        AltMetricFn::Pearson => {
+            // Pearson over dense rows, mapped from [-1, 1] to [0, 1].
+            let d = attrs.dim() as f64;
+            if d < 2.0 {
+                return 0.0;
+            }
+            let (ai, av) = attrs.row(i);
+            let (bi, bv) = attrs.row(j);
+            let mean_a: f64 = av.iter().sum::<f64>() / d;
+            let mean_b: f64 = bv.iter().sum::<f64>() / d;
+            // Work with the sparse identity Σ(x-mx)(y-my) =
+            // Σ x·y − d·mx·my (zeros contribute (0−m) products).
+            let dotp = attrs.dot(i, j);
+            let cov = dotp - d * mean_a * mean_b;
+            let var_a: f64 = av.iter().map(|v| v * v).sum::<f64>() - d * mean_a * mean_a;
+            let var_b: f64 = bv.iter().map(|v| v * v).sum::<f64>() - d * mean_b * mean_b;
+            let _ = (ai, bi);
+            if var_a <= 0.0 || var_b <= 0.0 {
+                return 0.0;
+            }
+            let r = cov / (var_a.sqrt() * var_b.sqrt());
+            (r.clamp(-1.0, 1.0) + 1.0) / 2.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs() -> AttributeMatrix {
+        AttributeMatrix::from_rows(
+            6,
+            &[
+                vec![(0, 1.0), (1, 1.0)],
+                vec![(0, 1.0), (2, 1.0)],
+                vec![(3, 1.0), (4, 1.0)],
+                vec![(3, 1.0), (4, 1.0), (5, 1.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn snas_is_symmetric_and_in_range() {
+        let x = attrs();
+        for metric in [MetricFn::Cosine, MetricFn::ExpCosine { delta: 1.0 }] {
+            let s = ExactSnas::new(&x, metric).unwrap();
+            for i in 0..4 {
+                for j in 0..4 {
+                    let v = s.s(&x, i, j);
+                    let w = s.s(&x, j, i);
+                    assert!((v - w).abs() < 1e-12, "asymmetry at ({i},{j})");
+                    assert!((0.0..=1.0 + 1e-12).contains(&v), "s({i},{j}) = {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn similar_nodes_have_higher_snas() {
+        let x = attrs();
+        let s = ExactSnas::new(&x, MetricFn::Cosine).unwrap();
+        // Rows 2 and 3 share attributes; rows 0 and 2 share none.
+        assert!(s.s(&x, 2, 3) > s.s(&x, 0, 2));
+        assert_eq!(s.s(&x, 0, 2), 0.0);
+    }
+
+    #[test]
+    fn cosine_denominator_matches_brute_force() {
+        let x = attrs();
+        let s = ExactSnas::new(&x, MetricFn::Cosine).unwrap();
+        for i in 0..4 {
+            let denom: f64 = (0..4).map(|l| x.dot(i, l)).sum();
+            let expect = 1.0 / denom.sqrt();
+            assert!((s.inv_sqrt_denom[i] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exp_cosine_softmax_property() {
+        // Eq. 4 is a softmax variant: identical attribute rows give the
+        // maximal s among a node's pairs.
+        let x = attrs();
+        let s = ExactSnas::new(&x, MetricFn::ExpCosine { delta: 1.0 }).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(s.s(&x, i, j) <= s.s(&x, i, i).max(s.s(&x, j, j)) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_alt_metric() {
+        let x = attrs();
+        // Supports: {0,1}, {0,2}, {3,4}, {3,4,5}.
+        assert!((alt_f(&x, AltMetricFn::Jaccard, 0, 1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((alt_f(&x, AltMetricFn::Jaccard, 2, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(alt_f(&x, AltMetricFn::Jaccard, 0, 2), 0.0);
+        let s = ExactSnas::new_alt(&x, AltMetricFn::Jaccard).unwrap();
+        assert!(s.s(&x, 2, 3) > s.s(&x, 0, 3));
+    }
+
+    #[test]
+    fn pearson_alt_metric_detects_correlation() {
+        let x = attrs();
+        let same = alt_f(&x, AltMetricFn::Pearson, 2, 3);
+        let diff = alt_f(&x, AltMetricFn::Pearson, 0, 2);
+        assert!(same > diff, "same {same} diff {diff}");
+        let self_corr = alt_f(&x, AltMetricFn::Pearson, 0, 0);
+        assert!((self_corr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_empty_attributes() {
+        let x = AttributeMatrix::empty(3);
+        assert!(ExactSnas::new(&x, MetricFn::Cosine).is_err());
+        assert!(ExactSnas::new_alt(&x, AltMetricFn::Jaccard).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_delta() {
+        let x = attrs();
+        assert!(ExactSnas::new(&x, MetricFn::ExpCosine { delta: 0.0 }).is_err());
+    }
+}

@@ -1,0 +1,384 @@
+//! Transformed node-attribute matrix `Z` (TNAM, Algo. 3).
+//!
+//! The goal is a factorization `s(v_i, v_j) = z⁽ⁱ⁾ · z⁽ʲ⁾` (Eq. 10): first
+//! find `y⁽ⁱ⁾` with `f(v_i, v_j) ≈ y⁽ⁱ⁾ · y⁽ʲ⁾`, then normalize with the
+//! shared sum vector `y* = Σ_ℓ y⁽ˡ⁾` (Eq. 18):
+//!
+//! * **cosine** — `Y = UΛ` from the randomized k-SVD (Lemma V.1);
+//! * **exp-cosine** — orthogonal random features of `UΛ` (Eq. 19, with the
+//!   unbiased scaling; see `laca_linalg::orf`).
+//!
+//! The `use_svd = false` configurations implement the "w/o k-SVD" ablation
+//! of Table VI: cosine keeps `Y = X` in sparse form (so `z⁽ⁱ⁾` is a scaled
+//! sparse row and `ψ` is a `d`-dimensional accumulator); exp-cosine draws
+//! the random features directly from the `d`-dimensional rows.
+
+use crate::{CoreError, MetricFn};
+use laca_graph::AttributeMatrix;
+use laca_linalg::dense::dot;
+use laca_linalg::qr::householder_qr;
+use laca_linalg::random::{chi, gaussian_matrix};
+use laca_linalg::{orf, randomized_svd, DenseMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for [`Tnam::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TnamConfig {
+    /// TNAM dimension `k` (the paper uses 32 by default; Fig. 9(e,f) sweeps
+    /// `{8, 16, 32, 64, 128, d}`).
+    pub k: usize,
+    /// The metric function (LACA (C) vs LACA (E)).
+    pub metric: MetricFn,
+    /// `false` disables the k-SVD (Table VI "w/o k-SVD").
+    pub use_svd: bool,
+    /// Randomized-SVD oversampling (default 8).
+    pub oversample: usize,
+    /// Randomized-SVD power iterations (default 2).
+    pub power_iters: usize,
+    /// RNG seed for the SVD sketch and the random features.
+    pub seed: u64,
+}
+
+impl TnamConfig {
+    /// Paper defaults: `k = 32`, cosine metric.
+    pub fn new(k: usize, metric: MetricFn) -> Self {
+        TnamConfig { k, metric, use_svd: true, oversample: 8, power_iters: 2, seed: 0x7A17 }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disables the k-SVD (ablation).
+    pub fn without_svd(mut self) -> Self {
+        self.use_svd = false;
+        self
+    }
+}
+
+/// Row storage of `Z`.
+#[derive(Debug, Clone)]
+enum Rows {
+    /// Dense `n × width` matrix of `z` rows.
+    Dense(DenseMatrix),
+    /// `z⁽ⁱ⁾ = scale_i · x⁽ⁱ⁾` over the sparse attribute rows
+    /// (cosine without k-SVD).
+    SparseScaled { attrs: AttributeMatrix, scales: Vec<f64> },
+}
+
+/// The TNAM `Z ∈ R^{n×width}` with `s(v_i, v_j) ≈ z⁽ⁱ⁾ · z⁽ʲ⁾`.
+#[derive(Debug, Clone)]
+pub struct Tnam {
+    rows: Rows,
+    width: usize,
+    n: usize,
+    metric: MetricFn,
+}
+
+impl Tnam {
+    /// Runs Algo. 3. Cost is `O(n·d)` (Lemma V.3) for the SVD
+    /// configurations.
+    pub fn build(attrs: &AttributeMatrix, config: &TnamConfig) -> Result<Self, CoreError> {
+        if attrs.is_empty() {
+            return Err(CoreError::NoAttributes);
+        }
+        if config.k == 0 {
+            return Err(CoreError::BadParameter("k must be >= 1"));
+        }
+        let n = attrs.n();
+        let metric = config.metric;
+        let rows = match (metric, config.use_svd) {
+            (MetricFn::Cosine, true) => {
+                let svd = randomized_svd(attrs, config.k, config.oversample, config.power_iters, config.seed)?;
+                Rows::Dense(normalize_dense(svd.u_sigma())?)
+            }
+            (MetricFn::Cosine, false) => {
+                // y⁽ⁱ⁾ = x⁽ⁱ⁾; y* = Σ_ℓ x⁽ˡ⁾; scale_i = 1/√(x⁽ⁱ⁾·y*).
+                let ones = vec![1.0; n];
+                let ystar = attrs.mul_transpose_vec(&ones)?;
+                let norms = attrs.mul_vec(&ystar)?;
+                let scales = norms
+                    .iter()
+                    .map(|&v| if v > 0.0 { 1.0 / v.sqrt() } else { 0.0 })
+                    .collect();
+                Rows::SparseScaled { attrs: attrs.clone(), scales }
+            }
+            (MetricFn::ExpCosine { delta }, true) => {
+                if delta <= 0.0 {
+                    return Err(CoreError::BadParameter("delta must be > 0"));
+                }
+                let svd = randomized_svd(attrs, config.k, config.oversample, config.power_iters, config.seed)?;
+                let y = orf::orf_exp_features(&svd.u_sigma(), delta, config.seed ^ 0x0F0F)?;
+                Rows::Dense(normalize_dense(y)?)
+            }
+            (MetricFn::ExpCosine { delta }, false) => {
+                if delta <= 0.0 {
+                    return Err(CoreError::BadParameter("delta must be > 0"));
+                }
+                let y = orf_from_sparse(attrs, config.k, delta, config.seed ^ 0x0F0F)?;
+                Rows::Dense(normalize_dense(y)?)
+            }
+        };
+        let width = match &rows {
+            Rows::Dense(z) => z.cols(),
+            Rows::SparseScaled { attrs, .. } => attrs.dim(),
+        };
+        Ok(Tnam { rows, width, n, metric })
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Width of the `z` rows (`k` for cosine, `2k` for exp-cosine, `d` for
+    /// the sparse ablation).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The metric this TNAM factorizes.
+    pub fn metric(&self) -> MetricFn {
+        self.metric
+    }
+
+    /// Approximate SNAS `s(v_i, v_j) ≈ z⁽ⁱ⁾ · z⁽ʲ⁾` (Eq. 10).
+    pub fn s_approx(&self, i: usize, j: usize) -> f64 {
+        match &self.rows {
+            Rows::Dense(z) => dot(z.row(i), z.row(j)),
+            Rows::SparseScaled { attrs, scales } => scales[i] * scales[j] * attrs.dot(i, j),
+        }
+    }
+
+    /// A zeroed `ψ` accumulator of the right width (Eq. 12).
+    pub fn new_accumulator(&self) -> Vec<f64> {
+        vec![0.0; self.width]
+    }
+
+    /// `acc += coeff · z⁽ⁱ⁾` — one term of Eq. 12.
+    pub fn accumulate_into(&self, acc: &mut [f64], i: usize, coeff: f64) {
+        match &self.rows {
+            Rows::Dense(z) => {
+                for (a, &v) in acc.iter_mut().zip(z.row(i)) {
+                    *a += coeff * v;
+                }
+            }
+            Rows::SparseScaled { attrs, scales } => {
+                let c = coeff * scales[i];
+                let (idx, val) = attrs.row(i);
+                for (&j, &v) in idx.iter().zip(val) {
+                    acc[j as usize] += c * v;
+                }
+            }
+        }
+    }
+
+    /// `ψ · z⁽ⁱ⁾` — the inner product of Eq. 13.
+    pub fn dot_row(&self, acc: &[f64], i: usize) -> f64 {
+        match &self.rows {
+            Rows::Dense(z) => dot(acc, z.row(i)),
+            Rows::SparseScaled { attrs, scales } => {
+                let (idx, val) = attrs.row(i);
+                let mut out = 0.0;
+                for (&j, &v) in idx.iter().zip(val) {
+                    out += acc[j as usize] * v;
+                }
+                out * scales[i]
+            }
+        }
+    }
+}
+
+/// Applies Eq. 18: `z⁽ⁱ⁾ = y⁽ⁱ⁾ / √(y⁽ⁱ⁾ · y*)`. Rows whose normalizer is
+/// non-positive (possible under random-feature noise) are zeroed, which
+/// drops them from all similarity sums rather than amplifying noise.
+fn normalize_dense(y: DenseMatrix) -> Result<DenseMatrix, CoreError> {
+    let n = y.rows();
+    let w = y.cols();
+    let mut ystar = vec![0.0; w];
+    for i in 0..n {
+        for (s, &v) in ystar.iter_mut().zip(y.row(i)) {
+            *s += v;
+        }
+    }
+    let mut z = y;
+    for i in 0..n {
+        let norm = dot(z.row(i), &ystar);
+        let scale = if norm > 0.0 { 1.0 / norm.sqrt() } else { 0.0 };
+        for v in z.row_mut(i) {
+            *v *= scale;
+        }
+    }
+    Ok(z)
+}
+
+/// Orthogonal random features drawn directly from the sparse `d`-dimensional
+/// rows (the "w/o k-SVD" configuration of LACA (E)): frequency rows are the
+/// scaled columns of the QR factor of a `d × k` Gaussian draw.
+fn orf_from_sparse(
+    attrs: &AttributeMatrix,
+    k: usize,
+    delta: f64,
+    seed: u64,
+) -> Result<DenseMatrix, CoreError> {
+    let d = attrs.dim();
+    let n = attrs.n();
+    let k = k.min(d).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gaussian_matrix(d, k, &mut rng);
+    let q = householder_qr(&g).q; // d × k, orthonormal columns
+    let inv_sqrt_delta = 1.0 / delta.sqrt();
+    let mut y_hat = DenseMatrix::zeros(n, k);
+    for c in 0..k {
+        let sigma_c = chi(k, &mut rng);
+        let freq: Vec<f64> = (0..d).map(|r| q.get(r, c) * sigma_c * inv_sqrt_delta).collect();
+        let col = attrs.mul_vec(&freq)?;
+        for (i, &v) in col.iter().enumerate() {
+            y_hat.set(i, c, v);
+        }
+    }
+    let scale = ((1.0 / delta).exp() / k as f64).sqrt();
+    let mut sin = y_hat.map(f64::sin);
+    let mut cos = y_hat.map(f64::cos);
+    sin.scale(scale);
+    cos.scale(scale);
+    Ok(sin.hconcat(&cos)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snas::ExactSnas;
+
+    fn attrs() -> AttributeMatrix {
+        // 8 nodes in two attribute blocks over 10 dims.
+        let mut rows = Vec::new();
+        for i in 0..8u32 {
+            let base = if i < 4 { 0 } else { 5 };
+            rows.push(vec![
+                (base, 2.0),
+                (base + 1, 1.0 + (i % 3) as f64 * 0.5),
+                (base + 2, 0.5),
+            ]);
+        }
+        AttributeMatrix::from_rows(10, &rows).unwrap()
+    }
+
+    #[test]
+    fn cosine_tnam_matches_exact_snas_at_full_rank() {
+        let x = attrs();
+        let cfg = TnamConfig::new(10, MetricFn::Cosine);
+        let t = Tnam::build(&x, &cfg).unwrap();
+        let exact = ExactSnas::new(&x, MetricFn::Cosine).unwrap();
+        for i in 0..8 {
+            for j in 0..8 {
+                let approx = t.s_approx(i, j);
+                let truth = exact.s(&x, i, j);
+                assert!((approx - truth).abs() < 1e-8, "({i},{j}): {approx} vs {truth}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_ablation_matches_exact_snas_exactly() {
+        let x = attrs();
+        let cfg = TnamConfig::new(10, MetricFn::Cosine).without_svd();
+        let t = Tnam::build(&x, &cfg).unwrap();
+        let exact = ExactSnas::new(&x, MetricFn::Cosine).unwrap();
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!((t.s_approx(i, j) - exact.s(&x, i, j)).abs() < 1e-12);
+            }
+        }
+        assert_eq!(t.width(), 10);
+    }
+
+    #[test]
+    fn exp_tnam_approximates_exact_snas() {
+        let x = attrs();
+        let exact = ExactSnas::new(&x, MetricFn::ExpCosine { delta: 1.0 }).unwrap();
+        // Average the stochastic estimator over seeds.
+        let trials = 60;
+        let mut err_acc = 0.0;
+        for t in 0..trials {
+            let cfg = TnamConfig::new(10, MetricFn::ExpCosine { delta: 1.0 }).with_seed(t);
+            let tn = Tnam::build(&x, &cfg).unwrap();
+            let mut worst: f64 = 0.0;
+            for i in 0..8 {
+                for j in 0..8 {
+                    worst = worst.max((tn.s_approx(i, j) - exact.s(&x, i, j)).abs());
+                }
+            }
+            err_acc += worst;
+        }
+        let avg_worst = err_acc / trials as f64;
+        assert!(avg_worst < 0.35, "avg worst-pair error {avg_worst}");
+    }
+
+    #[test]
+    fn accumulator_reproduces_direct_sums() {
+        let x = attrs();
+        for cfg in [
+            TnamConfig::new(6, MetricFn::Cosine),
+            TnamConfig::new(6, MetricFn::Cosine).without_svd(),
+            TnamConfig::new(6, MetricFn::ExpCosine { delta: 2.0 }),
+        ] {
+            let t = Tnam::build(&x, &cfg).unwrap();
+            // ψ = 0.3·z⁽⁰⁾ + 0.7·z⁽³⁾; then ψ·z⁽ʲ⁾ must equal
+            // 0.3·s(0,j) + 0.7·s(3,j).
+            let mut psi = t.new_accumulator();
+            t.accumulate_into(&mut psi, 0, 0.3);
+            t.accumulate_into(&mut psi, 3, 0.7);
+            for j in 0..8 {
+                let via_acc = t.dot_row(&psi, j);
+                let direct = 0.3 * t.s_approx(0, j) + 0.7 * t.s_approx(3, j);
+                assert!((via_acc - direct).abs() < 1e-10, "j={j}: {via_acc} vs {direct}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_structure_is_preserved() {
+        let x = attrs();
+        let t = Tnam::build(&x, &TnamConfig::new(4, MetricFn::Cosine)).unwrap();
+        // Within-block similarity must dominate cross-block (blocks share
+        // no attributes).
+        let within = t.s_approx(0, 1);
+        let cross = t.s_approx(0, 5);
+        assert!(within > cross + 0.05, "within {within} cross {cross}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = attrs();
+        let cfg = TnamConfig::new(5, MetricFn::ExpCosine { delta: 1.0 }).with_seed(9);
+        let a = Tnam::build(&x, &cfg).unwrap();
+        let b = Tnam::build(&x, &cfg).unwrap();
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(a.s_approx(i, j), b.s_approx(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn widths_match_construction() {
+        let x = attrs();
+        let c = Tnam::build(&x, &TnamConfig::new(4, MetricFn::Cosine)).unwrap();
+        assert_eq!(c.width(), 4);
+        let e = Tnam::build(&x, &TnamConfig::new(4, MetricFn::ExpCosine { delta: 1.0 })).unwrap();
+        assert_eq!(e.width(), 8);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let x = attrs();
+        assert!(Tnam::build(&x, &TnamConfig::new(0, MetricFn::Cosine)).is_err());
+        assert!(Tnam::build(&x, &TnamConfig::new(4, MetricFn::ExpCosine { delta: -1.0 })).is_err());
+        let empty = AttributeMatrix::empty(3);
+        assert!(Tnam::build(&empty, &TnamConfig::new(4, MetricFn::Cosine)).is_err());
+    }
+}

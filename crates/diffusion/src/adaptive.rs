@@ -1,0 +1,268 @@
+//! **AdaptiveDiffuse** (Algo. 2) and the pure non-greedy iteration
+//! (Eq. 17) it interleaves with the greedy one.
+//!
+//! The paper's Section IV-B observation: GreedyDiffuse converts only a
+//! small, low-degree moiety of the residual per iteration and so converges
+//! slowly on real graphs, while the non-greedy full-front update
+//! `q += (1−α)·r; r ← α·r·P` shrinks `‖r‖₁` geometrically but costs up to
+//! `vol(supp(r))` per iteration. AdaptiveDiffuse runs non-greedy steps
+//! while (a) the above-threshold fraction `|supp(γ)|/|supp(r)|` exceeds
+//! `σ` and (b) the accumulated non-greedy cost stays below the greedy
+//! budget `‖f‖₁ / ((1−α)ε)`; otherwise it falls back to greedy steps,
+//! preserving Theorem IV.2's guarantee and Lemma IV.3's volume bound.
+
+use crate::greedy::{extract_gamma, push_gamma};
+use crate::{check_input, DiffusionError, DiffusionParams, DiffusionResult, DiffusionStats, SparseVec};
+use laca_graph::CsrGraph;
+
+/// One non-greedy step (Eq. 17): converts `(1−α)` of *all* residual mass
+/// into reserve and pushes the rest. Returns the number of pushes.
+fn nongreedy_step(graph: &CsrGraph, alpha: f64, q: &mut SparseVec, r: &mut SparseVec) -> usize {
+    let mut pushes = 0usize;
+    let old = std::mem::take(r);
+    for (i, v) in old.iter() {
+        q.add(i, (1.0 - alpha) * v);
+        let spread = alpha * v / graph.weighted_degree(i);
+        for (j, w) in graph.edges_of(i) {
+            r.add(j, spread * w);
+            pushes += 1;
+        }
+    }
+    pushes
+}
+
+/// Pure non-greedy diffusion: iterates Eq. 17 until every residual entry is
+/// below the Eq. 15 threshold. This is the "Non-greedy" series of Fig. 5 and
+/// Table II; it satisfies the same Eq. 14 bound but without the
+/// `O(‖f‖₁/((1−α)ε))` work bound (each iteration may cost `O(m)`).
+pub fn nongreedy_diffuse(
+    graph: &CsrGraph,
+    f: &SparseVec,
+    params: &DiffusionParams,
+) -> Result<DiffusionResult, DiffusionError> {
+    params.validate()?;
+    check_input(f)?;
+    let mut r = f.clone();
+    let mut q = SparseVec::new();
+    let mut stats = DiffusionStats::default();
+    loop {
+        let above = r
+            .iter()
+            .any(|(i, v)| v / graph.weighted_degree(i) >= params.epsilon);
+        if !above {
+            break;
+        }
+        stats.iterations += 1;
+        stats.nongreedy_iterations += 1;
+        stats.nongreedy_cost += r.volume(graph);
+        stats.push_operations += nongreedy_step(graph, params.alpha, &mut q, &mut r);
+        if params.record_residuals {
+            stats.residual_history.push(r.l1_norm());
+        }
+    }
+    Ok(DiffusionResult { reserve: q, residual: r, stats })
+}
+
+/// Runs AdaptiveDiffuse (Algo. 2) on `graph` from the initial vector `f`.
+///
+/// Guarantees (Theorem IV.2, Lemma IV.3): the returned reserve satisfies
+/// Eq. 14, runs in `O(max{|supp(f)|, ‖f‖₁/((1−α)ε)})`, and has
+/// `|supp(q)| ≤ vol(q) ≤ β·‖f‖₁/((1−α)ε)` with `β ∈ [1, 2]`
+/// (`β = 1` when `σ ≥ 1`).
+pub fn adaptive_diffuse(
+    graph: &CsrGraph,
+    f: &SparseVec,
+    params: &DiffusionParams,
+) -> Result<DiffusionResult, DiffusionError> {
+    params.validate()?;
+    check_input(f)?;
+    let mut r = f.clone();
+    let mut q = SparseVec::new();
+    let mut stats = DiffusionStats::default();
+    let budget = f.l1_norm() / ((1.0 - params.alpha) * params.epsilon);
+    loop {
+        // Count the above-threshold fraction without yet removing entries.
+        let supp_r = r.support_size();
+        let supp_gamma = r
+            .iter()
+            .filter(|&(i, v)| v / graph.weighted_degree(i) >= params.epsilon)
+            .count();
+        let ratio = if supp_r == 0 { 0.0 } else { supp_gamma as f64 / supp_r as f64 };
+        let vol_r = r.volume(graph);
+        if ratio > params.sigma && stats.nongreedy_cost + vol_r < budget {
+            // Non-greedy branch (Algo. 2 lines 4–6).
+            stats.iterations += 1;
+            stats.nongreedy_iterations += 1;
+            stats.nongreedy_cost += vol_r;
+            stats.push_operations += nongreedy_step(graph, params.alpha, &mut q, &mut r);
+        } else {
+            // Greedy branch (Algo. 2 lines 8–11 = Algo. 1 lines 4–7).
+            let gamma = extract_gamma(graph, &mut r, params.epsilon);
+            if gamma.is_empty() {
+                break;
+            }
+            stats.iterations += 1;
+            stats.greedy_iterations += 1;
+            stats.push_operations += push_gamma(graph, &gamma, params.alpha, &mut q, &mut r);
+        }
+        if params.record_residuals {
+            stats.residual_history.push(r.l1_norm());
+        }
+    }
+    Ok(DiffusionResult { reserve: q, residual: r, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_diffuse;
+    use crate::greedy::greedy_diffuse;
+    use laca_graph::gen::{AttributedGraphSpec, AttributeSpec};
+    use laca_graph::NodeId;
+
+    fn test_graph() -> CsrGraph {
+        AttributedGraphSpec {
+            n: 300,
+            n_clusters: 3,
+            avg_degree: 10.0,
+            p_intra: 0.8,
+            missing_intra: 0.0,
+            degree_exponent: 2.5,
+            cluster_size_skew: 0.2,
+            attributes: Some(AttributeSpec::default_for(32)),
+            seed: 5,
+        }
+        .generate("t")
+        .unwrap()
+        .graph
+    }
+
+    fn assert_eq14(graph: &CsrGraph, f: &SparseVec, out: &DiffusionResult, eps: f64) {
+        let exact = exact_diffuse(graph, f, 0.8, 1e-14);
+        for t in 0..graph.n() as NodeId {
+            let gap = exact[t as usize] - out.reserve.get(t);
+            assert!(gap >= -1e-9, "t={t}: negative gap {gap}");
+            assert!(
+                gap <= eps * graph.weighted_degree(t) + 1e-9,
+                "t={t}: gap {gap} > {}",
+                eps * graph.weighted_degree(t)
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_satisfies_eq14_for_all_sigma() {
+        let g = test_graph();
+        let f = SparseVec::unit(0);
+        for &sigma in &[0.0, 0.1, 0.5, 1.0] {
+            let params = DiffusionParams::new(0.8, 1e-4).with_sigma(sigma);
+            let out = adaptive_diffuse(&g, &f, &params).unwrap();
+            assert_eq14(&g, &f, &out, 1e-4);
+        }
+    }
+
+    #[test]
+    fn nongreedy_satisfies_eq14() {
+        let g = test_graph();
+        let f = SparseVec::unit(7);
+        let params = DiffusionParams::new(0.8, 1e-4);
+        let out = nongreedy_diffuse(&g, &f, &params).unwrap();
+        assert_eq14(&g, &f, &out, 1e-4);
+    }
+
+    #[test]
+    fn sigma_one_matches_greedy_exactly() {
+        // Lemma IV.3: σ ≥ 1 → AdaptiveDiffuse degenerates to GreedyDiffuse.
+        let g = test_graph();
+        let f = SparseVec::unit(3);
+        let params = DiffusionParams::new(0.8, 1e-5).with_sigma(1.0);
+        let adaptive = adaptive_diffuse(&g, &f, &params).unwrap();
+        let greedy = greedy_diffuse(&g, &f, &params).unwrap();
+        assert_eq!(adaptive.stats.nongreedy_iterations, 0);
+        assert_eq!(adaptive.reserve.to_sorted_pairs(), greedy.reserve.to_sorted_pairs());
+    }
+
+    #[test]
+    fn volume_bound_of_lemma_iv3() {
+        let g = test_graph();
+        let f = SparseVec::unit(11);
+        for &(sigma, beta) in &[(0.0, 2.0), (0.1, 2.0), (1.0, 1.0)] {
+            let eps = 1e-3;
+            let alpha = 0.8;
+            let params = DiffusionParams::new(alpha, eps).with_sigma(sigma);
+            let out = adaptive_diffuse(&g, &f, &params).unwrap();
+            let bound = beta * f.l1_norm() / ((1.0 - alpha) * eps);
+            let vol = out.reserve.volume(&g);
+            assert!(
+                vol <= bound + 1e-9,
+                "sigma {sigma}: vol(q) = {vol} exceeds β‖f‖₁/((1−α)ε) = {bound}"
+            );
+            assert!(out.reserve.support_size() as f64 <= vol + 1e-9);
+        }
+    }
+
+    #[test]
+    fn adaptive_converges_faster_than_greedy() {
+        // The whole point of Algo. 2 (Fig. 5): fewer iterations to reach the
+        // same threshold.
+        let g = test_graph();
+        let f = SparseVec::unit(0);
+        let eps = 1e-6;
+        let greedy = greedy_diffuse(&g, &f, &DiffusionParams::new(0.8, eps)).unwrap();
+        let adaptive =
+            adaptive_diffuse(&g, &f, &DiffusionParams::new(0.8, eps).with_sigma(0.1)).unwrap();
+        assert!(
+            adaptive.stats.iterations <= greedy.stats.iterations,
+            "adaptive {} vs greedy {}",
+            adaptive.stats.iterations,
+            greedy.stats.iterations
+        );
+        assert!(adaptive.stats.nongreedy_iterations > 0, "adaptive never used Eq. 17");
+    }
+
+    #[test]
+    fn nongreedy_cost_stays_below_budget() {
+        let g = test_graph();
+        let f = SparseVec::unit(9);
+        let eps = 1e-5;
+        let alpha = 0.8;
+        let params = DiffusionParams::new(alpha, eps).with_sigma(0.0);
+        let out = adaptive_diffuse(&g, &f, &params).unwrap();
+        let budget = f.l1_norm() / ((1.0 - alpha) * eps);
+        assert!(out.stats.nongreedy_cost < budget);
+    }
+
+    #[test]
+    fn reserve_plus_residual_conserves_mass() {
+        let g = test_graph();
+        let f = SparseVec::from_pairs([(0, 0.5), (100, 0.25), (200, 0.25)]);
+        let params = DiffusionParams::new(0.8, 1e-5).with_sigma(0.2);
+        let out = adaptive_diffuse(&g, &f, &params).unwrap();
+        let total = out.reserve.l1_norm() + out.residual.l1_norm();
+        assert!((total - f.l1_norm()).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn final_residual_is_below_threshold_everywhere() {
+        let g = test_graph();
+        let f = SparseVec::unit(42);
+        let eps = 1e-4;
+        let out = adaptive_diffuse(&g, &f, &DiffusionParams::new(0.8, eps)).unwrap();
+        for (i, v) in out.residual.iter() {
+            assert!(v / g.weighted_degree(i) < eps, "node {i} residual {v}");
+        }
+    }
+
+    #[test]
+    fn greedy_and_nongreedy_agree_in_the_limit() {
+        // As ε → 0 both reserves approach the exact diffusion, hence agree.
+        let g = test_graph();
+        let f = SparseVec::unit(1);
+        let eps = 1e-8;
+        let a = adaptive_diffuse(&g, &f, &DiffusionParams::new(0.8, eps)).unwrap();
+        let b = nongreedy_diffuse(&g, &f, &DiffusionParams::new(0.8, eps)).unwrap();
+        for t in 0..g.n() as NodeId {
+            assert!((a.reserve.get(t) - b.reserve.get(t)).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Dense power-iteration references for RWR and RWR-based diffusion.
+//!
+//! These are `O(m · log(1/tol))` and allocate `O(n)` — intentionally
+//! non-local. They serve as ground truth for the Eq. 14 approximation
+//! bound in tests and for the exact-BDD reference in `laca-core`.
+
+use crate::SparseVec;
+use laca_graph::{CsrGraph, NodeId};
+
+/// One step of `x ← x · P` (row-vector times transition matrix).
+fn step(graph: &CsrGraph, x: &[f64], out: &mut [f64]) {
+    out.iter_mut().for_each(|v| *v = 0.0);
+    for i in 0..graph.n() {
+        let xi = x[i];
+        if xi == 0.0 {
+            continue;
+        }
+        let share = xi / graph.weighted_degree(i as NodeId);
+        for (j, w) in graph.edges_of(i as NodeId) {
+            out[j as usize] += share * w;
+        }
+    }
+}
+
+/// Exact diffusion `t ↦ Σ_i f_i · π(v_i, v_t)` by truncated power
+/// iteration: `q = (1−α) Σ_{ℓ≥0} αˡ · f Pˡ`, truncated once the remaining
+/// tail mass `αˡ·‖f‖₁` drops below `tol`.
+pub fn exact_diffuse(graph: &CsrGraph, f: &SparseVec, alpha: f64, tol: f64) -> Vec<f64> {
+    let n = graph.n();
+    let mut cur = f.to_dense(n);
+    let mut next = vec![0.0; n];
+    let mut q = vec![0.0; n];
+    let mut tail = f.l1_norm();
+    while tail > tol {
+        for (qi, ci) in q.iter_mut().zip(&cur) {
+            *qi += (1.0 - alpha) * ci;
+        }
+        step(graph, &cur, &mut next);
+        for v in &mut next {
+            *v *= alpha;
+        }
+        std::mem::swap(&mut cur, &mut next);
+        tail *= alpha;
+    }
+    q
+}
+
+/// Exact RWR vector `π(v_s, ·)` (Eq. 6).
+pub fn exact_rwr(graph: &CsrGraph, source: NodeId, alpha: f64, tol: f64) -> Vec<f64> {
+    exact_diffuse(graph, &SparseVec::unit(source), alpha, tol)
+}
+
+/// Exact RWR *matrix* row by row — `O(n·m)`; only for tiny test graphs.
+pub fn exact_rwr_matrix(graph: &CsrGraph, alpha: f64, tol: f64) -> Vec<Vec<f64>> {
+    (0..graph.n() as NodeId).map(|s| exact_rwr(graph, s, alpha, tol)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> CsrGraph {
+        CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn rwr_is_a_probability_distribution() {
+        let g = triangle_plus_tail();
+        for s in 0..5 {
+            let pi = exact_rwr(&g, s, 0.8, 1e-14);
+            let sum: f64 = pi.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-10, "sum {sum}");
+            assert!(pi.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn rwr_satisfies_degree_symmetry() {
+        // Lemma 1 of [43]: π(i, j)·d(i) = π(j, i)·d(j) on undirected graphs.
+        let g = triangle_plus_tail();
+        let pi = exact_rwr_matrix(&g, 0.7, 1e-14);
+        for i in 0..5usize {
+            for j in 0..5usize {
+                let lhs = pi[i][j] * g.weighted_degree(i as NodeId);
+                let rhs = pi[j][i] * g.weighted_degree(j as NodeId);
+                assert!((lhs - rhs).abs() < 1e-10, "({i},{j}): {lhs} vs {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn restart_mass_stays_at_seed() {
+        // π(s, s) ≥ 1 − α: the walk stops immediately with prob 1 − α.
+        let g = triangle_plus_tail();
+        for s in 0..5 {
+            let pi = exact_rwr(&g, s, 0.8, 1e-14);
+            assert!(pi[s as usize] >= 0.2 - 1e-10);
+        }
+    }
+
+    #[test]
+    fn diffusion_is_linear_in_f() {
+        let g = triangle_plus_tail();
+        let f1 = SparseVec::unit(0);
+        let f2 = SparseVec::unit(3);
+        let combined = SparseVec::from_pairs([(0, 2.0), (3, 1.0)]);
+        let d1 = exact_diffuse(&g, &f1, 0.8, 1e-14);
+        let d2 = exact_diffuse(&g, &f2, 0.8, 1e-14);
+        let dc = exact_diffuse(&g, &combined, 0.8, 1e-14);
+        for t in 0..5 {
+            assert!((dc[t] - (2.0 * d1[t] + d2[t])).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn small_alpha_concentrates_on_support() {
+        let g = triangle_plus_tail();
+        let pi = exact_rwr(&g, 0, 0.1, 1e-14);
+        assert!(pi[0] > 0.9);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests of the diffusion solvers on *weighted* graphs
+//! (the substrate for APR-Nibble/WFD-style edge reweighting): the Eq. 14
+//! bound, mass conservation and greedy/adaptive agreement must all hold
+//! with non-uniform edge weights.
+
+use laca_diffusion::exact::exact_diffuse;
+use laca_diffusion::{adaptive_diffuse, greedy_diffuse, DiffusionParams, SparseVec};
+use laca_graph::{CsrGraph, NodeId};
+use proptest::prelude::*;
+
+/// Connected weighted graph: weighted Hamiltonian backbone + weighted chords.
+fn weighted_graph() -> impl Strategy<Value = CsrGraph> {
+    (4usize..30).prop_flat_map(|n| {
+        let backbone = proptest::collection::vec(0.1f64..5.0, n - 1);
+        let chords = proptest::collection::vec((0..n as u32, 0..n as u32, 0.1f64..5.0), 0..2 * n);
+        (backbone, chords).prop_map(move |(ws, extra)| {
+            let mut edges: Vec<(NodeId, NodeId, f64)> = ws
+                .into_iter()
+                .enumerate()
+                .map(|(i, w)| (i as u32, i as u32 + 1, w))
+                .collect();
+            edges.extend(extra.into_iter().filter(|&(a, b, _)| a != b));
+            // Duplicate pairs keep the first weight (constructor contract).
+            CsrGraph::from_weighted_edges(n, &edges).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn eq14_holds_on_weighted_graphs(
+        g in weighted_graph(),
+        seed_idx in 0usize..1000,
+        eps in 1e-4f64..0.2,
+        sigma in 0.0f64..1.0,
+    ) {
+        let alpha = 0.8;
+        let f = SparseVec::unit((seed_idx % g.n()) as NodeId);
+        let exact = exact_diffuse(&g, &f, alpha, 1e-14);
+        let params = DiffusionParams { alpha, epsilon: eps, sigma, record_residuals: false };
+        let out = adaptive_diffuse(&g, &f, &params).unwrap();
+        for t in 0..g.n() as NodeId {
+            let gap = exact[t as usize] - out.reserve.get(t);
+            prop_assert!(gap >= -1e-9);
+            prop_assert!(gap <= eps * g.weighted_degree(t) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn mass_conservation_on_weighted_graphs(
+        g in weighted_graph(),
+        mass in 0.1f64..3.0,
+    ) {
+        let f = SparseVec::from_pairs([(0, mass)]);
+        let params = DiffusionParams::new(0.7, 1e-3);
+        let out = greedy_diffuse(&g, &f, &params).unwrap();
+        let total = out.reserve.l1_norm() + out.residual.l1_norm();
+        prop_assert!((total - mass).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigma_one_adaptive_equals_greedy_weighted(
+        g in weighted_graph(),
+        seed_idx in 0usize..1000,
+    ) {
+        let f = SparseVec::unit((seed_idx % g.n()) as NodeId);
+        let params = DiffusionParams::new(0.8, 1e-4).with_sigma(1.0);
+        let a = adaptive_diffuse(&g, &f, &params).unwrap();
+        let b = greedy_diffuse(&g, &f, &params).unwrap();
+        prop_assert_eq!(a.reserve.to_sorted_pairs(), b.reserve.to_sorted_pairs());
+    }
+}

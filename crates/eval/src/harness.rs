@@ -1,0 +1,206 @@
+//! Seed sampling and per-method evaluation loops.
+//!
+//! The paper's protocol (Section VI-A): sample 500 random seed nodes per
+//! dataset, run each method with `|Cs| = |Ys|`, and average. The number of
+//! seeds here is configurable (experiment binaries default lower so the
+//! full suite completes on a laptop; pass `--seeds N` to raise it).
+
+use crate::methods::PreparedMethod;
+use crate::{metrics, EvalError};
+use laca_graph::{AttributedDataset, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Samples `count` distinct seed nodes, reproducibly.
+pub fn sample_seeds(ds: &AttributedDataset, count: usize, rng_seed: u64) -> Vec<NodeId> {
+    let n = ds.graph.n();
+    let count = count.min(n);
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut chosen = rustc_hash::FxHashSet::default();
+    let mut seeds = Vec::with_capacity(count);
+    while seeds.len() < count {
+        let v = rng.gen_range(0..n) as NodeId;
+        if chosen.insert(v) {
+            seeds.push(v);
+        }
+    }
+    seeds
+}
+
+/// Aggregated outcome of one method over a set of seeds.
+#[derive(Debug, Clone)]
+pub struct MethodOutcome {
+    /// Table label.
+    pub label: String,
+    /// Preprocessing wall clock.
+    pub prep_time: Duration,
+    /// Mean online wall clock per query.
+    pub avg_online_time: Duration,
+    /// Mean precision at `|Cs| = |Ys|`.
+    pub avg_precision: f64,
+    /// Mean recall.
+    pub avg_recall: f64,
+    /// Mean F1.
+    pub avg_f1: f64,
+    /// Mean conductance of the predicted clusters.
+    pub avg_conductance: f64,
+    /// Mean WCSS of the predicted clusters (0 when non-attributed).
+    pub avg_wcss: f64,
+    /// Queries that errored (excluded from the averages).
+    pub failures: usize,
+    /// Number of evaluated seeds.
+    pub num_seeds: usize,
+}
+
+/// Evaluates one prepared method over the given seeds (sequentially).
+pub fn evaluate(
+    prepared: &PreparedMethod<'_>,
+    ds: &AttributedDataset,
+    seeds: &[NodeId],
+) -> MethodOutcome {
+    let per_seed: Vec<Result<SeedOutcome, EvalError>> =
+        seeds.iter().map(|&s| run_one(prepared, ds, s)).collect();
+    aggregate(prepared, per_seed, seeds.len())
+}
+
+/// Evaluates one prepared method over the given seeds in parallel (rayon).
+/// Timing is still per-query wall clock; use the sequential variant when
+/// measuring absolute latency.
+pub fn evaluate_parallel(
+    prepared: &PreparedMethod<'_>,
+    ds: &AttributedDataset,
+    seeds: &[NodeId],
+) -> MethodOutcome {
+    let per_seed: Vec<Result<SeedOutcome, EvalError>> =
+        seeds.par_iter().map(|&s| run_one(prepared, ds, s)).collect();
+    aggregate(prepared, per_seed, seeds.len())
+}
+
+struct SeedOutcome {
+    precision: f64,
+    recall: f64,
+    f1: f64,
+    conductance: f64,
+    wcss: f64,
+    online: Duration,
+}
+
+fn run_one(
+    prepared: &PreparedMethod<'_>,
+    ds: &AttributedDataset,
+    seed: NodeId,
+) -> Result<SeedOutcome, EvalError> {
+    let truth = ds.ground_truth(seed);
+    let start = Instant::now();
+    let cluster = prepared.cluster(seed, truth.len())?;
+    let online = start.elapsed();
+    Ok(SeedOutcome {
+        precision: metrics::precision_at(&cluster, truth, truth.len()),
+        recall: metrics::recall(&cluster, truth),
+        f1: metrics::f1(&cluster, truth),
+        conductance: metrics::conductance(&ds.graph, &cluster),
+        wcss: if ds.is_attributed() { metrics::wcss(&ds.attributes, &cluster) } else { 0.0 },
+        online,
+    })
+}
+
+fn aggregate(
+    prepared: &PreparedMethod<'_>,
+    per_seed: Vec<Result<SeedOutcome, EvalError>>,
+    num_seeds: usize,
+) -> MethodOutcome {
+    let ok: Vec<SeedOutcome> = per_seed.into_iter().filter_map(Result::ok).collect();
+    let failures = num_seeds - ok.len();
+    let count = ok.len().max(1) as f64;
+    let mut out = MethodOutcome {
+        label: prepared.label.clone(),
+        prep_time: prepared.prep_time,
+        avg_online_time: Duration::ZERO,
+        avg_precision: 0.0,
+        avg_recall: 0.0,
+        avg_f1: 0.0,
+        avg_conductance: 0.0,
+        avg_wcss: 0.0,
+        failures,
+        num_seeds,
+    };
+    let mut online = Duration::ZERO;
+    for s in &ok {
+        out.avg_precision += s.precision;
+        out.avg_recall += s.recall;
+        out.avg_f1 += s.f1;
+        out.avg_conductance += s.conductance;
+        out.avg_wcss += s.wcss;
+        online += s.online;
+    }
+    out.avg_precision /= count;
+    out.avg_recall /= count;
+    out.avg_f1 /= count;
+    out.avg_conductance /= count;
+    out.avg_wcss /= count;
+    out.avg_online_time = online / ok.len().max(1) as u32;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::MethodSpec;
+    use crate::EvalComputeConfig;
+    use laca_graph::gen::{AttributeSpec, AttributedGraphSpec};
+
+    fn dataset() -> AttributedDataset {
+        AttributedGraphSpec {
+            n: 120,
+            n_clusters: 3,
+            avg_degree: 8.0,
+            p_intra: 0.85,
+            missing_intra: 0.0,
+            degree_exponent: 2.3,
+            cluster_size_skew: 0.2,
+            attributes: Some(AttributeSpec { dim: 40, topic_words: 10, tokens_per_node: 20, attr_noise: 0.25 }),
+            seed: 61,
+        }
+        .generate("h")
+        .unwrap()
+    }
+
+    #[test]
+    fn seeds_are_distinct_and_reproducible() {
+        let ds = dataset();
+        let a = sample_seeds(&ds, 30, 7);
+        let b = sample_seeds(&ds, 30, 7);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 30);
+    }
+
+    #[test]
+    fn evaluate_produces_sane_aggregates() {
+        let ds = dataset();
+        let cfg = EvalComputeConfig::default();
+        let prepared = MethodSpec::LacaC.prepare(&ds, &cfg).unwrap();
+        let seeds = sample_seeds(&ds, 10, 1);
+        let out = evaluate(&prepared, &ds, &seeds);
+        assert_eq!(out.num_seeds, 10);
+        assert_eq!(out.failures, 0);
+        assert!(out.avg_precision > 0.3, "precision {}", out.avg_precision);
+        assert!(out.avg_precision <= 1.0);
+        assert!(out.avg_recall <= 1.0);
+        assert!(out.avg_conductance <= 1.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_metrics() {
+        let ds = dataset();
+        let cfg = EvalComputeConfig::default();
+        let prepared = MethodSpec::PrNibble.prepare(&ds, &cfg).unwrap();
+        let seeds = sample_seeds(&ds, 8, 2);
+        let seq = evaluate(&prepared, &ds, &seeds);
+        let par = evaluate_parallel(&prepared, &ds, &seeds);
+        assert!((seq.avg_precision - par.avg_precision).abs() < 1e-12);
+        assert!((seq.avg_conductance - par.avg_conductance).abs() < 1e-12);
+    }
+}

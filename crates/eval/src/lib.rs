@@ -1,0 +1,106 @@
+//! Evaluation harness for the LACA reproduction.
+//!
+//! * [`metrics`] — precision/recall/F1 against ground truth, conductance,
+//!   and within-cluster attribute variance (WCSS), exactly as used in
+//!   Tables V, VII and IX and Fig. 6.
+//! * [`methods`] — a registry mapping every Table IV method (plus LACA and
+//!   its variants) to a prepared, timed runner.
+//! * [`harness`] — seed sampling, per-method evaluation loops (optionally
+//!   parallel over seeds via rayon), wall-clock accounting split into
+//!   preprocessing and online phases.
+//! * [`table`] — fixed-width table and CSV rendering for the experiment
+//!   binaries.
+
+pub mod harness;
+pub mod methods;
+pub mod metrics;
+pub mod table;
+
+/// Shared computation parameters for all evaluated methods.
+///
+/// Defaults follow the paper's typical settings (`α = 0.8`, `σ = 0.1`,
+/// `k = 32`, `t = 5` for HK-Relax, `δ = 1` for exponential-cosine).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalComputeConfig {
+    /// RWR continue probability for all diffusion methods.
+    pub alpha: f64,
+    /// Diffusion threshold ε.
+    pub epsilon: f64,
+    /// AdaptiveDiffuse balance σ.
+    pub sigma: f64,
+    /// TNAM dimension `k`.
+    pub tnam_k: usize,
+    /// HK-Relax heat parameter `t`.
+    pub hk_t: f64,
+    /// Exp-cosine sensitivity δ.
+    pub delta: f64,
+    /// Gaussian-kernel bandwidth for APR-Nibble / WFD.
+    pub kernel_bandwidth: f64,
+    /// RNG seed shared by all randomized components.
+    pub seed: u64,
+}
+
+impl Default for EvalComputeConfig {
+    fn default() -> Self {
+        EvalComputeConfig {
+            alpha: 0.8,
+            epsilon: 1e-7,
+            sigma: 0.1,
+            tnam_k: 32,
+            hk_t: 5.0,
+            delta: 1.0,
+            kernel_bandwidth: 1.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Errors from evaluation runs.
+#[derive(Debug, Clone)]
+pub enum EvalError {
+    /// Underlying core error.
+    Core(laca_core::CoreError),
+    /// Underlying baseline error.
+    Baseline(laca_baselines::BaselineError),
+    /// Underlying graph error.
+    Graph(laca_graph::GraphError),
+    /// Unknown dataset or method name.
+    Unknown(String),
+    /// Method is not applicable to this dataset (matches the "-" entries
+    /// of the paper's tables).
+    NotApplicable { method: String, reason: &'static str },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Core(e) => write!(f, "core error: {e}"),
+            EvalError::Baseline(e) => write!(f, "baseline error: {e}"),
+            EvalError::Graph(e) => write!(f, "graph error: {e}"),
+            EvalError::Unknown(name) => write!(f, "unknown name: {name}"),
+            EvalError::NotApplicable { method, reason } => {
+                write!(f, "{method} not applicable: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<laca_core::CoreError> for EvalError {
+    fn from(e: laca_core::CoreError) -> Self {
+        EvalError::Core(e)
+    }
+}
+
+impl From<laca_baselines::BaselineError> for EvalError {
+    fn from(e: laca_baselines::BaselineError) -> Self {
+        EvalError::Baseline(e)
+    }
+}
+
+impl From<laca_graph::GraphError> for EvalError {
+    fn from(e: laca_graph::GraphError) -> Self {
+        EvalError::Graph(e)
+    }
+}

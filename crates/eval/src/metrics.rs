@@ -1,0 +1,170 @@
+//! Clustering-quality metrics (Section VI-B and Appendix B-3).
+
+use laca_graph::{AttributeMatrix, CsrGraph, NodeId};
+use rustc_hash::FxHashSet;
+
+/// `|C ∩ Y| / |C|` — the paper's headline metric (Table V), evaluated with
+/// `|C| = |Y|`.
+pub fn precision(cluster: &[NodeId], truth: &[NodeId]) -> f64 {
+    if cluster.is_empty() {
+        return 0.0;
+    }
+    let t: FxHashSet<NodeId> = truth.iter().copied().collect();
+    cluster.iter().filter(|v| t.contains(v)).count() as f64 / cluster.len() as f64
+}
+
+/// Precision at an *enforced* size: `|C ∩ Y| / size`.
+///
+/// The paper's protocol fixes `|Cs| = |Ys|`; a method whose score support
+/// cannot fill the requested size (e.g. link similarity beyond two hops)
+/// must be charged for the missing slots, otherwise a 3-node cluster with
+/// 3 hits would score 1.0 against a 500-node ground truth.
+pub fn precision_at(cluster: &[NodeId], truth: &[NodeId], size: usize) -> f64 {
+    if size == 0 {
+        return 0.0;
+    }
+    let t: FxHashSet<NodeId> = truth.iter().copied().collect();
+    cluster.iter().filter(|v| t.contains(v)).count() as f64 / size.max(cluster.len()) as f64
+}
+
+/// `|C ∩ Y| / |Y|` — the Fig. 6 metric (size-unconstrained clusters).
+pub fn recall(cluster: &[NodeId], truth: &[NodeId]) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let t: FxHashSet<NodeId> = truth.iter().copied().collect();
+    cluster.iter().filter(|v| t.contains(v)).count() as f64 / truth.len() as f64
+}
+
+/// Harmonic mean of precision and recall.
+pub fn f1(cluster: &[NodeId], truth: &[NodeId]) -> f64 {
+    let p = precision(cluster, truth);
+    let r = recall(cluster, truth);
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Conductance of the cluster (Table VII); delegates to the graph.
+pub fn conductance(graph: &CsrGraph, cluster: &[NodeId]) -> f64 {
+    graph.conductance(cluster)
+}
+
+/// Normalized within-cluster sum of squares over the (unit-norm) attribute
+/// rows (Table VII):
+///
+/// ```text
+/// WCSS(C) = (1/|C|) Σ_{v∈C} ‖x⁽ᵛ⁾ − μ‖²  =  1 − ‖Σ_{v∈C} x⁽ᵛ⁾‖² / |C|²
+/// ```
+///
+/// 0 for attribute-identical clusters, → 1 for mutually orthogonal rows.
+pub fn wcss(attrs: &AttributeMatrix, cluster: &[NodeId]) -> f64 {
+    if cluster.is_empty() || attrs.is_empty() {
+        return 0.0;
+    }
+    let mut sum = rustc_hash::FxHashMap::<u32, f64>::default();
+    let mut norm_total = 0.0;
+    for &v in cluster {
+        let (idx, val) = attrs.row(v as usize);
+        for (&j, &x) in idx.iter().zip(val) {
+            *sum.entry(j).or_insert(0.0) += x;
+            norm_total += x * x;
+        }
+    }
+    let c = cluster.len() as f64;
+    let sum_sq: f64 = sum.values().map(|v| v * v).sum();
+    // norm_total ≈ |C| for unit rows, exact for zero rows too.
+    (norm_total / c - sum_sq / (c * c)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_recall_basics() {
+        let cluster = [0, 1, 2, 3];
+        let truth = [2, 3, 4, 5, 6, 7];
+        assert!((precision(&cluster, &truth) - 0.5).abs() < 1e-12);
+        assert!((recall(&cluster, &truth) - 2.0 / 6.0).abs() < 1e-12);
+        let f = f1(&cluster, &truth);
+        assert!((f - 2.0 * 0.5 * (1.0 / 3.0) / (0.5 + 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_at_charges_missing_slots() {
+        // 3 hits in a 3-node cluster against a 10-slot request: 0.3, not 1.0.
+        let cluster = [1, 2, 3];
+        let truth: Vec<u32> = (1..=10).collect();
+        assert!((precision_at(&cluster, &truth, 10) - 0.3).abs() < 1e-12);
+        // Equal sizes: matches plain precision.
+        let c4 = [1, 2, 3, 99];
+        assert!((precision_at(&c4, &truth, 4) - precision(&c4, &truth)).abs() < 1e-12);
+        // Oversized clusters are charged for their own length.
+        let c12: Vec<u32> = (1..=12).collect();
+        assert!((precision_at(&c12, &truth, 10) - 10.0 / 12.0).abs() < 1e-12);
+        assert_eq!(precision_at(&cluster, &truth, 0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(precision(&[], &[1]), 0.0);
+        assert_eq!(recall(&[1], &[]), 0.0);
+        assert_eq!(f1(&[], &[]), 0.0);
+        assert_eq!(precision(&[1, 2], &[1, 2]), 1.0);
+    }
+
+    #[test]
+    fn wcss_zero_for_identical_rows() {
+        let x = AttributeMatrix::from_rows(
+            4,
+            &[vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (1, 1.0)], vec![(2, 1.0)]],
+        )
+        .unwrap();
+        assert!(wcss(&x, &[0, 1]) < 1e-12);
+    }
+
+    #[test]
+    fn wcss_high_for_orthogonal_rows() {
+        let x = AttributeMatrix::from_rows(
+            3,
+            &[vec![(0, 1.0)], vec![(1, 1.0)], vec![(2, 1.0)]],
+        )
+        .unwrap();
+        let w = wcss(&x, &[0, 1, 2]);
+        // 1 − 3/9 = 2/3.
+        assert!((w - 2.0 / 3.0).abs() < 1e-12, "wcss {w}");
+    }
+
+    #[test]
+    fn wcss_matches_dense_definition() {
+        let x = AttributeMatrix::from_rows(
+            3,
+            &[vec![(0, 3.0), (1, 4.0)], vec![(0, 1.0)], vec![(1, 1.0), (2, 1.0)]],
+        )
+        .unwrap();
+        let cluster = [0u32, 1, 2];
+        // Dense reference.
+        let rows: Vec<Vec<f64>> = cluster.iter().map(|&v| x.dense_row(v as usize)).collect();
+        let mut mu = vec![0.0; 3];
+        for r in &rows {
+            for (m, v) in mu.iter_mut().zip(r) {
+                *m += v / 3.0;
+            }
+        }
+        let expect: f64 = rows
+            .iter()
+            .map(|r| r.iter().zip(&mu).map(|(a, b)| (a - b) * (a - b)).sum::<f64>())
+            .sum::<f64>()
+            / 3.0;
+        assert!((wcss(&x, &cluster) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_delegates() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!((conductance(&g, &[0, 1]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,327 @@
+//! Sparse node-attribute matrix `X ∈ R^{n×d}` with L2-normalized rows.
+//!
+//! The paper assumes `‖x⁽ⁱ⁾‖₂ = 1` throughout (Section II-A); the
+//! constructors here normalize rows so downstream code can rely on it.
+//! Rows are stored CSR-style (sorted column indices + values) because the
+//! bag-of-words attributes of citation/social graphs are extremely sparse
+//! (`d` up to 12 047 but only tens of non-zeros per row).
+
+use crate::GraphError;
+
+/// Sparse row-major attribute matrix with unit-norm rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeMatrix {
+    n: usize,
+    dim: usize,
+    offsets: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl AttributeMatrix {
+    /// Builds from per-row sparse `(index, value)` lists and normalizes each
+    /// row to unit L2 norm. Rows that are entirely zero stay zero.
+    ///
+    /// Indices within a row are deduplicated by summation and sorted.
+    pub fn from_rows(dim: usize, rows: &[Vec<(u32, f64)>]) -> Result<Self, GraphError> {
+        let n = rows.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let nnz: usize = rows.iter().map(|r| r.len()).sum();
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for (i, row) in rows.iter().enumerate() {
+            let mut entries = row.clone();
+            for &(j, v) in &entries {
+                if j as usize >= dim || !v.is_finite() {
+                    return Err(GraphError::InvalidAttribute { row: i });
+                }
+            }
+            entries.sort_unstable_by_key(|&(j, _)| j);
+            // Merge duplicates by summation.
+            let mut merged: Vec<(u32, f64)> = Vec::with_capacity(entries.len());
+            for (j, v) in entries {
+                match merged.last_mut() {
+                    Some((lj, lv)) if *lj == j => *lv += v,
+                    _ => merged.push((j, v)),
+                }
+            }
+            merged.retain(|&(_, v)| v != 0.0);
+            let norm: f64 = merged.iter().map(|&(_, v)| v * v).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for (j, v) in merged {
+                    indices.push(j);
+                    values.push(v / norm);
+                }
+            }
+            offsets.push(indices.len());
+        }
+        Ok(AttributeMatrix { n, dim, offsets, indices, values })
+    }
+
+    /// Builds from dense rows (convenience for tests and tiny examples).
+    pub fn from_dense(rows: &[Vec<f64>]) -> Result<Self, GraphError> {
+        let dim = rows.first().map_or(0, |r| r.len());
+        let sparse: Vec<Vec<(u32, f64)>> = rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .filter(|&(_, &v)| v != 0.0)
+                    .map(|(j, &v)| (j as u32, v))
+                    .collect()
+            })
+            .collect();
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != dim {
+                return Err(GraphError::DimensionMismatch { expected: dim, found: r.len() });
+            }
+            let _ = i;
+        }
+        Self::from_rows(dim, &sparse)
+    }
+
+    /// An `n × 0` matrix: the "no attributes" case for Table VIII graphs.
+    pub fn empty(n: usize) -> Self {
+        AttributeMatrix { n, dim: 0, offsets: vec![0; n + 1], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Number of rows (nodes).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of columns (distinct attributes `d`).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// `true` when `dim == 0` or all rows are zero.
+    pub fn is_empty(&self) -> bool {
+        self.dim == 0 || self.values.is_empty()
+    }
+
+    /// Sparse row `i` as parallel `(indices, values)` slices.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let (s, e) = (self.offsets[i], self.offsets[i + 1]);
+        (&self.indices[s..e], &self.values[s..e])
+    }
+
+    /// Dot product `x⁽ⁱ⁾ · x⁽ʲ⁾` via sorted-merge join.
+    pub fn dot(&self, i: usize, j: usize) -> f64 {
+        let (ai, av) = self.row(i);
+        let (bi, bv) = self.row(j);
+        let mut p = 0usize;
+        let mut q = 0usize;
+        let mut acc = 0.0;
+        while p < ai.len() && q < bi.len() {
+            match ai[p].cmp(&bi[q]) {
+                std::cmp::Ordering::Less => p += 1,
+                std::cmp::Ordering::Greater => q += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += av[p] * bv[q];
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Squared Euclidean distance `‖x⁽ⁱ⁾ − x⁽ʲ⁾‖²₂ = 2 − 2·(x⁽ⁱ⁾·x⁽ʲ⁾)`
+    /// (rows are unit-norm; zero rows are handled exactly).
+    pub fn sq_dist(&self, i: usize, j: usize) -> f64 {
+        let ni: f64 = {
+            let (_, v) = self.row(i);
+            v.iter().map(|x| x * x).sum()
+        };
+        let nj: f64 = {
+            let (_, v) = self.row(j);
+            v.iter().map(|x| x * x).sum()
+        };
+        (ni + nj - 2.0 * self.dot(i, j)).max(0.0)
+    }
+
+    /// Densifies row `i` into a `dim`-length vector.
+    pub fn dense_row(&self, i: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        let (idx, val) = self.row(i);
+        for (&j, &v) in idx.iter().zip(val) {
+            out[j as usize] = v;
+        }
+        out
+    }
+
+    /// Computes `X · g` for a dense `d`-vector `g`, producing an `n`-vector.
+    pub fn mul_vec(&self, g: &[f64]) -> Result<Vec<f64>, GraphError> {
+        if g.len() != self.dim {
+            return Err(GraphError::DimensionMismatch { expected: self.dim, found: g.len() });
+        }
+        let mut out = vec![0.0; self.n];
+        for i in 0..self.n {
+            let (idx, val) = self.row(i);
+            let mut acc = 0.0;
+            for (&j, &v) in idx.iter().zip(val) {
+                acc += v * g[j as usize];
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Computes `Xᵀ · y` for a dense `n`-vector `y`, producing a `d`-vector.
+    pub fn mul_transpose_vec(&self, y: &[f64]) -> Result<Vec<f64>, GraphError> {
+        if y.len() != self.n {
+            return Err(GraphError::DimensionMismatch { expected: self.n, found: y.len() });
+        }
+        let mut out = vec![0.0; self.dim];
+        for i in 0..self.n {
+            let yi = y[i];
+            if yi == 0.0 {
+                continue;
+            }
+            let (idx, val) = self.row(i);
+            for (&j, &v) in idx.iter().zip(val) {
+                out[j as usize] += v * yi;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Iterates all rows as sparse slices.
+    pub fn rows(&self) -> impl Iterator<Item = (&[u32], &[f64])> + '_ {
+        (0..self.n).map(move |i| self.row(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m3() -> AttributeMatrix {
+        AttributeMatrix::from_rows(
+            4,
+            &[
+                vec![(0, 3.0), (1, 4.0)],
+                vec![(1, 1.0)],
+                vec![(0, 1.0), (3, 1.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rows_are_normalized() {
+        let x = m3();
+        for i in 0..x.n() {
+            let (_, vals) = x.row(i);
+            let norm: f64 = vals.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-12, "row {i} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn dot_is_symmetric_and_bounded() {
+        let x = m3();
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = x.dot(i, j);
+                assert!((d - x.dot(j, i)).abs() < 1e-15);
+                assert!(d <= 1.0 + 1e-12);
+            }
+        }
+        assert!((x.dot(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_matches_dense() {
+        let x = m3();
+        let a = x.dense_row(0);
+        let b = x.dense_row(2);
+        let dense: f64 = a.iter().zip(&b).map(|(p, q)| p * q).sum();
+        assert!((x.dot(0, 2) - dense).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_indices_merge() {
+        let x = AttributeMatrix::from_rows(2, &[vec![(0, 1.0), (0, 1.0), (1, 2.0)]]).unwrap();
+        let (idx, val) = x.row(0);
+        assert_eq!(idx, &[0, 1]);
+        let norm = (4.0f64 + 4.0).sqrt();
+        assert!((val[0] - 2.0 / norm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_row_stays_zero() {
+        let x = AttributeMatrix::from_rows(3, &[vec![], vec![(1, 5.0)]]).unwrap();
+        assert_eq!(x.row(0).0.len(), 0);
+        assert_eq!(x.dot(0, 1), 0.0);
+        assert!((x.sq_dist(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_entries() {
+        assert!(AttributeMatrix::from_rows(2, &[vec![(5, 1.0)]]).is_err());
+        assert!(AttributeMatrix::from_rows(2, &[vec![(0, f64::NAN)]]).is_err());
+    }
+
+    #[test]
+    fn sq_dist_matches_identity() {
+        let x = m3();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = 2.0 - 2.0 * x.dot(i, j);
+                assert!((x.sq_dist(i, j) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_round_trip() {
+        let x = m3();
+        let g = vec![1.0, 2.0, 3.0, 4.0];
+        let y = x.mul_vec(&g).unwrap();
+        for i in 0..3 {
+            let dense = x.dense_row(i);
+            let expect: f64 = dense.iter().zip(&g).map(|(a, b)| a * b).sum();
+            assert!((y[i] - expect).abs() < 1e-12);
+        }
+        let z = x.mul_transpose_vec(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(z.len(), 4);
+        let expect0 = x.dense_row(0)[0] + x.dense_row(1)[0] + x.dense_row(2)[0];
+        assert!((z[0] - expect0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let x = m3();
+        assert!(x.mul_vec(&[1.0]).is_err());
+        assert!(x.mul_transpose_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let x = AttributeMatrix::empty(5);
+        assert_eq!(x.n(), 5);
+        assert_eq!(x.dim(), 0);
+        assert!(x.is_empty());
+        assert_eq!(x.dot(0, 4), 0.0);
+    }
+
+    #[test]
+    fn from_dense_agrees_with_from_rows() {
+        let dense = AttributeMatrix::from_dense(&[vec![3.0, 4.0, 0.0], vec![0.0, 0.0, 2.0]]).unwrap();
+        let sparse =
+            AttributeMatrix::from_rows(3, &[vec![(0, 3.0), (1, 4.0)], vec![(2, 2.0)]]).unwrap();
+        assert_eq!(dense, sparse);
+    }
+}

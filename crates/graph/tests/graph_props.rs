@@ -1,0 +1,105 @@
+//! Property-based tests of the graph substrate: CSR construction
+//! invariants, conductance bounds, reweighting structure preservation,
+//! attribute normalization, and text-I/O round trips.
+
+use laca_graph::{io, AttributeMatrix, CsrGraph, NodeId};
+use proptest::prelude::*;
+
+fn arbitrary_edges() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 1..4 * n);
+        edges.prop_map(move |e| (n, e))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_invariants_hold((n, edges) in arbitrary_edges()) {
+        let g = CsrGraph::from_edges(n, &edges).unwrap();
+        // Sorted, deduplicated, symmetric, no self-loops.
+        let mut total_deg = 0usize;
+        for v in 0..n as NodeId {
+            let nbrs = g.neighbors(v);
+            total_deg += nbrs.len();
+            for w in nbrs.windows(2) {
+                prop_assert!(w[0] < w[1], "unsorted or duplicate neighbor");
+            }
+            for &u in nbrs {
+                prop_assert_ne!(u, v, "self-loop survived");
+                prop_assert!(g.has_edge(u, v), "asymmetric adjacency");
+            }
+        }
+        prop_assert_eq!(total_deg, 2 * g.m());
+        prop_assert!((g.total_volume() - total_deg as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_is_in_unit_range((n, edges) in arbitrary_edges(), cut in 1usize..10) {
+        let g = CsrGraph::from_edges(n, &edges).unwrap();
+        let set: Vec<NodeId> = (0..(cut % n).max(1)).map(|v| v as NodeId).collect();
+        let phi = g.conductance(&set);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&phi), "phi {phi}");
+    }
+
+    #[test]
+    fn reweighting_preserves_topology((n, edges) in arbitrary_edges()) {
+        let g = CsrGraph::from_edges(n, &edges).unwrap();
+        let w = g.reweighted(1e-6, |u, v| ((u + v) % 7) as f64 * 0.3);
+        prop_assert_eq!(g.n(), w.n());
+        prop_assert_eq!(g.m(), w.m());
+        for v in 0..n as NodeId {
+            prop_assert_eq!(g.neighbors(v), w.neighbors(v));
+            if let Some(ws) = w.neighbor_weights(v) {
+                prop_assert!(ws.iter().all(|&x| x >= 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn graph_io_round_trips((n, edges) in arbitrary_edges()) {
+        let g = CsrGraph::from_edges(n, &edges).unwrap();
+        let dir = std::env::temp_dir().join(format!("laca-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prop.edges");
+        io::write_graph(&path, &g).unwrap();
+        let g2 = io::read_graph(&path).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn attribute_rows_are_unit_or_zero(
+        rows in proptest::collection::vec(
+            proptest::collection::vec((0u32..20, -3.0f64..3.0), 0..6),
+            1..15,
+        )
+    ) {
+        let x = AttributeMatrix::from_rows(20, &rows).unwrap();
+        for i in 0..x.n() {
+            let (_, vals) = x.row(i);
+            let norm: f64 = vals.iter().map(|v| v * v).sum::<f64>().sqrt();
+            prop_assert!(norm < 1e-12 || (norm - 1.0).abs() < 1e-9, "row {i}: norm {norm}");
+            // Self-dot of a non-zero row is 1.
+            if norm > 0.0 {
+                prop_assert!((x.dot(i, i) - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn attribute_dot_is_cauchy_schwarz_bounded(
+        rows in proptest::collection::vec(
+            proptest::collection::vec((0u32..15, 0.1f64..3.0), 1..5),
+            2..10,
+        )
+    ) {
+        let x = AttributeMatrix::from_rows(15, &rows).unwrap();
+        for i in 0..x.n() {
+            for j in 0..x.n() {
+                prop_assert!(x.dot(i, j).abs() <= 1.0 + 1e-9);
+                prop_assert!((x.dot(i, j) - x.dot(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+}

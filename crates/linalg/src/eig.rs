@@ -1,0 +1,140 @@
+//! Cyclic Jacobi eigensolver for small symmetric matrices.
+//!
+//! The randomized SVD reduces the big sparse problem to an eigendecomposition
+//! of a `(k+p) × (k+p)` Gram matrix (`k+p ≤ ~160` here), which Jacobi handles
+//! robustly and simply.
+
+use crate::dense::DenseMatrix;
+use crate::LinalgError;
+
+/// Eigendecomposition of a symmetric matrix: `a = v · diag(λ) · vᵀ`,
+/// eigenvalues sorted descending, eigenvectors in the columns of `v`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, column `j` pairing with `values[j]`.
+    pub vectors: DenseMatrix,
+}
+
+/// Runs cyclic Jacobi sweeps until the off-diagonal Frobenius mass is
+/// negligible (or a generous sweep budget is exhausted).
+pub fn jacobi_eigen(a: &DenseMatrix) -> Result<SymmetricEigen, LinalgError> {
+    let n = a.rows();
+    if n != a.cols() {
+        return Err(LinalgError::ShapeMismatch { context: "jacobi_eigen" });
+    }
+    let mut m = a.clone();
+    let mut v = DenseMatrix::identity(n);
+    let max_sweeps = 100;
+    let tol = 1e-14 * a.frobenius_norm().max(1.0);
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m.get(p, q).powi(2);
+            }
+        }
+        if off.sqrt() <= tol {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&i, &j| m.get(j, j).partial_cmp(&m.get(i, i)).unwrap());
+            let values = order.iter().map(|&i| m.get(i, i)).collect();
+            let vectors = DenseMatrix::from_fn(n, n, |i, j| v.get(i, order[j]));
+            return Ok(SymmetricEigen { values, vectors });
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q of m.
+                for i in 0..n {
+                    let mip = m.get(i, p);
+                    let miq = m.get(i, q);
+                    m.set(i, p, c * mip - s * miq);
+                    m.set(i, q, s * mip + c * miq);
+                }
+                for i in 0..n {
+                    let mpi = m.get(p, i);
+                    let mqi = m.get(q, i);
+                    m.set(p, i, c * mpi - s * mqi);
+                    m.set(q, i, s * mpi + c * mqi);
+                }
+                // Accumulate the rotation into v.
+                for i in 0..n {
+                    let vip = v.get(i, p);
+                    let viq = v.get(i, q);
+                    v.set(i, p, c * vip - s * viq);
+                    v.set(i, q, s * vip + c * viq);
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence { context: "jacobi_eigen" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::gaussian_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = DenseMatrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0])
+            .unwrap();
+        let e = jacobi_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = DenseMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = jacobi_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstructs_random_symmetric_matrix() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = gaussian_matrix(10, 10, &mut rng);
+        let a = {
+            // a = (g + gᵀ) / 2
+            let gt = g.transpose();
+            DenseMatrix::from_fn(10, 10, |i, j| 0.5 * (g.get(i, j) + gt.get(i, j)))
+        };
+        let e = jacobi_eigen(&a).unwrap();
+        // Rebuild a = v diag(λ) vᵀ.
+        let mut lambda = DenseMatrix::zeros(10, 10);
+        for (i, &l) in e.values.iter().enumerate() {
+            lambda.set(i, i, l);
+        }
+        let back = e.vectors.matmul(&lambda).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        assert!(back.max_abs_diff(&a) < 1e-9);
+        // Eigenvalues descending.
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(jacobi_eigen(&a).is_err());
+    }
+}

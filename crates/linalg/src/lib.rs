@@ -1,0 +1,48 @@
+//! Dense and randomized linear algebra for the LACA reproduction.
+//!
+//! The paper's preprocessing (Algo. 3) needs exactly four numerical tools,
+//! all provided here without external linear-algebra dependencies:
+//!
+//! * [`dense::DenseMatrix`] — a small row-major dense matrix type,
+//! * [`qr::householder_qr`] — thin QR for tall matrices (randomized SVD)
+//!   and square Gaussian matrices (orthogonal random features),
+//! * [`eig::jacobi_eigen`] — a Jacobi eigensolver for small symmetric
+//!   matrices (the inner solve of the randomized SVD),
+//! * [`svd::randomized_svd`] — the k-SVD of the sparse attribute matrix
+//!   `X` (Halko–Martinsson–Tropp randomized range finder, citation [34]
+//!   of the paper),
+//! * [`orf`] — orthogonal random features for the exponential-cosine
+//!   kernel (citation [35]).
+//!
+//! [`random`] supplies Box–Muller normal and χ(k) sampling so the
+//! workspace does not need `rand_distr`.
+
+pub mod dense;
+pub mod eig;
+pub mod orf;
+pub mod qr;
+pub mod random;
+pub mod svd;
+
+pub use dense::DenseMatrix;
+pub use svd::{randomized_svd, Svd};
+
+/// Errors from numerical routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible.
+    ShapeMismatch { context: &'static str },
+    /// An iterative routine failed to converge.
+    NoConvergence { context: &'static str },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { context } => write!(f, "shape mismatch in {context}"),
+            LinalgError::NoConvergence { context } => write!(f, "no convergence in {context}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

@@ -1,0 +1,171 @@
+//! Householder QR decomposition for tall-thin and square matrices.
+//!
+//! Used in two places: orthonormalizing the range sketches inside the
+//! randomized SVD (`n × (k+p)` tall matrices), and producing the uniformly
+//! random orthogonal matrix from a square Gaussian draw in Algo. 3 line 7.
+
+use crate::dense::DenseMatrix;
+
+/// Thin QR result: `a = q · r` with `q` having orthonormal columns.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// `rows × min(rows, cols)` matrix with orthonormal columns.
+    pub q: DenseMatrix,
+    /// `min(rows, cols) × cols` upper-triangular factor.
+    pub r: DenseMatrix,
+}
+
+/// Computes a thin Householder QR of `a` (requires `rows >= 1`).
+pub fn householder_qr(a: &DenseMatrix) -> Qr {
+    let m = a.rows();
+    let n = a.cols();
+    let p = m.min(n);
+    // Work matrix, will hold R in its upper triangle.
+    let mut work = a.clone();
+    // Householder vectors, one per reflection (stored dense for clarity;
+    // p is at most a couple of hundred in this workspace).
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(p);
+    for j in 0..p {
+        // Build the reflector for column j from rows j..m.
+        let mut v: Vec<f64> = (j..m).map(|i| work.get(i, j)).collect();
+        let alpha = {
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if v[0] >= 0.0 {
+                -norm
+            } else {
+                norm
+            }
+        };
+        if alpha == 0.0 {
+            // Zero column below the diagonal: identity reflection.
+            vs.push(vec![0.0; m - j]);
+            continue;
+        }
+        v[0] -= alpha;
+        let vnorm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if vnorm < f64::EPSILON * alpha.abs() {
+            vs.push(vec![0.0; m - j]);
+            continue;
+        }
+        for x in &mut v {
+            *x /= vnorm;
+        }
+        // Apply H = I - 2vvᵀ to the trailing submatrix.
+        for col in j..n {
+            let mut proj = 0.0;
+            for (off, &vi) in v.iter().enumerate() {
+                proj += vi * work.get(j + off, col);
+            }
+            proj *= 2.0;
+            for (off, &vi) in v.iter().enumerate() {
+                let cur = work.get(j + off, col);
+                work.set(j + off, col, cur - proj * vi);
+            }
+        }
+        vs.push(v);
+    }
+    // Extract R (p × n upper triangle).
+    let mut r = DenseMatrix::zeros(p, n);
+    for i in 0..p {
+        for j in i..n {
+            r.set(i, j, work.get(i, j));
+        }
+    }
+    // Form thin Q by applying the reflections (in reverse) to the first p
+    // columns of the identity.
+    let mut q = DenseMatrix::zeros(m, p);
+    for col in 0..p {
+        q.set(col, col, 1.0);
+    }
+    for j in (0..p).rev() {
+        let v = &vs[j];
+        if v.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        for col in 0..p {
+            let mut proj = 0.0;
+            for (off, &vi) in v.iter().enumerate() {
+                proj += vi * q.get(j + off, col);
+            }
+            proj *= 2.0;
+            for (off, &vi) in v.iter().enumerate() {
+                let cur = q.get(j + off, col);
+                q.set(j + off, col, cur - proj * vi);
+            }
+        }
+    }
+    Qr { q, r }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::gaussian_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_orthonormal_columns(q: &DenseMatrix, tol: f64) {
+        let gram = q.transpose_matmul(q).unwrap();
+        let eye = DenseMatrix::identity(q.cols());
+        assert!(
+            gram.max_abs_diff(&eye) < tol,
+            "columns not orthonormal: diff {}",
+            gram.max_abs_diff(&eye)
+        );
+    }
+
+    #[test]
+    fn reconstructs_tall_matrix() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = gaussian_matrix(20, 5, &mut rng);
+        let Qr { q, r } = householder_qr(&a);
+        assert_eq!(q.rows(), 20);
+        assert_eq!(q.cols(), 5);
+        let back = q.matmul(&r).unwrap();
+        assert!(back.max_abs_diff(&a) < 1e-10);
+        assert_orthonormal_columns(&q, 1e-10);
+    }
+
+    #[test]
+    fn reconstructs_square_matrix() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = gaussian_matrix(8, 8, &mut rng);
+        let Qr { q, r } = householder_qr(&a);
+        let back = q.matmul(&r).unwrap();
+        assert!(back.max_abs_diff(&a) < 1e-10);
+        assert_orthonormal_columns(&q, 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = gaussian_matrix(10, 4, &mut rng);
+        let Qr { r, .. } = householder_qr(&a);
+        for i in 0..r.rows() {
+            for j in 0..i.min(r.cols()) {
+                assert!(r.get(i, j).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn handles_rank_deficiency() {
+        // Two identical columns.
+        let a = DenseMatrix::from_vec(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]).unwrap();
+        let Qr { q, r } = householder_qr(&a);
+        let back = q.matmul(&r).unwrap();
+        assert!(back.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn orthogonal_draw_is_uniformish() {
+        // A QR of a Gaussian square matrix must be orthogonal; check that
+        // repeated draws differ (sanity for the ORF construction).
+        let mut rng = StdRng::seed_from_u64(14);
+        let q1 = householder_qr(&gaussian_matrix(6, 6, &mut rng)).q;
+        let q2 = householder_qr(&gaussian_matrix(6, 6, &mut rng)).q;
+        assert_orthonormal_columns(&q1, 1e-10);
+        assert_orthonormal_columns(&q2, 1e-10);
+        assert!(q1.max_abs_diff(&q2) > 1e-3);
+    }
+}

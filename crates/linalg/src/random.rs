@@ -1,0 +1,68 @@
+//! RNG distributions needed by Algo. 3: standard normal (Box–Muller) and
+//! the χ(k) distribution, implemented directly so the workspace does not
+//! pull in `rand_distr`.
+
+use crate::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One standard-normal sample via the Box–Muller transform.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    // Guard against log(0).
+    let u1: f64 = loop {
+        let u = rng.gen::<f64>();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A `rows × cols` matrix of i.i.d. standard normals (Algo. 3 line 6).
+pub fn gaussian_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> DenseMatrix {
+    DenseMatrix::from_fn(rows, cols, |_, _| standard_normal(rng))
+}
+
+/// One χ(k) sample (the norm of a k-dimensional standard-normal vector),
+/// used for the diagonal `Σ` of Algo. 3 line 8.
+pub fn chi(k: usize, rng: &mut StdRng) -> f64 {
+    let sum_sq: f64 = (0..k).map(|_| standard_normal(rng).powi(2)).sum();
+    sum_sq.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn chi_mean_matches_theory() {
+        // E[χ(k)] = sqrt(2)·Γ((k+1)/2)/Γ(k/2); for k = 4 that is
+        // sqrt(2)·(3/4)·sqrt(pi)/1 ≈ 1.8800.
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let mean = (0..n).map(|_| chi(4, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.8800).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_matrix_is_deterministic_per_seed() {
+        let mut a_rng = StdRng::seed_from_u64(3);
+        let mut b_rng = StdRng::seed_from_u64(3);
+        let a = gaussian_matrix(4, 5, &mut a_rng);
+        let b = gaussian_matrix(4, 5, &mut b_rng);
+        assert_eq!(a, b);
+    }
+}

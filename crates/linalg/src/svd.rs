@@ -1,0 +1,233 @@
+//! Randomized truncated SVD of the sparse attribute matrix (Algo. 3 line 1).
+//!
+//! Implements the Halko–Martinsson–Tropp randomized range finder with power
+//! iterations (the paper's citation [34]): sketch `Y = X·Ω`, orthonormalize,
+//! optionally refine with `(X Xᵀ)^q`, project `B = Qᵀ X`, and solve the small
+//! `(k+p) × (k+p)` Gram eigenproblem with Jacobi. Cost is
+//! `O(nnz(X)·(k+p)·(q+1) + (n+d)·(k+p)²)` — linear in the size of `X` as
+//! Lemma V.3 requires.
+
+use crate::dense::DenseMatrix;
+use crate::eig::jacobi_eigen;
+use crate::qr::householder_qr;
+use crate::random::gaussian_matrix;
+use crate::LinalgError;
+use laca_graph::AttributeMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Truncated SVD `X ≈ U · diag(σ) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// `n × k` left singular vectors.
+    pub u: DenseMatrix,
+    /// `k` singular values, descending.
+    pub sigma: Vec<f64>,
+    /// `d × k` right singular vectors.
+    pub v: DenseMatrix,
+}
+
+impl Svd {
+    /// `U · diag(σ)` — the k-dimensional row representation the paper
+    /// substitutes for `X` (Lemma V.1).
+    pub fn u_sigma(&self) -> DenseMatrix {
+        let k = self.sigma.len();
+        DenseMatrix::from_fn(self.u.rows(), k, |i, j| self.u.get(i, j) * self.sigma[j])
+    }
+}
+
+/// `X · Ω` for sparse `X` (n×d) and dense `Ω` (d×s) → dense n×s.
+fn sparse_mul_dense(x: &AttributeMatrix, omega: &DenseMatrix) -> DenseMatrix {
+    let s = omega.cols();
+    let mut out = DenseMatrix::zeros(x.n(), s);
+    for i in 0..x.n() {
+        let (idx, val) = x.row(i);
+        let orow = out.row_mut(i);
+        for (&j, &v) in idx.iter().zip(val) {
+            let wrow = omega.row(j as usize);
+            for (c, &w) in wrow.iter().enumerate() {
+                orow[c] += v * w;
+            }
+        }
+    }
+    out
+}
+
+/// `Xᵀ · Y` for sparse `X` (n×d) and dense `Y` (n×s) → dense d×s.
+fn sparse_transpose_mul_dense(x: &AttributeMatrix, y: &DenseMatrix) -> DenseMatrix {
+    let s = y.cols();
+    let mut out = DenseMatrix::zeros(x.dim(), s);
+    for i in 0..x.n() {
+        let (idx, val) = x.row(i);
+        let yrow = y.row(i);
+        for (&j, &v) in idx.iter().zip(val) {
+            let orow = out.row_mut(j as usize);
+            for (c, &w) in yrow.iter().enumerate() {
+                orow[c] += v * w;
+            }
+        }
+    }
+    out
+}
+
+/// Randomized k-SVD of a sparse matrix.
+///
+/// * `k` — target rank (clamped to `min(n, d)`),
+/// * `oversample` — extra sketch columns (8–10 is standard),
+/// * `power_iters` — subspace-iteration refinements (2 is plenty for the
+///   rapidly decaying spectra of bag-of-words matrices),
+/// * `seed` — RNG seed; the decomposition is deterministic given it.
+pub fn randomized_svd(
+    x: &AttributeMatrix,
+    k: usize,
+    oversample: usize,
+    power_iters: usize,
+    seed: u64,
+) -> Result<Svd, LinalgError> {
+    let n = x.n();
+    let d = x.dim();
+    if n == 0 || d == 0 {
+        return Err(LinalgError::ShapeMismatch { context: "randomized_svd: empty matrix" });
+    }
+    let k = k.min(n).min(d).max(1);
+    let s = (k + oversample).min(n).min(d);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Range sketch.
+    let omega = gaussian_matrix(d, s, &mut rng);
+    let y = sparse_mul_dense(x, &omega);
+    let mut q = householder_qr(&y).q;
+    // Power iterations with re-orthonormalization for numerical stability.
+    for _ in 0..power_iters {
+        let z = sparse_transpose_mul_dense(x, &q);
+        let qz = householder_qr(&z).q;
+        let y2 = sparse_mul_dense(x, &qz);
+        q = householder_qr(&y2).q;
+    }
+
+    // B = Qᵀ X  (s × d), stored transposed as Bt = Xᵀ Q (d × s).
+    let bt = sparse_transpose_mul_dense(x, &q);
+    // Gram matrix G = B Bᵀ = Btᵀ Bt (s × s).
+    let gram = bt.transpose_matmul(&bt)?;
+    let eig = jacobi_eigen(&gram)?;
+
+    // Singular values of B are sqrt of Gram eigenvalues.
+    let take = k.min(eig.values.len());
+    let mut sigma = Vec::with_capacity(take);
+    for &l in eig.values.iter().take(take) {
+        sigma.push(l.max(0.0).sqrt());
+    }
+    let w = eig.vectors.truncate_cols(take); // s × k
+    let u = q.matmul(&w)?; // n × k
+    // V = Bᵀ W Σ⁻¹ = Bt · W · Σ⁻¹ (d × k); columns with σ≈0 are zeroed.
+    let mut v = bt.matmul(&w)?;
+    for i in 0..v.rows() {
+        let row = v.row_mut(i);
+        for (j, val) in row.iter_mut().enumerate() {
+            if sigma[j] > 1e-12 {
+                *val /= sigma[j];
+            } else {
+                *val = 0.0;
+            }
+        }
+    }
+    Ok(Svd { u, sigma, v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A rank-2 matrix with known singular structure plus tiny noise.
+    fn low_rank_matrix(n: usize, d: usize) -> AttributeMatrix {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| {
+                        let a = ((i % 7) as f64 + 1.0) * ((j % 5) as f64 + 1.0);
+                        let b = ((i % 3) as f64) * ((j % 2) as f64 + 0.5);
+                        a + 2.0 * b
+                    })
+                    .collect()
+            })
+            .collect();
+        AttributeMatrix::from_dense(&rows).unwrap()
+    }
+
+    fn dense_of(x: &AttributeMatrix) -> DenseMatrix {
+        DenseMatrix::from_fn(x.n(), x.dim(), |i, j| x.dense_row(i)[j])
+    }
+
+    #[test]
+    fn recovers_low_rank_structure() {
+        let x = low_rank_matrix(40, 25);
+        let svd = randomized_svd(&x, 8, 6, 2, 1).unwrap();
+        // Reconstruction X ≈ U Σ Vᵀ should be near-exact for the leading
+        // subspace of this (approximately low-rank) matrix.
+        let us = svd.u_sigma();
+        let back = us.matmul(&svd.v.transpose()).unwrap();
+        let orig = dense_of(&x);
+        let err = back.max_abs_diff(&orig);
+        assert!(err < 1e-6, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn gram_matrix_matches_lemma_v1() {
+        // Lemma V.1: ‖(UΛ)(UΛ)ᵀ − XXᵀ‖₂ ≤ λ_{k+1}²; with k ≥ rank the
+        // difference should vanish.
+        let x = low_rank_matrix(30, 20);
+        let svd = randomized_svd(&x, 10, 8, 2, 2).unwrap();
+        let us = svd.u_sigma();
+        let approx = us.matmul(&us.transpose()).unwrap();
+        let orig = dense_of(&x);
+        let exact = orig.matmul(&orig.transpose()).unwrap();
+        assert!(approx.max_abs_diff(&exact) < 1e-6);
+    }
+
+    #[test]
+    fn singular_values_descend_and_are_nonnegative() {
+        let x = low_rank_matrix(25, 25);
+        let svd = randomized_svd(&x, 6, 4, 1, 3).unwrap();
+        for w in svd.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+        assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn u_columns_are_orthonormal() {
+        let x = low_rank_matrix(30, 15);
+        let svd = randomized_svd(&x, 5, 5, 2, 4).unwrap();
+        let gram = svd.u.transpose_matmul(&svd.u).unwrap();
+        // Only the leading rank-2 columns are well-defined; check the
+        // corresponding 2×2 block is the identity.
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((gram.get(i, j) - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = low_rank_matrix(20, 12);
+        let a = randomized_svd(&x, 4, 4, 1, 7).unwrap();
+        let b = randomized_svd(&x, 4, 4, 1, 7).unwrap();
+        assert!(a.u.max_abs_diff(&b.u) == 0.0);
+        assert_eq!(a.sigma, b.sigma);
+    }
+
+    #[test]
+    fn clamps_rank_to_matrix_size() {
+        let x = low_rank_matrix(6, 4);
+        let svd = randomized_svd(&x, 100, 10, 1, 5).unwrap();
+        assert!(svd.sigma.len() <= 4);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let x = AttributeMatrix::empty(5);
+        assert!(randomized_svd(&x, 4, 2, 1, 0).is_err());
+    }
+}

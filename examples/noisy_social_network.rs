@@ -1,0 +1,55 @@
+//! Robustness to structural noise — the paper's central claim. On a
+//! Flickr-like social network we progressively corrupt the topology
+//! (lower the intra-community edge fraction) and watch a structure-only
+//! method collapse while LACA degrades gracefully thanks to the SNAS.
+//!
+//! ```sh
+//! cargo run --release --example noisy_social_network
+//! ```
+
+use laca::baselines::hk_relax::HkRelax;
+use laca::eval::metrics::precision;
+use laca::graph::gen::{AttributeSpec, AttributedGraphSpec};
+use laca::prelude::*;
+
+fn main() {
+    println!("{:<18}{:>14}{:>14}{:>20}", "p_intra (signal)", "LACA (C)", "HK-Relax", "LACA w/o SNAS");
+    for &p_intra in &[0.9, 0.7, 0.5, 0.35, 0.2] {
+        let dataset = AttributedGraphSpec {
+            n: 3_000,
+            n_clusters: 6,
+            avg_degree: 20.0,
+            p_intra,
+            missing_intra: 0.1,
+            degree_exponent: 2.2,
+            cluster_size_skew: 0.15,
+            attributes: Some(AttributeSpec { dim: 500, topic_words: 40, tokens_per_node: 35, attr_noise: 0.3 }),
+            seed: 0x50C1A1,
+        }
+        .generate("flickr-ish")
+        .expect("generation");
+
+        let tnam = Tnam::build(&dataset.attributes, &TnamConfig::new(32, MetricFn::Cosine))
+            .expect("TNAM");
+        let laca_engine =
+            Laca::new(&dataset.graph, Some(&tnam), LacaParams::new(1e-6)).expect("engine");
+        let wo_snas =
+            Laca::new(&dataset.graph, None, LacaParams::new(1e-6).without_snas()).expect("engine");
+        let hk = HkRelax::new(&dataset.graph, 5.0, 1e-6);
+
+        let seeds: Vec<NodeId> = (0..15).map(|i| (i * 197) % dataset.graph.n() as u32).collect();
+        let mut avg = [0.0f64; 3];
+        for &s in &seeds {
+            let truth = dataset.ground_truth(s);
+            avg[0] += precision(&laca_engine.cluster(s, truth.len()).unwrap(), truth);
+            avg[1] += precision(&hk.cluster(s, truth.len()).unwrap(), truth);
+            avg[2] += precision(&wo_snas.cluster(s, truth.len()).unwrap(), truth);
+        }
+        for a in &mut avg {
+            *a /= seeds.len() as f64;
+        }
+        println!("{p_intra:<18}{:>14.3}{:>14.3}{:>20.3}", avg[0], avg[1], avg[2]);
+    }
+    println!("\nAs structural signal fades, the attribute-aware BDD keeps finding the");
+    println!("planted communities; both topology-only methods drop toward chance.");
+}

@@ -1,0 +1,61 @@
+//! # LACA — Adaptive Local Clustering over Attributed Graphs
+//!
+//! A from-scratch Rust reproduction of *"Adaptive Local Clustering over
+//! Attributed Graphs"* (ICDE 2025). This facade crate re-exports the whole
+//! workspace:
+//!
+//! * [`graph`] — CSR graphs, sparse attribute matrices, synthetic
+//!   attributed-graph generators and the dataset registry;
+//! * [`linalg`] — randomized k-SVD, QR, Jacobi eigensolver, orthogonal
+//!   random features;
+//! * [`diffusion`] — GreedyDiffuse / AdaptiveDiffuse (Algorithms 1–2) and
+//!   exact RWR references;
+//! * [`core`] — SNAS, TNAM, the LACA algorithm (Algorithms 3–4), cluster
+//!   extraction, ablations and BDD variants;
+//! * [`baselines`] — the paper's 17 competitors;
+//! * [`eval`] — metrics, the method registry and the experiment harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use laca::prelude::*;
+//!
+//! // Generate a small attributed graph with planted communities.
+//! let ds = laca::graph::gen::AttributedGraphSpec {
+//!     n: 300,
+//!     n_clusters: 3,
+//!     avg_degree: 8.0,
+//!     p_intra: 0.85,
+//!     missing_intra: 0.05,
+//!     degree_exponent: 2.5,
+//!     cluster_size_skew: 0.2,
+//!     attributes: Some(laca::graph::gen::AttributeSpec::default_for(64)),
+//!     seed: 7,
+//! }
+//! .generate("demo")
+//! .unwrap();
+//!
+//! // Preprocess once: build the TNAM (Algo. 3).
+//! let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(16, MetricFn::Cosine)).unwrap();
+//!
+//! // Query any seed (Algo. 4).
+//! let engine = Laca::new(&ds.graph, Some(&tnam), LacaParams::new(1e-5)).unwrap();
+//! let seed = 0;
+//! let cluster = engine.cluster(seed, ds.ground_truth(seed).len()).unwrap();
+//! assert!(cluster.contains(&seed));
+//! ```
+
+pub use laca_baselines as baselines;
+pub use laca_core as core;
+pub use laca_diffusion as diffusion;
+pub use laca_eval as eval;
+pub use laca_graph as graph;
+pub use laca_linalg as linalg;
+
+/// The most common imports for library users.
+pub mod prelude {
+    pub use laca_core::extract::{sweep_cut, top_k_cluster};
+    pub use laca_core::{Laca, LacaParams, MetricFn, Tnam, TnamConfig};
+    pub use laca_diffusion::{adaptive_diffuse, greedy_diffuse, DiffusionParams, SparseVec};
+    pub use laca_graph::{AttributeMatrix, AttributedDataset, CsrGraph, NodeId};
+}

@@ -1,0 +1,135 @@
+//! Cross-crate verification of the paper's theoretical guarantees:
+//! Eq. 14 (diffusion), Lemma IV.3 (volume), Theorem V.4 (BDD gap) and the
+//! Section V-C GNN identity, all through the public facade.
+
+use laca::core::exact::{exact_bdd_identity, exact_bdd_with_tnam};
+use laca::core::gnn::{bdd_from_embeddings, smooth_embeddings};
+use laca::diffusion::exact::exact_diffuse;
+use laca::graph::gen::{AttributeSpec, AttributedGraphSpec};
+use laca::prelude::*;
+
+fn dataset() -> AttributedDataset {
+    AttributedGraphSpec {
+        n: 250,
+        n_clusters: 3,
+        avg_degree: 9.0,
+        p_intra: 0.8,
+        missing_intra: 0.05,
+        degree_exponent: 2.5,
+        cluster_size_skew: 0.2,
+        attributes: Some(AttributeSpec { dim: 80, topic_words: 12, tokens_per_node: 20, attr_noise: 0.25 }),
+        seed: 0xB0B,
+    }
+    .generate("bounds")
+    .unwrap()
+}
+
+#[test]
+fn eq14_holds_across_alpha_and_epsilon() {
+    let ds = dataset();
+    let f = SparseVec::from_pairs([(0, 0.6), (10, 0.4)]);
+    for &alpha in &[0.5, 0.8, 0.95] {
+        for &eps in &[1e-2, 1e-4] {
+            let params = DiffusionParams::new(alpha, eps);
+            let out = adaptive_diffuse(&ds.graph, &f, &params).unwrap();
+            let exact = exact_diffuse(&ds.graph, &f, alpha, 1e-14);
+            for t in 0..ds.graph.n() as NodeId {
+                let gap = exact[t as usize] - out.reserve.get(t);
+                assert!(gap >= -1e-9, "alpha {alpha} eps {eps} t {t}: gap {gap}");
+                assert!(
+                    gap <= eps * ds.graph.weighted_degree(t) + 1e-9,
+                    "alpha {alpha} eps {eps} t {t}: gap {gap}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_v4_gap_shrinks_linearly_with_epsilon() {
+    let ds = dataset();
+    let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(16, MetricFn::Cosine)).unwrap();
+    let exact = exact_bdd_with_tnam(&ds.graph, &tnam, 0, 0.8, 1e-13);
+    let mut max_gaps = Vec::new();
+    for &eps in &[1e-3, 1e-4, 1e-5] {
+        let engine = Laca::new(&ds.graph, Some(&tnam), LacaParams::new(eps)).unwrap();
+        let rho = engine.bdd(0).unwrap();
+        let max_gap = (0..ds.graph.n() as NodeId)
+            .map(|t| exact[t as usize] - rho.get(t))
+            .fold(0.0f64, f64::max);
+        max_gaps.push(max_gap);
+    }
+    // Gap must be monotonically shrinking and roughly linear in ε.
+    assert!(max_gaps[0] >= max_gaps[1] - 1e-12);
+    assert!(max_gaps[1] >= max_gaps[2] - 1e-12);
+    assert!(
+        max_gaps[2] <= max_gaps[0] / 10.0 + 1e-9,
+        "gaps {max_gaps:?} do not shrink linearly"
+    );
+}
+
+#[test]
+fn without_snas_bdd_matches_identity_snas_reference() {
+    let ds = dataset();
+    let eps = 1e-6;
+    let engine = Laca::new(&ds.graph, None, LacaParams::new(eps).without_snas()).unwrap();
+    let rho = engine.bdd(3).unwrap();
+    let exact = exact_bdd_identity(&ds.graph, 3, 0.8, 1e-13);
+    for t in 0..ds.graph.n() as NodeId {
+        let gap = exact[t as usize] - rho.get(t);
+        assert!(gap >= -1e-8, "t {t}: approx exceeds exact by {}", -gap);
+        // The Theorem V.4 slack for the identity SNAS collapses to
+        // (1 + Σ d_i)·ε; check a cruder but sufficient bound here.
+        assert!(gap <= (1.0 + ds.graph.total_volume()) * eps, "t {t}: gap {gap}");
+    }
+}
+
+#[test]
+fn gnn_identity_holds_on_generated_data() {
+    let ds = AttributedGraphSpec {
+        n: 60,
+        n_clusters: 2,
+        avg_degree: 6.0,
+        p_intra: 0.9,
+        missing_intra: 0.0,
+        degree_exponent: 0.0,
+        cluster_size_skew: 0.0,
+        attributes: Some(AttributeSpec { dim: 20, topic_words: 5, tokens_per_node: 10, attr_noise: 0.1 }),
+        seed: 0x61,
+    }
+    .generate("gnn")
+    .unwrap();
+    // Full-rank TNAM (k = d): the factorization is exact and all z·z
+    // products are non-negative, so the identity ρ_t = h⁽ˢ⁾·h⁽ᵗ⁾ holds to
+    // numerical accuracy. (At truncated rank, tiny negative z·z values are
+    // clamped inside the BDD reference, perturbing the identity at ~1e-5.)
+    let k = ds.attributes.dim();
+    let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(k, MetricFn::Cosine)).unwrap();
+    let h = smooth_embeddings(&ds.graph, &tnam, 0.8, 1e-12);
+    for s in [0u32, 17, 42] {
+        let rho = exact_bdd_with_tnam(&ds.graph, &tnam, s, 0.8, 1e-14);
+        for t in 0..ds.graph.n() as NodeId {
+            let via_gnn = bdd_from_embeddings(&h, s, t);
+            assert!(
+                (rho[t as usize] - via_gnn).abs() < 1e-6,
+                "s {s} t {t}: {} vs {via_gnn}",
+                rho[t as usize]
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma_iv3_volume_bound_through_the_facade() {
+    let ds = dataset();
+    let f = SparseVec::unit(5);
+    for &sigma in &[0.0, 0.5, 1.0] {
+        let eps = 5e-4;
+        let alpha = 0.8;
+        let params = DiffusionParams::new(alpha, eps).with_sigma(sigma);
+        let out = adaptive_diffuse(&ds.graph, &f, &params).unwrap();
+        let beta = if sigma >= 1.0 { 1.0 } else { 2.0 };
+        let bound = beta * f.l1_norm() / ((1.0 - alpha) * eps);
+        assert!(out.reserve.volume(&ds.graph) <= bound + 1e-9);
+    }
+}

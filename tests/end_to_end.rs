@@ -1,0 +1,103 @@
+//! End-to-end integration: dataset generation → persistence → TNAM →
+//! LACA queries → evaluation, entirely through the `laca` facade.
+
+use laca::eval::metrics::{precision, recall};
+use laca::graph::gen::{AttributeSpec, AttributedGraphSpec};
+use laca::graph::io::{load_dataset, save_dataset};
+use laca::prelude::*;
+
+fn spec() -> AttributedGraphSpec {
+    AttributedGraphSpec {
+        n: 500,
+        n_clusters: 5,
+        avg_degree: 10.0,
+        p_intra: 0.82,
+        missing_intra: 0.05,
+        degree_exponent: 2.4,
+        cluster_size_skew: 0.25,
+        attributes: Some(AttributeSpec { dim: 120, topic_words: 15, tokens_per_node: 25, attr_noise: 0.3 }),
+        seed: 0xE2E,
+    }
+}
+
+#[test]
+fn full_pipeline_recovers_planted_communities() {
+    let ds = spec().generate("e2e").unwrap();
+    let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(24, MetricFn::Cosine)).unwrap();
+    let engine = Laca::new(&ds.graph, Some(&tnam), LacaParams::new(1e-5)).unwrap();
+    let mut total_p = 0.0;
+    let mut total_r = 0.0;
+    let seeds: Vec<NodeId> = (0..20).map(|i| i * 23).collect();
+    for &s in &seeds {
+        let truth = ds.ground_truth(s);
+        let cluster = engine.cluster(s, truth.len()).unwrap();
+        assert_eq!(cluster.len(), truth.len());
+        total_p += precision(&cluster, truth);
+        total_r += recall(&cluster, truth);
+    }
+    let avg_p = total_p / seeds.len() as f64;
+    let avg_r = total_r / seeds.len() as f64;
+    assert!(avg_p > 0.6, "avg precision {avg_p}");
+    assert!(avg_r > 0.5, "avg recall {avg_r}");
+}
+
+#[test]
+fn persistence_round_trip_preserves_query_results() {
+    let ds = spec().generate("e2e-io").unwrap();
+    let dir = std::env::temp_dir().join(format!("laca-e2e-{}", std::process::id()));
+    save_dataset(&dir, &ds).unwrap();
+    let ds2 = load_dataset(&dir, "e2e-io").unwrap();
+    assert_eq!(ds.graph, ds2.graph);
+    assert_eq!(ds.membership, ds2.membership);
+
+    // Identical TNAM seeds on the reloaded attributes must give identical
+    // clusters (attribute values survive the text round trip to f64
+    // print precision, which is exact for `{}` formatting of f64).
+    let t1 = Tnam::build(&ds.attributes, &TnamConfig::new(16, MetricFn::Cosine)).unwrap();
+    let t2 = Tnam::build(&ds2.attributes, &TnamConfig::new(16, MetricFn::Cosine)).unwrap();
+    let e1 = Laca::new(&ds.graph, Some(&t1), LacaParams::new(1e-4)).unwrap();
+    let e2 = Laca::new(&ds2.graph, Some(&t2), LacaParams::new(1e-4)).unwrap();
+    for s in [0u32, 100, 250] {
+        assert_eq!(e1.cluster(s, 40).unwrap(), e2.cluster(s, 40).unwrap());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exp_cosine_pipeline_runs_end_to_end() {
+    let ds = spec().generate("e2e-exp").unwrap();
+    let tnam =
+        Tnam::build(&ds.attributes, &TnamConfig::new(24, MetricFn::ExpCosine { delta: 2.0 }))
+            .unwrap();
+    let engine = Laca::new(&ds.graph, Some(&tnam), LacaParams::new(1e-5)).unwrap();
+    let truth = ds.ground_truth(0);
+    let cluster = engine.cluster(0, truth.len()).unwrap();
+    assert!(precision(&cluster, truth) > 0.5);
+}
+
+#[test]
+fn sweep_cut_gives_low_conductance_cluster() {
+    let ds = spec().generate("e2e-sweep").unwrap();
+    let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(24, MetricFn::Cosine)).unwrap();
+    let engine = Laca::new(&ds.graph, Some(&tnam), LacaParams::new(1e-6)).unwrap();
+    let rho = engine.bdd(0).unwrap();
+    let (cluster, phi) = sweep_cut(&ds.graph, &rho);
+    assert!(!cluster.is_empty());
+    assert!(phi < 0.6, "conductance {phi}");
+    assert!((ds.graph.conductance(&cluster) - phi).abs() < 1e-10);
+}
+
+#[test]
+fn registry_datasets_are_valid() {
+    // Spot-check the registry at tiny scale: connected graphs, consistent
+    // ground truth, expected attribute dimensionality.
+    for name in ["cora", "arxiv", "com-dblp"] {
+        let scale = 0.02;
+        let spec = laca::graph::datasets::by_name(name, scale).unwrap();
+        let ds = spec.generate(name).unwrap();
+        assert!(ds.graph.is_connected(), "{name} disconnected");
+        for (i, &c) in ds.membership.iter().enumerate() {
+            assert!(ds.clusters[c as usize].contains(&(i as NodeId)));
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Integration coverage of the full method registry (all Table V rows)
+//! through the facade: every method must produce well-formed clusters, and
+//! the headline comparative *shapes* of the paper must hold on a
+//! noisy-structure dataset: LACA beats its topology-only ablation, which
+//! structure-only diffusion cannot do better than.
+
+use laca::eval::harness::{evaluate_parallel, sample_seeds};
+use laca::eval::methods::MethodSpec;
+use laca::eval::EvalComputeConfig;
+use laca::graph::gen::{AttributeSpec, AttributedGraphSpec};
+use laca::prelude::*;
+
+fn noisy_dataset() -> AttributedDataset {
+    AttributedGraphSpec {
+        n: 600,
+        n_clusters: 4,
+        avg_degree: 14.0,
+        p_intra: 0.45, // heavy structural noise, like Flickr
+        missing_intra: 0.1,
+        degree_exponent: 2.3,
+        cluster_size_skew: 0.2,
+        attributes: Some(AttributeSpec { dim: 150, topic_words: 20, tokens_per_node: 30, attr_noise: 0.25 }),
+        seed: 0x5EED,
+    }
+    .generate("noisy")
+    .unwrap()
+}
+
+#[test]
+fn all_registry_methods_produce_valid_clusters() {
+    let ds = noisy_dataset();
+    let cfg = EvalComputeConfig::default();
+    let seeds = sample_seeds(&ds, 5, 3);
+    for spec in MethodSpec::table_v_rows() {
+        let prepared = spec
+            .prepare(&ds, &cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
+        for &s in &seeds {
+            let size = ds.ground_truth(s).len();
+            let cluster = prepared
+                .cluster(s, size)
+                .unwrap_or_else(|e| panic!("{}: {e}", prepared.label));
+            assert!(cluster.contains(&s), "{} dropped seed", prepared.label);
+            assert!(!cluster.is_empty());
+            assert!(cluster.len() <= size);
+            for &v in &cluster {
+                assert!((v as usize) < ds.graph.n());
+            }
+        }
+    }
+}
+
+#[test]
+fn attribute_information_rescues_noisy_structure() {
+    // The paper's headline shape (Table V, Flickr column): on structurally
+    // noisy graphs, LACA (C) must beat both its own w/o-SNAS ablation and
+    // the structure-only diffusion baselines.
+    let ds = noisy_dataset();
+    let cfg = EvalComputeConfig::default();
+    let seeds = sample_seeds(&ds, 12, 9);
+    let precision_of = |spec: MethodSpec| {
+        let prepared = spec.prepare(&ds, &cfg).unwrap();
+        evaluate_parallel(&prepared, &ds, &seeds).avg_precision
+    };
+    let laca_c = precision_of(MethodSpec::LacaC);
+    let wo_snas = precision_of(MethodSpec::LacaWoSnas);
+    let pr_nibble = precision_of(MethodSpec::PrNibble);
+    let hk = precision_of(MethodSpec::HkRelax);
+    assert!(laca_c > wo_snas + 0.05, "LACA {laca_c} vs w/o SNAS {wo_snas}");
+    assert!(laca_c > pr_nibble, "LACA {laca_c} vs PR-Nibble {pr_nibble}");
+    assert!(laca_c > hk, "LACA {laca_c} vs HK-Relax {hk}");
+}
+
+#[test]
+fn laca_is_competitive_on_clean_structure_too() {
+    // On structurally clean graphs LACA must not fall behind the diffusion
+    // baselines (Table V, Cora/PubMed columns).
+    let ds = AttributedGraphSpec {
+        n: 600,
+        n_clusters: 4,
+        avg_degree: 10.0,
+        p_intra: 0.9,
+        missing_intra: 0.02,
+        degree_exponent: 2.4,
+        cluster_size_skew: 0.2,
+        attributes: Some(AttributeSpec { dim: 150, topic_words: 20, tokens_per_node: 30, attr_noise: 0.25 }),
+        seed: 0xC1EA,
+    }
+    .generate("clean")
+    .unwrap();
+    let cfg = EvalComputeConfig::default();
+    let seeds = sample_seeds(&ds, 10, 4);
+    let precision_of = |spec: MethodSpec| {
+        let prepared = spec.prepare(&ds, &cfg).unwrap();
+        evaluate_parallel(&prepared, &ds, &seeds).avg_precision
+    };
+    let laca_c = precision_of(MethodSpec::LacaC);
+    let pr = precision_of(MethodSpec::PrNibble);
+    assert!(laca_c >= pr - 0.05, "LACA {laca_c} vs PR-Nibble {pr}");
+    assert!(laca_c > 0.6, "LACA {laca_c}");
+}

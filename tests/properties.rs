@@ -1,0 +1,167 @@
+//! Property-based invariants (proptest) over randomly generated connected
+//! graphs and inputs:
+//!
+//! * Eq. 14 approximation bound for all three diffusion solvers,
+//! * mass conservation (`‖q‖₁ + ‖r‖₁ = ‖f‖₁`),
+//! * Lemma IV.3 volume bound,
+//! * SNAS symmetry and range,
+//! * TNAM factorization non-negativity (cosine),
+//! * top-k extraction well-formedness.
+
+use laca::core::snas::ExactSnas;
+use laca::diffusion::exact::exact_diffuse;
+use laca::diffusion::{greedy_diffuse, nongreedy_diffuse};
+use laca::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a connected graph on `n ∈ [4, 40]` nodes — a Hamiltonian
+/// backbone (guarantees connectivity) plus random chords.
+fn connected_graph() -> impl Strategy<Value = CsrGraph> {
+    (4usize..40).prop_flat_map(|n| {
+        let extra = proptest::collection::vec((0..n as u32, 0..n as u32), 0..3 * n);
+        extra.prop_map(move |chords| {
+            let mut edges: Vec<(NodeId, NodeId)> =
+                (1..n as u32).map(|v| (v - 1, v)).collect();
+            edges.extend(chords.into_iter().filter(|&(a, b)| a != b));
+            CsrGraph::from_edges(n, &edges).unwrap()
+        })
+    })
+}
+
+/// Strategy: a non-negative sparse input vector supported on the graph.
+fn input_vector(n: usize) -> impl Strategy<Value = SparseVec> {
+    proptest::collection::vec((0..n as u32, 0.01f64..2.0), 1..5)
+        .prop_map(SparseVec::from_pairs)
+}
+
+/// Strategy: sparse unit-normalizable attribute rows.
+fn attribute_rows(n: usize) -> impl Strategy<Value = AttributeMatrix> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..12, 0.1f64..2.0), 1..5),
+        n..=n,
+    )
+    .prop_map(|rows| AttributeMatrix::from_rows(12, &rows).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn diffusion_bound_holds_for_all_solvers(
+        g in connected_graph(),
+        seed_idx in 0usize..1000,
+        alpha in 0.3f64..0.95,
+        eps in 1e-4f64..0.3,
+        sigma in 0.0f64..1.0,
+    ) {
+        let n = g.n();
+        let f = SparseVec::unit((seed_idx % n) as NodeId);
+        let exact = exact_diffuse(&g, &f, alpha, 1e-14);
+        let params = DiffusionParams { alpha, epsilon: eps, sigma, record_residuals: false };
+        for out in [
+            greedy_diffuse(&g, &f, &params).unwrap(),
+            nongreedy_diffuse(&g, &f, &params).unwrap(),
+            adaptive_diffuse(&g, &f, &params).unwrap(),
+        ] {
+            for t in 0..n as NodeId {
+                let gap = exact[t as usize] - out.reserve.get(t);
+                prop_assert!(gap >= -1e-9, "negative gap {gap} at {t}");
+                prop_assert!(
+                    gap <= eps * g.weighted_degree(t) + 1e-9,
+                    "gap {gap} exceeds bound at {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diffusion_conserves_mass(
+        g in connected_graph(),
+        f_pairs in proptest::collection::vec((0u32..1000, 0.01f64..2.0), 1..5),
+        sigma in 0.0f64..1.0,
+    ) {
+        let n = g.n() as u32;
+        let f = SparseVec::from_pairs(f_pairs.into_iter().map(|(v, x)| (v % n, x)));
+        let params = DiffusionParams::new(0.8, 1e-3).with_sigma(sigma);
+        let out = adaptive_diffuse(&g, &f, &params).unwrap();
+        let total = out.reserve.l1_norm() + out.residual.l1_norm();
+        prop_assert!((total - f.l1_norm()).abs() < 1e-9, "mass {total} vs {}", f.l1_norm());
+    }
+
+    #[test]
+    fn lemma_iv3_volume_bound(
+        g in connected_graph(),
+        seed_idx in 0usize..1000,
+        sigma in 0.0f64..1.0,
+        eps in 1e-3f64..0.1,
+    ) {
+        let alpha = 0.8;
+        let f = SparseVec::unit((seed_idx % g.n()) as NodeId);
+        let params = DiffusionParams::new(alpha, eps).with_sigma(sigma);
+        let out = adaptive_diffuse(&g, &f, &params).unwrap();
+        let beta = if sigma >= 1.0 { 1.0 } else { 2.0 };
+        prop_assert!(
+            out.reserve.volume(&g) <= beta * f.l1_norm() / ((1.0 - alpha) * eps) + 1e-9
+        );
+        prop_assert!(out.reserve.support_size() as f64 <= out.reserve.volume(&g) + 1e-9);
+    }
+
+    #[test]
+    fn snas_is_symmetric_and_in_unit_range(rows in (3usize..10).prop_flat_map(attribute_rows)) {
+        let snas = ExactSnas::new(&rows, laca::core::MetricFn::Cosine).unwrap();
+        let n = rows.n();
+        for i in 0..n {
+            for j in 0..n {
+                let a = snas.s(&rows, i, j);
+                let b = snas.s(&rows, j, i);
+                prop_assert!((a - b).abs() < 1e-10);
+                prop_assert!((-1e-10..=1.0 + 1e-10).contains(&a), "s({i},{j}) = {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn tnam_cosine_factorization_stays_close_to_exact(
+        rows in (4usize..10).prop_flat_map(attribute_rows)
+    ) {
+        // Full-rank TNAM (k = d) must reproduce the exact SNAS.
+        let tnam = Tnam::build(&rows, &TnamConfig::new(12, MetricFn::Cosine)).unwrap();
+        let snas = ExactSnas::new(&rows, MetricFn::Cosine).unwrap();
+        for i in 0..rows.n() {
+            for j in 0..rows.n() {
+                prop_assert!(
+                    (tnam.s_approx(i, j) - snas.s(&rows, i, j)).abs() < 1e-6,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_cluster_is_well_formed(
+        pairs in proptest::collection::vec((0u32..60, 0.0f64..1.0), 0..40),
+        seed in 0u32..60,
+        size in 1usize..20,
+    ) {
+        let score = SparseVec::from_pairs(pairs);
+        let cluster = top_k_cluster(&score, seed, size);
+        prop_assert!(cluster.contains(&seed));
+        prop_assert!(cluster.len() <= size.max(1));
+        let set: std::collections::HashSet<_> = cluster.iter().collect();
+        prop_assert_eq!(set.len(), cluster.len(), "duplicates");
+    }
+
+    #[test]
+    fn sweep_cut_conductance_is_consistent(
+        g in connected_graph(),
+        pairs in proptest::collection::vec((0u32..1000, 0.01f64..1.0), 1..20),
+    ) {
+        let n = g.n() as u32;
+        let score = SparseVec::from_pairs(pairs.into_iter().map(|(v, x)| (v % n, x)));
+        let (cluster, phi) = sweep_cut(&g, &score);
+        if !cluster.is_empty() {
+            prop_assert!((g.conductance(&cluster) - phi).abs() < 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&phi));
+        }
+    }
+}
