@@ -58,9 +58,8 @@ impl<'g, 'a> AttriRank<'g, 'a> {
                 *c += v;
             }
         }
-        let mut prior: Vec<f64> = (0..n)
-            .map(|i| laca_linalg::dense::dot(us.row(i), &colsum).max(0.0))
-            .collect();
+        let mut prior: Vec<f64> =
+            (0..n).map(|i| laca_linalg::dense::dot(us.row(i), &colsum).max(0.0)).collect();
         let total: f64 = prior.iter().sum();
         if total <= 0.0 {
             prior = vec![1.0 / n as f64; n];
@@ -74,8 +73,7 @@ impl<'g, 'a> AttriRank<'g, 'a> {
         let mut next = vec![0.0; n];
         for _ in 0..iters {
             next.iter_mut().for_each(|v| *v = 0.0);
-            for v in 0..n {
-                let rv = rank[v];
+            for (v, &rv) in rank.iter().enumerate() {
                 if rv == 0.0 {
                     continue;
                 }
@@ -103,8 +101,7 @@ impl<'g, 'a> AttriRank<'g, 'a> {
         }
         let seed_row = self.attrs.dense_row(seed as usize);
         let cos = self.attrs.mul_vec(&seed_row)?;
-        let score: Vec<f64> =
-            self.rank.iter().zip(&cos).map(|(&r, &c)| r * c.max(0.0)).collect();
+        let score: Vec<f64> = self.rank.iter().zip(&cos).map(|(&r, &c)| r * c.max(0.0)).collect();
         Ok(Score::Dense(score))
     }
 
@@ -129,7 +126,12 @@ mod tests {
             missing_intra: 0.0,
             degree_exponent: 2.3,
             cluster_size_skew: 0.2,
-            attributes: Some(AttributeSpec { dim: 50, topic_words: 10, tokens_per_node: 20, attr_noise: 0.2 }),
+            attributes: Some(AttributeSpec {
+                dim: 50,
+                topic_words: 10,
+                tokens_per_node: 20,
+                attr_noise: 0.2,
+            }),
             seed: 19,
         }
         .generate("ar")

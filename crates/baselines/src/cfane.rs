@@ -122,7 +122,12 @@ mod tests {
             missing_intra: 0.0,
             degree_exponent: 2.3,
             cluster_size_skew: 0.2,
-            attributes: Some(AttributeSpec { dim: 60, topic_words: 12, tokens_per_node: 20, attr_noise: 0.25 }),
+            attributes: Some(AttributeSpec {
+                dim: 60,
+                topic_words: 12,
+                tokens_per_node: 20,
+                attr_noise: 0.25,
+            }),
             seed: 37,
         }
         .generate("cfane")
@@ -162,10 +167,8 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let ds = dataset();
-        assert!(
-            cfane_embeddings(&ds.graph, &AttributeMatrix::empty(150), &CfaneConfig::default())
-                .is_err()
-        );
+        assert!(cfane_embeddings(&ds.graph, &AttributeMatrix::empty(150), &CfaneConfig::default())
+            .is_err());
         let bad = CfaneConfig { dim: 0, ..Default::default() };
         assert!(cfane_embeddings(&ds.graph, &ds.attributes, &bad).is_err());
     }

@@ -46,12 +46,7 @@ impl<'g> Crd<'g> {
 
     /// Unit-Flow: routes excess (m(v) > d(v)) with push-relabel under edge
     /// capacity `U` and label bound `h`. Returns remaining total excess.
-    fn unit_flow(
-        &self,
-        m: &mut SparseVec,
-        labels: &mut FxHashMap<NodeId, usize>,
-        h: usize,
-    ) -> f64 {
+    fn unit_flow(&self, m: &mut SparseVec, labels: &mut FxHashMap<NodeId, usize>, h: usize) -> f64 {
         let g = self.graph;
         // Per-(directed-edge) routed flow this round, keyed by (from, to).
         let mut flow: FxHashMap<(NodeId, NodeId), f64> = FxHashMap::default();
@@ -115,9 +110,7 @@ impl<'g> Crd<'g> {
                 }
             }
         }
-        m.iter()
-            .map(|(v, mass)| (mass - self.graph.weighted_degree(v)).max(0.0))
-            .sum()
+        m.iter().map(|(v, mass)| (mass - self.graph.weighted_degree(v)).max(0.0)).sum()
     }
 
     /// Normalized settled-mass scores for a seed. `size_hint` controls how
@@ -143,10 +136,8 @@ impl<'g> Crd<'g> {
                 break;
             }
             // Capacity release: grow mass at saturated nodes.
-            let saturated: Vec<(NodeId, f64)> = m
-                .iter()
-                .filter(|&(v, mass)| mass >= g.weighted_degree(v) * 0.999)
-                .collect();
+            let saturated: Vec<(NodeId, f64)> =
+                m.iter().filter(|&(v, mass)| mass >= g.weighted_degree(v) * 0.999).collect();
             if saturated.is_empty() {
                 break;
             }

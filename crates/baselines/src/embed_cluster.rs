@@ -35,9 +35,8 @@ fn cosine(a: &[f64], b: &[f64]) -> f64 {
 pub fn knn_cluster(emb: &DenseMatrix, seed: NodeId, size: usize) -> Vec<NodeId> {
     let n = emb.rows();
     let srow = emb.row(seed as usize);
-    let mut scored: Vec<(NodeId, f64)> = (0..n)
-        .map(|v| (v as NodeId, cosine(srow, emb.row(v))))
-        .collect();
+    let mut scored: Vec<(NodeId, f64)> =
+        (0..n).map(|v| (v as NodeId, cosine(srow, emb.row(v)))).collect();
     scored.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
     let mut out: Vec<NodeId> = vec![seed];
     for (v, _) in scored {
@@ -72,10 +71,8 @@ pub fn kmeans_cluster(
     while centroids.len() < k {
         let mut total = 0.0;
         for (v, dv) in dist2.iter_mut().enumerate() {
-            let best = centroids
-                .iter()
-                .map(|c| sq_dist(emb.row(v), c))
-                .fold(f64::INFINITY, f64::min);
+            let best =
+                centroids.iter().map(|c| sq_dist(emb.row(v), c)).fold(f64::INFINITY, f64::min);
             *dv = best;
             total += best;
         }
@@ -99,16 +96,16 @@ pub fn kmeans_cluster(
     let mut assign = vec![0usize; n];
     for _ in 0..25 {
         let mut changed = false;
-        for v in 0..n {
+        for (v, a) in assign.iter_mut().enumerate() {
             let row = emb.row(v);
             let (best, _) = centroids
                 .iter()
                 .enumerate()
                 .map(|(c, cent)| (c, sq_dist(row, cent)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .min_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
                 .unwrap();
-            if assign[v] != best {
-                assign[v] = best;
+            if *a != best {
+                *a = best;
                 changed = true;
             }
         }
@@ -178,8 +175,7 @@ pub fn dbscan_cluster(
             }
         }
     }
-    let members: Vec<NodeId> =
-        (0..n).filter(|&v| in_cluster[v]).map(|v| v as NodeId).collect();
+    let members: Vec<NodeId> = (0..n).filter(|&v| in_cluster[v]).map(|v| v as NodeId).collect();
     trim_or_pad(emb, seed, size, members)
 }
 

@@ -71,9 +71,7 @@ impl<'g> FlowDiffusion<'g> {
         // Source mass must stay well below the total sink capacity
         // (Σ T(v) = vol(G)) or the excess can never be absorbed.
         let desired = self.mass_factor * (size_hint.max(1) as f64) * avg_degree;
-        let source = desired
-            .min(0.45 * g.total_volume())
-            .max(2.0 * g.weighted_degree(seed));
+        let source = desired.min(0.45 * g.total_volume()).max(2.0 * g.weighted_degree(seed));
         let mut x = SparseVec::new();
         let mut mass = SparseVec::new();
         mass.set(seed, source);
@@ -154,7 +152,11 @@ impl<'g> FlowDiffusion<'g> {
     }
 
     /// Sweep-cut cluster over the potentials.
-    pub fn sweep(&self, seed: NodeId, size_hint: usize) -> Result<(Vec<NodeId>, f64), BaselineError> {
+    pub fn sweep(
+        &self,
+        seed: NodeId,
+        size_hint: usize,
+    ) -> Result<(Vec<NodeId>, f64), BaselineError> {
         let score = match self.score(seed, size_hint)? {
             Score::Sparse(s) => s,
             Score::Dense(_) => unreachable!("flow-diffusion potentials are sparse"),

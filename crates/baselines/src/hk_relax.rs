@@ -141,11 +141,11 @@ mod tests {
                 *hv += coeff * cv;
             }
             let mut next = vec![0.0; n];
-            for v in 0..n {
-                if cur[v] == 0.0 {
+            for (v, &cv) in cur.iter().enumerate() {
+                if cv == 0.0 {
                     continue;
                 }
-                let share = cur[v] / g.weighted_degree(v as NodeId);
+                let share = cv / g.weighted_degree(v as NodeId);
                 for (u, w) in g.edges_of(v as NodeId) {
                     next[u as usize] += share * w;
                 }

@@ -31,11 +31,8 @@ mod tests {
     #[test]
     fn similar_endpoints_get_heavier_edges() {
         let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
-        let x = AttributeMatrix::from_rows(
-            3,
-            &[vec![(0, 1.0)], vec![(0, 1.0)], vec![(2, 1.0)]],
-        )
-        .unwrap();
+        let x = AttributeMatrix::from_rows(3, &[vec![(0, 1.0)], vec![(0, 1.0)], vec![(2, 1.0)]])
+            .unwrap();
         let gw = gaussian_reweighted(&g, &x, 1.0).unwrap();
         // Edge (0,1): identical attributes → weight 1. Edge (1,2): sq dist 2.
         let w01 = gw.neighbor_weights(0).unwrap()[0];

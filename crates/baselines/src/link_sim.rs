@@ -154,11 +154,7 @@ mod tests {
     fn adamic_adar_weights_low_degree_neighbors_higher() {
         // Star + triangle: common neighbor via a low-degree node should
         // count more than via a hub.
-        let g = CsrGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 3), (3, 2), (3, 4), (3, 5)],
-        )
-        .unwrap();
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (0, 3), (3, 2), (3, 4), (3, 5)]).unwrap();
         let ls = LinkSim::new(&g, LinkSimKind::AdamicAdar);
         let s = ls.score(0).unwrap();
         // Node 2 is reachable via node 1 (degree 2) and node 3 (degree 4):

@@ -139,9 +139,8 @@ pub fn node2vec_embeddings(
     }
 
     // Input ("in") and context ("out") vectors, f64 for simplicity.
-    let mut emb_in: Vec<f64> = (0..n * cfg.dim)
-        .map(|_| (rng.gen::<f64>() - 0.5) / cfg.dim as f64)
-        .collect();
+    let mut emb_in: Vec<f64> =
+        (0..n * cfg.dim).map(|_| (rng.gen::<f64>() - 0.5) / cfg.dim as f64).collect();
     let mut emb_out: Vec<f64> = vec![0.0; n * cfg.dim];
 
     let total_pairs = (walks.len() * cfg.walk_length * cfg.epochs).max(1);
@@ -155,11 +154,10 @@ pub fn node2vec_embeddings(
                 let lr = cfg.lr * (1.0 - seen_pairs as f64 / total_pairs as f64).max(1e-4);
                 let lo = pos.saturating_sub(cfg.window);
                 let hi = (pos + cfg.window + 1).min(walk.len());
-                for ctx_pos in lo..hi {
+                for (ctx_pos, &context) in walk.iter().enumerate().take(hi).skip(lo) {
                     if ctx_pos == pos {
                         continue;
                     }
-                    let context = walk[ctx_pos];
                     let ci = center as usize * cfg.dim;
                     grad.iter_mut().for_each(|g| *g = 0.0);
                     // Positive update + negatives.
@@ -234,13 +232,11 @@ mod tests {
     fn return_bias_changes_walk_statistics() {
         let ds = dataset();
         let revisits = |p: f64| {
-            let cfg = Node2VecConfig { walks_per_node: 2, walk_length: 12, p, ..Default::default() };
+            let cfg =
+                Node2VecConfig { walks_per_node: 2, walk_length: 12, p, ..Default::default() };
             let mut rng = StdRng::seed_from_u64(5);
             let walks = generate_walks(&ds.graph, &cfg, &mut rng);
-            walks
-                .iter()
-                .map(|w| w.windows(3).filter(|t| t[0] == t[2]).count())
-                .sum::<usize>()
+            walks.iter().map(|w| w.windows(3).filter(|t| t[0] == t[2]).count()).sum::<usize>()
         };
         // Small p strongly encourages immediate backtracking.
         assert!(revisits(0.05) > revisits(20.0), "return bias had no effect");
@@ -263,7 +259,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let ds = dataset();
-        let cfg = Node2VecConfig { dim: 8, walks_per_node: 1, walk_length: 8, ..Default::default() };
+        let cfg =
+            Node2VecConfig { dim: 8, walks_per_node: 1, walk_length: 8, ..Default::default() };
         let a = node2vec_embeddings(&ds.graph, &cfg).unwrap();
         let b = node2vec_embeddings(&ds.graph, &cfg).unwrap();
         assert!(a.max_abs_diff(&b) == 0.0);

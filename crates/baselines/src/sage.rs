@@ -116,7 +116,12 @@ mod tests {
             missing_intra: 0.0,
             degree_exponent: 2.3,
             cluster_size_skew: 0.2,
-            attributes: Some(AttributeSpec { dim: 60, topic_words: 12, tokens_per_node: 20, attr_noise: 0.2 }),
+            attributes: Some(AttributeSpec {
+                dim: 60,
+                topic_words: 12,
+                tokens_per_node: 20,
+                attr_noise: 0.2,
+            }),
             seed: 29,
         }
         .generate("sage")
@@ -132,9 +137,8 @@ mod tests {
             assert!(norm < 1.0 + 1e-9);
             // ReLU can zero a row in principle, but most rows must be unit.
         }
-        let nonzero = (0..emb.rows())
-            .filter(|&i| laca_linalg::dense::norm2(emb.row(i)) > 0.9)
-            .count();
+        let nonzero =
+            (0..emb.rows()).filter(|&i| laca_linalg::dense::norm2(emb.row(i)) > 0.9).count();
         assert!(nonzero > emb.rows() / 2);
     }
 

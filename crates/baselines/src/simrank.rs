@@ -39,8 +39,7 @@ impl<'g> SimRank<'g> {
     fn forward(&self, y: &[f64]) -> Vec<f64> {
         let g = self.graph;
         let mut out = vec![0.0; g.n()];
-        for v in 0..g.n() {
-            let yv = y[v];
+        for (v, &yv) in y.iter().enumerate() {
             if yv == 0.0 {
                 continue;
             }
@@ -56,13 +55,13 @@ impl<'g> SimRank<'g> {
     fn backward(&self, y: &[f64]) -> Vec<f64> {
         let g = self.graph;
         let mut out = vec![0.0; g.n()];
-        for v in 0..g.n() {
+        for (v, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             let dv = g.weighted_degree(v as NodeId);
             for (x, w) in g.edges_of(v as NodeId) {
                 acc += y[x as usize] * w;
             }
-            out[v] = acc / dv;
+            *o = acc / dv;
         }
         out
     }
@@ -108,8 +107,7 @@ mod tests {
     use super::*;
 
     fn two_triangles() -> CsrGraph {
-        CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
-            .unwrap()
+        CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]).unwrap()
     }
 
     #[test]

@@ -35,10 +35,7 @@ fn bench_baselines(c: &mut Criterion) {
     });
     group.bench_function("sim_attr_c", |b| {
         b.iter(|| {
-            SimAttr::new(&ds.attributes, AttrSimKind::Cosine)
-                .unwrap()
-                .cluster(0, size)
-                .unwrap()
+            SimAttr::new(&ds.attributes, AttrSimKind::Cosine).unwrap().cluster(0, size).unwrap()
         })
     });
     group.finish();

@@ -3,7 +3,9 @@
 //! thresholds — the quantitative backing for Fig. 5 / Table II.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use laca_diffusion::{adaptive_diffuse, greedy_diffuse, nongreedy_diffuse, DiffusionParams, SparseVec};
+use laca_diffusion::{
+    adaptive_diffuse, greedy_diffuse, nongreedy_diffuse, DiffusionParams, SparseVec,
+};
 use laca_graph::datasets::pubmed_like;
 
 fn bench_diffusion(c: &mut Criterion) {
@@ -13,9 +15,11 @@ fn bench_diffusion(c: &mut Criterion) {
     group.sample_size(10);
     for eps in [1e-4f64, 1e-6f64] {
         let params = DiffusionParams::new(0.8, eps);
-        group.bench_with_input(BenchmarkId::new("greedy", format!("{eps:.0e}")), &params, |b, p| {
-            b.iter(|| greedy_diffuse(&ds.graph, &f, p).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("greedy", format!("{eps:.0e}")),
+            &params,
+            |b, p| b.iter(|| greedy_diffuse(&ds.graph, &f, p).unwrap()),
+        );
         group.bench_with_input(
             BenchmarkId::new("nongreedy", format!("{eps:.0e}")),
             &params,

@@ -12,17 +12,12 @@ fn bench_tnam(c: &mut Criterion) {
     group.sample_size(10);
     for k in [16usize, 32, 64] {
         group.bench_with_input(BenchmarkId::new("cosine_ksvd", k), &k, |b, &k| {
-            b.iter(|| {
-                Tnam::build(&ds.attributes, &TnamConfig::new(k, MetricFn::Cosine)).unwrap()
-            })
+            b.iter(|| Tnam::build(&ds.attributes, &TnamConfig::new(k, MetricFn::Cosine)).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("exp_orf", k), &k, |b, &k| {
             b.iter(|| {
-                Tnam::build(
-                    &ds.attributes,
-                    &TnamConfig::new(k, MetricFn::ExpCosine { delta: 1.0 }),
-                )
-                .unwrap()
+                Tnam::build(&ds.attributes, &TnamConfig::new(k, MetricFn::ExpCosine { delta: 1.0 }))
+                    .unwrap()
             })
         });
     }

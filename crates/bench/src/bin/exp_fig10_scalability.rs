@@ -47,8 +47,7 @@ fn main() {
                         _ => (v as usize, 1e-6),
                     };
                     let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(k, metric)).unwrap();
-                    let engine =
-                        Laca::new(&ds.graph, Some(&tnam), LacaParams::new(eps)).unwrap();
+                    let engine = Laca::new(&ds.graph, Some(&tnam), LacaParams::new(eps)).unwrap();
                     let mut total = Duration::ZERO;
                     for &s in &seeds {
                         let t0 = Instant::now();

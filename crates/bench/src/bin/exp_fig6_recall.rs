@@ -51,11 +51,9 @@ fn main() {
         let ds = load_dataset(name, args.scale);
         let seeds = sample_seeds(&ds, args.seeds, 0xF16);
         let tnam_c = Tnam::build(&ds.attributes, &TnamConfig::new(32, MetricFn::Cosine)).unwrap();
-        let tnam_e = Tnam::build(
-            &ds.attributes,
-            &TnamConfig::new(32, MetricFn::ExpCosine { delta: 1.0 }),
-        )
-        .unwrap();
+        let tnam_e =
+            Tnam::build(&ds.attributes, &TnamConfig::new(32, MetricFn::ExpCosine { delta: 1.0 }))
+                .unwrap();
         let weighted = gaussian_reweighted(&ds.graph, &ds.attributes, 1.0).unwrap();
 
         let mut table = Table::new(&[
@@ -70,8 +68,7 @@ fn main() {
         for &eps in &EPSILONS {
             let engine_c = Laca::new(&ds.graph, Some(&tnam_c), LacaParams::new(eps)).unwrap();
             let engine_e = Laca::new(&ds.graph, Some(&tnam_e), LacaParams::new(eps)).unwrap();
-            let engine_w =
-                Laca::new(&ds.graph, None, LacaParams::new(eps).without_snas()).unwrap();
+            let engine_w = Laca::new(&ds.graph, None, LacaParams::new(eps).without_snas()).unwrap();
             let run_engine = |engine: &Laca, s: NodeId| -> Vec<NodeId> {
                 let rho = engine.bdd(s).unwrap_or_default();
                 let mut c: Vec<NodeId> = rho.iter().map(|(v, _)| v).collect();
@@ -86,13 +83,22 @@ fn main() {
                 fmt3(avg_recall(&ds, &seeds, |s| run_engine(&engine_e, s))),
                 fmt3(avg_recall(&ds, &seeds, |s| run_engine(&engine_w, s))),
                 fmt3(avg_recall(&ds, &seeds, |s| {
-                    support_cluster(&PrNibble::new(&ds.graph, 0.8, eps.max(1e-9)).score(s).unwrap(), s)
+                    support_cluster(
+                        &PrNibble::new(&ds.graph, 0.8, eps.max(1e-9)).score(s).unwrap(),
+                        s,
+                    )
                 })),
                 fmt3(avg_recall(&ds, &seeds, |s| {
-                    support_cluster(&PrNibble::new(&weighted, 0.8, eps.max(1e-9)).score(s).unwrap(), s)
+                    support_cluster(
+                        &PrNibble::new(&weighted, 0.8, eps.max(1e-9)).score(s).unwrap(),
+                        s,
+                    )
                 })),
                 fmt3(avg_recall(&ds, &seeds, |s| {
-                    support_cluster(&HkRelax::new(&ds.graph, 5.0, eps.max(1e-9)).score(s).unwrap(), s)
+                    support_cluster(
+                        &HkRelax::new(&ds.graph, 5.0, eps.max(1e-9)).score(s).unwrap(),
+                        s,
+                    )
                 })),
             ];
             table.add_row(row);
@@ -100,8 +106,6 @@ fn main() {
         }
         banner(&format!("Fig. 6 analogue: recall vs epsilon ({name})"));
         println!("{}", table.render());
-        table
-            .write_csv(&args.out_dir.join(format!("fig6_recall_{name}.csv")))
-            .expect("write csv");
+        table.write_csv(&args.out_dir.join(format!("fig6_recall_{name}.csv"))).expect("write csv");
     }
 }

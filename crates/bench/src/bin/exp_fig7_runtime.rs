@@ -39,8 +39,7 @@ fn main() {
         let seeds = sample_seeds(&ds, args.seeds, 0xF17);
         let mut methods = vec![MethodSpec::LacaC, MethodSpec::LacaE];
         methods.extend(panel(name));
-        let mut table =
-            Table::new(&["Method", "Preprocessing", "Online (per query)", "Precision"]);
+        let mut table = Table::new(&["Method", "Preprocessing", "Online (per query)", "Precision"]);
         for spec in methods {
             match spec.prepare(&ds, &cfg) {
                 Ok(prepared) => {
@@ -64,8 +63,6 @@ fn main() {
         }
         banner(&format!("Fig. 7 analogue: running times ({name})"));
         println!("{}", table.render());
-        table
-            .write_csv(&args.out_dir.join(format!("fig7_runtime_{name}.csv")))
-            .expect("write csv");
+        table.write_csv(&args.out_dir.join(format!("fig7_runtime_{name}.csv"))).expect("write csv");
     }
 }

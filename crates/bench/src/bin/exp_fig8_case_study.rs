@@ -21,7 +21,11 @@ fn main() {
     let seed: NodeId = (0..ds.graph.n() as NodeId)
         .max_by_key(|&v| {
             let d = ds.graph.degree(v);
-            if d <= 12 { d } else { 0 }
+            if d <= 12 {
+                d
+            } else {
+                0
+            }
         })
         .unwrap();
     let scholar = |v: NodeId| format!("Scholar-{v:04}");

@@ -75,8 +75,7 @@ fn main() {
                             let k = if v < 0.0 { ds.attributes.dim() } else { v as usize };
                             let tnam =
                                 Tnam::build(&ds.attributes, &TnamConfig::new(k, metric)).unwrap();
-                            let p =
-                                avg_precision(&ds, &tnam, &LacaParams::new(1e-7), &seeds);
+                            let p = avg_precision(&ds, &tnam, &LacaParams::new(1e-7), &seeds);
                             rows[ri].push(fmt3(p));
                             eprintln!("[{name}] {mlabel} k={k}: {p:.3}");
                         }

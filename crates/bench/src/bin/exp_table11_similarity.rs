@@ -34,9 +34,7 @@ fn main() {
         let seeds = sample_seeds(&ds, args.seeds, 0x7ABB);
         let params = LacaParams::new(1e-7);
         // LACA (C) and (E).
-        for (row, metric) in
-            [(0usize, MetricFn::Cosine), (1, MetricFn::ExpCosine { delta: 1.0 })]
-        {
+        for (row, metric) in [(0usize, MetricFn::Cosine), (1, MetricFn::ExpCosine { delta: 1.0 })] {
             let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(32, metric)).unwrap();
             let engine = Laca::new(&ds.graph, Some(&tnam), params.clone()).unwrap();
             let mut acc = 0.0;

@@ -14,8 +14,7 @@ fn main() {
     let args = ExpArgs::parse(15);
     let names = args.dataset_names(&["pubmed", "yelp"]);
     let epsilon = 1e-6;
-    let mut table =
-        Table::new(&["Dataset", "Global avg. degree", "Greedy", "Non-greedy"]);
+    let mut table = Table::new(&["Dataset", "Global avg. degree", "Greedy", "Non-greedy"]);
     for name in &names {
         let ds = load_dataset(name, args.scale);
         let g = &ds.graph;

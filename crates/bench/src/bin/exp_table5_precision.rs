@@ -22,8 +22,7 @@ fn main() {
     let name_strs: Vec<String> = names.clone();
     headers.extend(name_strs.iter().map(String::as_str));
     let mut table = Table::new(&headers);
-    let mut cells: Vec<Vec<String>> =
-        methods.iter().map(|m| vec![m.label()]).collect();
+    let mut cells: Vec<Vec<String>> = methods.iter().map(|m| vec![m.label()]).collect();
 
     for name in &names {
         let ds = load_dataset(name, args.scale);
@@ -52,8 +51,7 @@ fn main() {
     }
     banner("Table V analogue: average precision (|Cs| = |Ys|)");
     println!("{}", table.render());
-    let suffix =
-        if args.datasets.is_empty() { "all".to_string() } else { args.datasets.join("_") };
+    let suffix = if args.datasets.is_empty() { "all".to_string() } else { args.datasets.join("_") };
     let path = args.out_dir.join(format!("table5_precision_{suffix}.csv"));
     table.write_csv(&path).expect("write csv");
     println!("csv written to {}", path.display());

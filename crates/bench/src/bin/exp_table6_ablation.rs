@@ -38,15 +38,9 @@ fn main() {
                 let mut acc = 0.0;
                 for &s in &seeds {
                     let truth = ds.ground_truth(s);
-                    let cluster = variant_cluster(
-                        &ds.graph,
-                        tnam.as_ref(),
-                        variant,
-                        &params,
-                        s,
-                        truth.len(),
-                    )
-                    .unwrap_or_default();
+                    let cluster =
+                        variant_cluster(&ds.graph, tnam.as_ref(), variant, &params, s, truth.len())
+                            .unwrap_or_default();
                     acc += precision(&cluster, truth);
                 }
                 let p = acc / seeds.len() as f64;

@@ -37,9 +37,7 @@ fn exact_bdd_impl(
         phi.set(i as NodeId, acc * graph.weighted_degree(i as NodeId));
     }
     let diffused = exact_diffuse(graph, &phi, alpha, tol);
-    (0..n)
-        .map(|t| diffused[t] / graph.weighted_degree(t as NodeId))
-        .collect()
+    (0..n).map(|t| diffused[t] / graph.weighted_degree(t as NodeId)).collect()
 }
 
 /// Exact BDD with the exact SNAS (Eq. 1).
@@ -87,13 +85,11 @@ pub fn exact_bdd_direct(
     let mut rho = vec![0.0; n];
     for (t, rho_t) in rho.iter_mut().enumerate() {
         let mut acc = 0.0;
-        for i in 0..n {
-            let ps = pi[seed as usize][i];
+        for (i, &ps) in pi[seed as usize].iter().enumerate() {
             if ps == 0.0 {
                 continue;
             }
-            for j in 0..n {
-                let pt = pi[t][j];
+            for (j, &pt) in pi[t].iter().enumerate() {
                 if pt > 0.0 {
                     acc += ps * s(i, j) * pt;
                 }
@@ -111,11 +107,8 @@ mod tests {
     use crate::tnam::TnamConfig;
 
     fn tiny() -> (CsrGraph, AttributeMatrix) {
-        let g = CsrGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
-        )
-        .unwrap();
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+            .unwrap();
         let x = AttributeMatrix::from_rows(
             4,
             &[

@@ -94,8 +94,7 @@ mod tests {
 
     fn two_triangles() -> CsrGraph {
         // Two triangles joined by one edge: the sweep must find a triangle.
-        CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
-            .unwrap()
+        CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]).unwrap()
     }
 
     #[test]

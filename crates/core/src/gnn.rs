@@ -69,11 +69,8 @@ mod tests {
     use laca_graph::AttributeMatrix;
 
     fn setup() -> (CsrGraph, Tnam) {
-        let g = CsrGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
-        )
-        .unwrap();
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+            .unwrap();
         let x = AttributeMatrix::from_rows(
             4,
             &[

@@ -12,7 +12,9 @@
 
 use crate::extract::top_k_cluster;
 use crate::{CoreError, Tnam};
-use laca_diffusion::{adaptive_diffuse, greedy_diffuse, nongreedy_diffuse, DiffusionParams, DiffusionStats, SparseVec};
+use laca_diffusion::{
+    adaptive_diffuse, greedy_diffuse, nongreedy_diffuse, DiffusionParams, DiffusionStats, SparseVec,
+};
 use laca_graph::{CsrGraph, NodeId};
 
 /// Which diffusion solver Algo. 4 invokes (the "w/o AdaptiveDiffuse"
@@ -48,7 +50,13 @@ pub struct LacaParams {
 impl LacaParams {
     /// Paper-typical defaults: `α = 0.8`, `σ = 0.1`.
     pub fn new(epsilon: f64) -> Self {
-        LacaParams { alpha: 0.8, epsilon, sigma: 0.1, backend: DiffusionBackend::Adaptive, use_snas: true }
+        LacaParams {
+            alpha: 0.8,
+            epsilon,
+            sigma: 0.1,
+            backend: DiffusionBackend::Adaptive,
+            use_snas: true,
+        }
     }
 
     /// Sets `α`.
@@ -174,8 +182,8 @@ impl<'g> Laca<'g> {
                     // Random-feature noise can push ψ·z⁽ⁱ⁾ slightly below
                     // zero; clamp so Step 3's input stays a valid
                     // non-negative diffusion vector.
-                    let val = tnam.dot_row(&psi, i as usize).max(0.0)
-                        * self.graph.weighted_degree(i);
+                    let val =
+                        tnam.dot_row(&psi, i as usize).max(0.0) * self.graph.weighted_degree(i);
                     phi.set(i, val);
                 }
                 phi
@@ -236,7 +244,12 @@ mod tests {
             missing_intra: 0.05,
             degree_exponent: 2.5,
             cluster_size_skew: 0.2,
-            attributes: Some(AttributeSpec { dim: 64, topic_words: 12, tokens_per_node: 25, attr_noise: 0.2 }),
+            attributes: Some(AttributeSpec {
+                dim: 64,
+                topic_words: 12,
+                tokens_per_node: 25,
+                attr_noise: 0.2,
+            }),
             seed: 77,
         }
         .generate("laca-test")
@@ -258,9 +271,7 @@ mod tests {
         // Slack term of the bound.
         let mut slack = 1.0;
         for i in 0..ds.graph.n() {
-            let max_s = (0..ds.graph.n())
-                .map(|j| tnam.s_approx(i, j))
-                .fold(0.0f64, f64::max);
+            let max_s = (0..ds.graph.n()).map(|j| tnam.s_approx(i, j)).fold(0.0f64, f64::max);
             slack += ds.graph.weighted_degree(i as u32) * max_s;
         }
         let bound = slack * eps;
@@ -305,8 +316,7 @@ mod tests {
     #[test]
     fn without_snas_matches_identity_snas_semantics() {
         let ds = dataset();
-        let engine =
-            Laca::new(&ds.graph, None, LacaParams::new(1e-5).without_snas()).unwrap();
+        let engine = Laca::new(&ds.graph, None, LacaParams::new(1e-5).without_snas()).unwrap();
         let rho = engine.bdd(5).unwrap();
         assert!(!rho.is_empty());
         // Seed should be among its own top nodes.

@@ -79,15 +79,10 @@ impl ExactSnas {
                 if delta <= 0.0 {
                     return Err(CoreError::BadParameter("delta must be > 0"));
                 }
-                (0..n)
-                    .map(|i| (0..n).map(|l| (attrs.dot(i, l) / delta).exp()).sum())
-                    .collect()
+                (0..n).map(|i| (0..n).map(|l| (attrs.dot(i, l) / delta).exp()).sum()).collect()
             }
         };
-        Ok(ExactSnas {
-            inv_sqrt_denom: to_inv_sqrt(&denoms),
-            kind: SnasKind::Metric(metric),
-        })
+        Ok(ExactSnas { inv_sqrt_denom: to_inv_sqrt(&denoms), kind: SnasKind::Metric(metric) })
     }
 
     /// Exact SNAS for a Table XI alternative metric (`O(n²)`).
@@ -96,9 +91,8 @@ impl ExactSnas {
             return Err(CoreError::NoAttributes);
         }
         let n = attrs.n();
-        let denoms: Vec<f64> = (0..n)
-            .map(|i| (0..n).map(|l| alt_f(attrs, metric, i, l)).sum())
-            .collect();
+        let denoms: Vec<f64> =
+            (0..n).map(|i| (0..n).map(|l| alt_f(attrs, metric, i, l)).sum()).collect();
         Ok(ExactSnas { inv_sqrt_denom: to_inv_sqrt(&denoms), kind: SnasKind::Alt(metric) })
     }
 
@@ -113,10 +107,7 @@ impl ExactSnas {
 }
 
 fn to_inv_sqrt(denoms: &[f64]) -> Vec<f64> {
-    denoms
-        .iter()
-        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
-        .collect()
+    denoms.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect()
 }
 
 fn alt_f(attrs: &AttributeMatrix, metric: AltMetricFn, i: usize, j: usize) -> f64 {

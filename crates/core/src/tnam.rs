@@ -92,7 +92,13 @@ impl Tnam {
         let metric = config.metric;
         let rows = match (metric, config.use_svd) {
             (MetricFn::Cosine, true) => {
-                let svd = randomized_svd(attrs, config.k, config.oversample, config.power_iters, config.seed)?;
+                let svd = randomized_svd(
+                    attrs,
+                    config.k,
+                    config.oversample,
+                    config.power_iters,
+                    config.seed,
+                )?;
                 Rows::Dense(normalize_dense(svd.u_sigma())?)
             }
             (MetricFn::Cosine, false) => {
@@ -100,17 +106,21 @@ impl Tnam {
                 let ones = vec![1.0; n];
                 let ystar = attrs.mul_transpose_vec(&ones)?;
                 let norms = attrs.mul_vec(&ystar)?;
-                let scales = norms
-                    .iter()
-                    .map(|&v| if v > 0.0 { 1.0 / v.sqrt() } else { 0.0 })
-                    .collect();
+                let scales =
+                    norms.iter().map(|&v| if v > 0.0 { 1.0 / v.sqrt() } else { 0.0 }).collect();
                 Rows::SparseScaled { attrs: attrs.clone(), scales }
             }
             (MetricFn::ExpCosine { delta }, true) => {
                 if delta <= 0.0 {
                     return Err(CoreError::BadParameter("delta must be > 0"));
                 }
-                let svd = randomized_svd(attrs, config.k, config.oversample, config.power_iters, config.seed)?;
+                let svd = randomized_svd(
+                    attrs,
+                    config.k,
+                    config.oversample,
+                    config.power_iters,
+                    config.seed,
+                )?;
                 let y = orf::orf_exp_features(&svd.u_sigma(), delta, config.seed ^ 0x0F0F)?;
                 Rows::Dense(normalize_dense(y)?)
             }
@@ -258,11 +268,7 @@ mod tests {
         let mut rows = Vec::new();
         for i in 0..8u32 {
             let base = if i < 4 { 0 } else { 5 };
-            rows.push(vec![
-                (base, 2.0),
-                (base + 1, 1.0 + (i % 3) as f64 * 0.5),
-                (base + 2, 0.5),
-            ]);
+            rows.push(vec![(base, 2.0), (base + 1, 1.0 + (i % 3) as f64 * 0.5), (base + 2, 0.5)]);
         }
         AttributeMatrix::from_rows(10, &rows).unwrap()
     }

@@ -35,8 +35,12 @@ pub enum LacaVariant {
 
 impl LacaVariant {
     /// All variants, in Table VI row order.
-    pub const ALL: [LacaVariant; 4] =
-        [LacaVariant::Full, LacaVariant::WithoutKSvd, LacaVariant::WithoutAdaptive, LacaVariant::WithoutSnas];
+    pub const ALL: [LacaVariant; 4] = [
+        LacaVariant::Full,
+        LacaVariant::WithoutKSvd,
+        LacaVariant::WithoutAdaptive,
+        LacaVariant::WithoutSnas,
+    ];
 
     /// Table row label.
     pub fn label(&self) -> &'static str {
@@ -201,7 +205,10 @@ impl AltSnasOracle {
     /// Precomputes the Eq. 1 denominators for an alternative metric.
     /// `O(n²)` — the paper reports the same limitation (Pearson could not
     /// finish large datasets).
-    pub fn new(attrs: &AttributeMatrix, metric: crate::snas::AltMetricFn) -> Result<Self, CoreError> {
+    pub fn new(
+        attrs: &AttributeMatrix,
+        metric: crate::snas::AltMetricFn,
+    ) -> Result<Self, CoreError> {
         Ok(AltSnasOracle {
             snas: crate::snas::ExactSnas::new_alt(attrs, metric)?,
             attrs: attrs.clone(),
@@ -269,7 +276,12 @@ mod tests {
             missing_intra: 0.0,
             degree_exponent: 2.5,
             cluster_size_skew: 0.2,
-            attributes: Some(AttributeSpec { dim: 40, topic_words: 10, tokens_per_node: 20, attr_noise: 0.2 }),
+            attributes: Some(AttributeSpec {
+                dim: 40,
+                topic_words: 10,
+                tokens_per_node: 20,
+                attr_noise: 0.2,
+            }),
             seed: 3,
         }
         .generate("v")
@@ -343,7 +355,7 @@ mod tests {
             let rho = bdd_variant_score(&ds.graph, &gs, variant, seed, &params).unwrap();
             let cluster = top_k_cluster(&rho, seed, truth.len());
             let p = precision(&cluster, truth);
-            assert!(p >= 0.0 && p <= 1.0);
+            assert!((0.0..=1.0).contains(&p));
             // Each variant must at least produce a non-trivial cluster.
             assert!(cluster.len() > 1, "{} returned a singleton", variant.label());
             let _ = laca_p; // shape assertion happens at experiment scale

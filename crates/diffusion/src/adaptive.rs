@@ -12,7 +12,9 @@
 //! preserving Theorem IV.2's guarantee and Lemma IV.3's volume bound.
 
 use crate::greedy::{extract_gamma, push_gamma};
-use crate::{check_input, DiffusionError, DiffusionParams, DiffusionResult, DiffusionStats, SparseVec};
+use crate::{
+    check_input, DiffusionError, DiffusionParams, DiffusionResult, DiffusionStats, SparseVec,
+};
 use laca_graph::CsrGraph;
 
 /// One non-greedy step (Eq. 17): converts `(1−α)` of *all* residual mass
@@ -46,9 +48,7 @@ pub fn nongreedy_diffuse(
     let mut q = SparseVec::new();
     let mut stats = DiffusionStats::default();
     loop {
-        let above = r
-            .iter()
-            .any(|(i, v)| v / graph.weighted_degree(i) >= params.epsilon);
+        let above = r.iter().any(|(i, v)| v / graph.weighted_degree(i) >= params.epsilon);
         if !above {
             break;
         }
@@ -83,10 +83,8 @@ pub fn adaptive_diffuse(
     loop {
         // Count the above-threshold fraction without yet removing entries.
         let supp_r = r.support_size();
-        let supp_gamma = r
-            .iter()
-            .filter(|&(i, v)| v / graph.weighted_degree(i) >= params.epsilon)
-            .count();
+        let supp_gamma =
+            r.iter().filter(|&(i, v)| v / graph.weighted_degree(i) >= params.epsilon).count();
         let ratio = if supp_r == 0 { 0.0 } else { supp_gamma as f64 / supp_r as f64 };
         let vol_r = r.volume(graph);
         if ratio > params.sigma && stats.nongreedy_cost + vol_r < budget {
@@ -117,7 +115,7 @@ mod tests {
     use super::*;
     use crate::exact::exact_diffuse;
     use crate::greedy::greedy_diffuse;
-    use laca_graph::gen::{AttributedGraphSpec, AttributeSpec};
+    use laca_graph::gen::{AttributeSpec, AttributedGraphSpec};
     use laca_graph::NodeId;
 
     fn test_graph() -> CsrGraph {

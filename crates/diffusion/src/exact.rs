@@ -10,8 +10,7 @@ use laca_graph::{CsrGraph, NodeId};
 /// One step of `x ← x · P` (row-vector times transition matrix).
 fn step(graph: &CsrGraph, x: &[f64], out: &mut [f64]) {
     out.iter_mut().for_each(|v| *v = 0.0);
-    for i in 0..graph.n() {
-        let xi = x[i];
+    for (i, &xi) in x.iter().enumerate() {
         if xi == 0.0 {
             continue;
         }
@@ -79,9 +78,9 @@ mod tests {
         // Lemma 1 of [43]: π(i, j)·d(i) = π(j, i)·d(j) on undirected graphs.
         let g = triangle_plus_tail();
         let pi = exact_rwr_matrix(&g, 0.7, 1e-14);
-        for i in 0..5usize {
-            for j in 0..5usize {
-                let lhs = pi[i][j] * g.weighted_degree(i as NodeId);
+        for (i, row) in pi.iter().enumerate() {
+            for (j, &pij) in row.iter().enumerate() {
+                let lhs = pij * g.weighted_degree(i as NodeId);
                 let rhs = pi[j][i] * g.weighted_degree(j as NodeId);
                 assert!((lhs - rhs).abs() < 1e-10, "({i},{j}): {lhs} vs {rhs}");
             }

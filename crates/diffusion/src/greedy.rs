@@ -5,7 +5,9 @@
 //! each into reserve, and scatters the remaining `α` fraction across the
 //! out-neighbors (Eq. 16), until no residual exceeds the threshold.
 
-use crate::{check_input, DiffusionError, DiffusionParams, DiffusionResult, DiffusionStats, SparseVec};
+use crate::{
+    check_input, DiffusionError, DiffusionParams, DiffusionResult, DiffusionStats, SparseVec,
+};
 use laca_graph::{CsrGraph, NodeId};
 
 /// Extracts the above-threshold entries `γ` from `r` (Eq. 15), removing

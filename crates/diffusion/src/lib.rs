@@ -72,7 +72,8 @@ impl DiffusionParams {
         if !(self.alpha > 0.0 && self.alpha < 1.0) {
             return Err(DiffusionError::BadAlpha(self.alpha));
         }
-        if !(self.epsilon > 0.0) {
+        // NaN must be rejected too, so don't reduce this to `epsilon <= 0.0`.
+        if self.epsilon.is_nan() || self.epsilon <= 0.0 {
             return Err(DiffusionError::BadEpsilon(self.epsilon));
         }
         if !(0.0..=1.0).contains(&self.sigma) {

@@ -14,11 +14,8 @@ fn weighted_graph() -> impl Strategy<Value = CsrGraph> {
         let backbone = proptest::collection::vec(0.1f64..5.0, n - 1);
         let chords = proptest::collection::vec((0..n as u32, 0..n as u32, 0.1f64..5.0), 0..2 * n);
         (backbone, chords).prop_map(move |(ws, extra)| {
-            let mut edges: Vec<(NodeId, NodeId, f64)> = ws
-                .into_iter()
-                .enumerate()
-                .map(|(i, w)| (i as u32, i as u32 + 1, w))
-                .collect();
+            let mut edges: Vec<(NodeId, NodeId, f64)> =
+                ws.into_iter().enumerate().map(|(i, w)| (i as u32, i as u32 + 1, w)).collect();
             edges.extend(extra.into_iter().filter(|&(a, b, _)| a != b));
             // Duplicate pairs keep the first weight (constructor contract).
             CsrGraph::from_weighted_edges(n, &edges).unwrap()

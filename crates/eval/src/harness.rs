@@ -160,7 +160,12 @@ mod tests {
             missing_intra: 0.0,
             degree_exponent: 2.3,
             cluster_size_skew: 0.2,
-            attributes: Some(AttributeSpec { dim: 40, topic_words: 10, tokens_per_node: 20, attr_noise: 0.25 }),
+            attributes: Some(AttributeSpec {
+                dim: 40,
+                topic_words: 10,
+                tokens_per_node: 20,
+                attr_noise: 0.25,
+            }),
             seed: 61,
         }
         .generate("h")

@@ -102,14 +102,33 @@ impl MethodSpec {
         use Extraction::*;
         use MethodSpec::*;
         vec![
-            PrNibble, AprNibble, HkRelax, Crd, PNormFd, Wfd,
-            Jaccard, AdamicAdar, CommonNbrs, SimRank,
-            SimAttrC, SimAttrE, AttriRank,
-            Node2Vec(Knn), Node2Vec(Sc), Node2Vec(Dbscan),
-            Sage(Knn), Sage(Sc), Sage(Dbscan),
-            Cfane(Knn), Cfane(Sc), Cfane(Dbscan),
-            Pane(Knn), Pane(Sc), Pane(Dbscan),
-            LacaC, LacaE,
+            PrNibble,
+            AprNibble,
+            HkRelax,
+            Crd,
+            PNormFd,
+            Wfd,
+            Jaccard,
+            AdamicAdar,
+            CommonNbrs,
+            SimRank,
+            SimAttrC,
+            SimAttrE,
+            AttriRank,
+            Node2Vec(Knn),
+            Node2Vec(Sc),
+            Node2Vec(Dbscan),
+            Sage(Knn),
+            Sage(Sc),
+            Sage(Dbscan),
+            Cfane(Knn),
+            Cfane(Sc),
+            Cfane(Dbscan),
+            Pane(Knn),
+            Pane(Sc),
+            Pane(Dbscan),
+            LacaC,
+            LacaE,
         ]
     }
 
@@ -168,7 +187,9 @@ impl MethodSpec {
             MethodSpec::Sage(_) | MethodSpec::Cfane(_) => 10_000,
             MethodSpec::Node2Vec(Extraction::Sc) | MethodSpec::Pane(Extraction::Sc) => 10_000,
             // DBSCAN region queries are O(n²) per seed.
-            MethodSpec::Node2Vec(Extraction::Dbscan) | MethodSpec::Pane(Extraction::Dbscan) => 25_000,
+            MethodSpec::Node2Vec(Extraction::Dbscan) | MethodSpec::Pane(Extraction::Dbscan) => {
+                25_000
+            }
             MethodSpec::Node2Vec(_) => 80_000,
             _ => usize::MAX,
         };
@@ -204,9 +225,8 @@ impl MethodSpec {
                         &TnamConfig::new(cfg.tnam_k, metric).with_seed(cfg.seed),
                     )?)
                 };
-                let mut params = LacaParams::new(cfg.epsilon)
-                    .with_alpha(cfg.alpha)
-                    .with_sigma(cfg.sigma);
+                let mut params =
+                    LacaParams::new(cfg.epsilon).with_alpha(cfg.alpha).with_sigma(cfg.sigma);
                 if matches!(self, MethodSpec::LacaWoSnas) {
                     params = params.without_snas();
                 }
@@ -227,9 +247,7 @@ impl MethodSpec {
                 let wg = gaussian_reweighted(&ds.graph, &ds.attributes, cfg.kernel_bandwidth)?;
                 let alpha = cfg.alpha;
                 let eps = cfg.epsilon;
-                Box::new(move |seed, size| {
-                    Ok(PrNibble::new(&wg, alpha, eps).cluster(seed, size)?)
-                })
+                Box::new(move |seed, size| Ok(PrNibble::new(&wg, alpha, eps).cluster(seed, size)?))
             }
             MethodSpec::HkRelax => {
                 let t = cfg.hk_t;
@@ -240,9 +258,7 @@ impl MethodSpec {
                 Box::new(move |seed, size| Ok(Crd::new(&ds.graph).cluster(seed, size)?))
             }
             MethodSpec::PNormFd => {
-                Box::new(move |seed, size| {
-                    Ok(FlowDiffusion::new(&ds.graph).cluster(seed, size)?)
-                })
+                Box::new(move |seed, size| Ok(FlowDiffusion::new(&ds.graph).cluster(seed, size)?))
             }
             MethodSpec::Wfd => {
                 let wg = gaussian_reweighted(&ds.graph, &ds.attributes, cfg.kernel_bandwidth)?;
@@ -364,7 +380,12 @@ mod tests {
             missing_intra: 0.0,
             degree_exponent: 2.3,
             cluster_size_skew: 0.2,
-            attributes: Some(AttributeSpec { dim: 50, topic_words: 10, tokens_per_node: 20, attr_noise: 0.25 }),
+            attributes: Some(AttributeSpec {
+                dim: 50,
+                topic_words: 10,
+                tokens_per_node: 20,
+                attr_noise: 0.25,
+            }),
             seed: 51,
         }
         .generate("reg")
@@ -425,8 +446,7 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: Vec<String> =
-            MethodSpec::table_v_rows().iter().map(|m| m.label()).collect();
+        let labels: Vec<String> = MethodSpec::table_v_rows().iter().map(|m| m.label()).collect();
         let set: std::collections::HashSet<_> = labels.iter().collect();
         assert_eq!(set.len(), labels.len());
     }

@@ -128,11 +128,8 @@ mod tests {
 
     #[test]
     fn wcss_high_for_orthogonal_rows() {
-        let x = AttributeMatrix::from_rows(
-            3,
-            &[vec![(0, 1.0)], vec![(1, 1.0)], vec![(2, 1.0)]],
-        )
-        .unwrap();
+        let x = AttributeMatrix::from_rows(3, &[vec![(0, 1.0)], vec![(1, 1.0)], vec![(2, 1.0)]])
+            .unwrap();
         let w = wcss(&x, &[0, 1, 2]);
         // 1 − 3/9 = 2/3.
         assert!((w - 2.0 / 3.0).abs() < 1e-12, "wcss {w}");

@@ -83,7 +83,13 @@ impl AttributeMatrix {
 
     /// An `n × 0` matrix: the "no attributes" case for Table VIII graphs.
     pub fn empty(n: usize) -> Self {
-        AttributeMatrix { n, dim: 0, offsets: vec![0; n + 1], indices: Vec::new(), values: Vec::new() }
+        AttributeMatrix {
+            n,
+            dim: 0,
+            offsets: vec![0; n + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Number of rows (nodes).
@@ -167,13 +173,13 @@ impl AttributeMatrix {
             return Err(GraphError::DimensionMismatch { expected: self.dim, found: g.len() });
         }
         let mut out = vec![0.0; self.n];
-        for i in 0..self.n {
+        for (i, o) in out.iter_mut().enumerate() {
             let (idx, val) = self.row(i);
             let mut acc = 0.0;
             for (&j, &v) in idx.iter().zip(val) {
                 acc += v * g[j as usize];
             }
-            out[i] = acc;
+            *o = acc;
         }
         Ok(out)
     }
@@ -184,8 +190,7 @@ impl AttributeMatrix {
             return Err(GraphError::DimensionMismatch { expected: self.n, found: y.len() });
         }
         let mut out = vec![0.0; self.dim];
-        for i in 0..self.n {
-            let yi = y[i];
+        for (i, &yi) in y.iter().enumerate() {
             if yi == 0.0 {
                 continue;
             }
@@ -210,11 +215,7 @@ mod tests {
     fn m3() -> AttributeMatrix {
         AttributeMatrix::from_rows(
             4,
-            &[
-                vec![(0, 3.0), (1, 4.0)],
-                vec![(1, 1.0)],
-                vec![(0, 1.0), (3, 1.0)],
-            ],
+            &[vec![(0, 3.0), (1, 4.0)], vec![(1, 1.0)], vec![(0, 1.0), (3, 1.0)]],
         )
         .unwrap()
     }
@@ -290,10 +291,10 @@ mod tests {
         let x = m3();
         let g = vec![1.0, 2.0, 3.0, 4.0];
         let y = x.mul_vec(&g).unwrap();
-        for i in 0..3 {
+        for (i, &yi) in y.iter().enumerate() {
             let dense = x.dense_row(i);
             let expect: f64 = dense.iter().zip(&g).map(|(a, b)| a * b).sum();
-            assert!((y[i] - expect).abs() < 1e-12);
+            assert!((yi - expect).abs() < 1e-12);
         }
         let z = x.mul_transpose_vec(&[1.0, 1.0, 1.0]).unwrap();
         assert_eq!(z.len(), 4);
@@ -319,7 +320,8 @@ mod tests {
 
     #[test]
     fn from_dense_agrees_with_from_rows() {
-        let dense = AttributeMatrix::from_dense(&[vec![3.0, 4.0, 0.0], vec![0.0, 0.0, 2.0]]).unwrap();
+        let dense =
+            AttributeMatrix::from_dense(&[vec![3.0, 4.0, 0.0], vec![0.0, 0.0, 2.0]]).unwrap();
         let sparse =
             AttributeMatrix::from_rows(3, &[vec![(0, 3.0), (1, 4.0)], vec![(2, 2.0)]]).unwrap();
         assert_eq!(dense, sparse);

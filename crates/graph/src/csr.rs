@@ -108,9 +108,7 @@ impl CsrGraph {
             }
             offsets.push(neighbors.len());
         }
-        let degrees = (0..n)
-            .map(|i| weights[offsets[i]..offsets[i + 1]].iter().sum())
-            .collect();
+        let degrees = (0..n).map(|i| weights[offsets[i]..offsets[i + 1]].iter().sum()).collect();
         Ok(CsrGraph { offsets, neighbors, weights: Some(weights), degrees })
     }
 
@@ -243,9 +241,8 @@ impl CsrGraph {
                 }
             }
         }
-        let degrees = (0..n)
-            .map(|i| weights[self.offsets[i]..self.offsets[i + 1]].iter().sum())
-            .collect();
+        let degrees =
+            (0..n).map(|i| weights[self.offsets[i]..self.offsets[i + 1]].iter().sum()).collect();
         CsrGraph {
             offsets: self.offsets.clone(),
             neighbors: self.neighbors.clone(),

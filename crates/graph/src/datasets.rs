@@ -101,7 +101,12 @@ pub fn cora_like() -> AttributedGraphSpec {
         missing_intra: 0.12,
         degree_exponent: 2.6,
         cluster_size_skew: 0.25,
-        attributes: Some(AttributeSpec { dim: 1433, topic_words: 60, tokens_per_node: 18, attr_noise: 0.62 }),
+        attributes: Some(AttributeSpec {
+            dim: 1433,
+            topic_words: 60,
+            tokens_per_node: 18,
+            attr_noise: 0.62,
+        }),
         seed: 0xC04A,
     }
 }
@@ -117,7 +122,12 @@ pub fn pubmed_like() -> AttributedGraphSpec {
         missing_intra: 0.12,
         degree_exponent: 2.6,
         cluster_size_skew: 0.15,
-        attributes: Some(AttributeSpec { dim: 500, topic_words: 40, tokens_per_node: 20, attr_noise: 0.62 }),
+        attributes: Some(AttributeSpec {
+            dim: 500,
+            topic_words: 40,
+            tokens_per_node: 20,
+            attr_noise: 0.62,
+        }),
         seed: 0x9B3D,
     }
 }
@@ -134,7 +144,12 @@ pub fn blogcl_like() -> AttributedGraphSpec {
         missing_intra: 0.12,
         degree_exponent: 2.2,
         cluster_size_skew: 0.2,
-        attributes: Some(AttributeSpec { dim: 8189, topic_words: 180, tokens_per_node: 24, attr_noise: 0.65 }),
+        attributes: Some(AttributeSpec {
+            dim: 8189,
+            topic_words: 180,
+            tokens_per_node: 24,
+            attr_noise: 0.65,
+        }),
         seed: 0xB70C,
     }
 }
@@ -152,7 +167,12 @@ pub fn flickr_like() -> AttributedGraphSpec {
         missing_intra: 0.18,
         degree_exponent: 2.1,
         cluster_size_skew: 0.15,
-        attributes: Some(AttributeSpec { dim: 12047, topic_words: 160, tokens_per_node: 20, attr_noise: 0.68 }),
+        attributes: Some(AttributeSpec {
+            dim: 12047,
+            topic_words: 160,
+            tokens_per_node: 20,
+            attr_noise: 0.68,
+        }),
         seed: 0xF11C,
     }
 }
@@ -170,7 +190,12 @@ pub fn arxiv_like(scale: f64) -> AttributedGraphSpec {
         missing_intra: 0.1,
         degree_exponent: 2.4,
         cluster_size_skew: 0.3,
-        attributes: Some(AttributeSpec { dim: 128, topic_words: 20, tokens_per_node: 20, attr_noise: 0.6 }),
+        attributes: Some(AttributeSpec {
+            dim: 128,
+            topic_words: 20,
+            tokens_per_node: 20,
+            attr_noise: 0.6,
+        }),
         seed: 0xA3C1,
     }
 }
@@ -191,7 +216,12 @@ pub fn yelp_like(scale: f64) -> AttributedGraphSpec {
         missing_intra: 0.3,
         degree_exponent: 2.3,
         cluster_size_skew: 0.6,
-        attributes: Some(AttributeSpec { dim: 300, topic_words: 40, tokens_per_node: 30, attr_noise: 0.35 }),
+        attributes: Some(AttributeSpec {
+            dim: 300,
+            topic_words: 40,
+            tokens_per_node: 30,
+            attr_noise: 0.35,
+        }),
         seed: 0x7E1F,
     }
 }
@@ -209,7 +239,12 @@ pub fn reddit_like(scale: f64) -> AttributedGraphSpec {
         missing_intra: 0.06,
         degree_exponent: 2.3,
         cluster_size_skew: 0.25,
-        attributes: Some(AttributeSpec { dim: 602, topic_words: 35, tokens_per_node: 22, attr_noise: 0.55 }),
+        attributes: Some(AttributeSpec {
+            dim: 602,
+            topic_words: 35,
+            tokens_per_node: 22,
+            attr_noise: 0.55,
+        }),
         seed: 0x9EDD,
     }
 }
@@ -227,7 +262,12 @@ pub fn amazon2m_like(scale: f64) -> AttributedGraphSpec {
         missing_intra: 0.1,
         degree_exponent: 2.4,
         cluster_size_skew: 0.3,
-        attributes: Some(AttributeSpec { dim: 100, topic_words: 16, tokens_per_node: 18, attr_noise: 0.55 }),
+        attributes: Some(AttributeSpec {
+            dim: 100,
+            topic_words: 16,
+            tokens_per_node: 18,
+            attr_noise: 0.55,
+        }),
         seed: 0xA2A2,
     }
 }
@@ -295,7 +335,12 @@ pub fn aminer_like() -> AttributedGraphSpec {
         missing_intra: 0.05,
         degree_exponent: 2.8,
         cluster_size_skew: 0.2,
-        attributes: Some(AttributeSpec { dim: 500, topic_words: 25, tokens_per_node: 20, attr_noise: 0.25 }),
+        attributes: Some(AttributeSpec {
+            dim: 500,
+            topic_words: 25,
+            tokens_per_node: 20,
+            attr_noise: 0.25,
+        }),
         seed: 0xA1AE,
     }
 }
@@ -384,7 +429,12 @@ mod tests {
             let c = &ds.clusters[0];
             ds.graph.conductance(c)
         };
-        assert!(cond(&flickr) > cond(&cora) + 0.15, "flickr {} cora {}", cond(&flickr), cond(&cora));
+        assert!(
+            cond(&flickr) > cond(&cora) + 0.15,
+            "flickr {} cora {}",
+            cond(&flickr),
+            cond(&cora)
+        );
     }
 
     #[test]

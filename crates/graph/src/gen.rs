@@ -41,7 +41,12 @@ pub struct AttributeSpec {
 impl AttributeSpec {
     /// A reasonable default for quick experiments.
     pub fn default_for(dim: usize) -> Self {
-        AttributeSpec { dim, topic_words: dim.div_ceil(20).max(8), tokens_per_node: 40, attr_noise: 0.3 }
+        AttributeSpec {
+            dim,
+            topic_words: dim.div_ceil(20).max(8),
+            tokens_per_node: 40,
+            attr_noise: 0.3,
+        }
     }
 }
 
@@ -208,7 +213,9 @@ fn generate(name: String, spec: &AttributedGraphSpec) -> Result<AttributedDatase
     let global_sampler = CumSampler::new(&theta);
     let cluster_samplers: Vec<CumSampler> = clusters
         .iter()
-        .map(|members| CumSampler::new(&members.iter().map(|&v| theta[v as usize]).collect::<Vec<_>>()))
+        .map(|members| {
+            CumSampler::new(&members.iter().map(|&v| theta[v as usize]).collect::<Vec<_>>())
+        })
         .collect();
 
     // --- edges --------------------------------------------------------------
@@ -247,19 +254,15 @@ fn generate(name: String, spec: &AttributedGraphSpec) -> Result<AttributedDatase
         for &c in &comp {
             comp_sizes[c as usize] += 1;
         }
-        let giant = comp_sizes
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, s)| *s)
-            .map(|(i, _)| i as u32)
-            .unwrap();
+        let giant =
+            comp_sizes.iter().enumerate().max_by_key(|&(_, s)| *s).map(|(i, _)| i as u32).unwrap();
         let giant_nodes: Vec<NodeId> =
             (0..n).filter(|&i| comp[i] == giant).map(|i| i as NodeId).collect();
         let mut extra = graph.edge_list();
         let mut attached = vec![false; ncomp];
         attached[giant as usize] = true;
-        for i in 0..n {
-            let c = comp[i] as usize;
+        for (i, &ci) in comp.iter().enumerate() {
+            let c = ci as usize;
             if !attached[c] {
                 attached[c] = true;
                 let anchor = giant_nodes[rng.gen_range(0..giant_nodes.len())];
@@ -287,8 +290,8 @@ fn generate(name: String, spec: &AttributedGraphSpec) -> Result<AttributedDatase
                 })
                 .collect();
             let mut rows: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n);
-            for i in 0..n {
-                let c = membership[i] as usize;
+            for &mi in membership.iter().take(n) {
+                let c = mi as usize;
                 let (words, sampler) = &topic_samplers[c];
                 let mut row: Vec<(u32, f64)> = Vec::with_capacity(aspec.tokens_per_node);
                 for _ in 0..aspec.tokens_per_node {
@@ -321,7 +324,12 @@ mod tests {
             missing_intra: 0.05,
             degree_exponent: 2.5,
             cluster_size_skew: 0.3,
-            attributes: Some(AttributeSpec { dim: 200, topic_words: 20, tokens_per_node: 30, attr_noise: 0.2 }),
+            attributes: Some(AttributeSpec {
+                dim: 200,
+                topic_words: 20,
+                tokens_per_node: 30,
+                attr_noise: 0.2,
+            }),
             seed: 7,
         }
     }
@@ -427,7 +435,8 @@ mod tests {
         let mut spec = small_spec();
         spec.degree_exponent = 0.0;
         let flat = spec.generate("f").unwrap();
-        let max_deg = |g: &crate::CsrGraph| (0..g.n() as NodeId).map(|v| g.degree(v)).max().unwrap();
+        let max_deg =
+            |g: &crate::CsrGraph| (0..g.n() as NodeId).map(|v| g.degree(v)).max().unwrap();
         assert!(max_deg(&skewed.graph) > max_deg(&flat.graph));
     }
 

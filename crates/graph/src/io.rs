@@ -67,9 +67,8 @@ pub fn read_graph(path: &Path) -> Result<CsrGraph, GraphError> {
             .ok_or_else(|| GraphError::Io(format!("malformed edge line: {line}")))?;
         match parts.next() {
             Some(ws) => {
-                let w: f64 = ws
-                    .parse()
-                    .map_err(|_| GraphError::Io(format!("malformed weight: {line}")))?;
+                let w: f64 =
+                    ws.parse().map_err(|_| GraphError::Io(format!("malformed weight: {line}")))?;
                 weighted.push((u, v, w));
             }
             None => plain.push((u, v)),
@@ -228,7 +227,12 @@ mod tests {
             missing_intra: 0.0,
             degree_exponent: 0.0,
             cluster_size_skew: 0.0,
-            attributes: Some(AttributeSpec { dim: 50, topic_words: 10, tokens_per_node: 12, attr_noise: 0.2 }),
+            attributes: Some(AttributeSpec {
+                dim: 50,
+                topic_words: 10,
+                tokens_per_node: 12,
+                attr_noise: 0.2,
+            }),
             seed: 42,
         }
         .generate("tiny")

@@ -1,0 +1,85 @@
+//! Smoke test: every entry in the `laca_graph::datasets` registry must
+//! resolve, generate, and yield a *valid* dataset — connected topology,
+//! consistent `n`, consistent attribute dimensions, and a ground-truth
+//! partition that covers every node exactly once.
+//!
+//! Large specs are shrunk (node-count / degree caps) before generation so
+//! the whole sweep stays fast in debug builds; the parameter *regime* of
+//! each registry entry is what is under test, not its full size.
+
+use laca_graph::datasets::{by_name, ATTRIBUTED_NAMES, NON_ATTRIBUTED_NAMES};
+use laca_graph::NodeId;
+
+/// Node-count cap applied to every generated spec.
+const MAX_N: usize = 1200;
+/// Average-degree cap (the dense social networks would otherwise dominate).
+const MAX_DEG: f64 = 16.0;
+
+fn registry_names() -> Vec<&'static str> {
+    ATTRIBUTED_NAMES.iter().chain(NON_ATTRIBUTED_NAMES.iter()).copied().chain(["aminer"]).collect()
+}
+
+#[test]
+fn every_registry_entry_generates_a_valid_dataset() {
+    for name in registry_names() {
+        let mut spec = by_name(name, 0.01).unwrap_or_else(|| panic!("registry missing {name}"));
+        spec.n = spec.n.min(MAX_N);
+        spec.avg_degree = spec.avg_degree.min(MAX_DEG);
+        let expected_dim = spec.attributes.as_ref().map(|a| a.dim);
+        let expected_n = spec.n;
+
+        let ds = spec
+            .generate(format!("{name}-smoke"))
+            .unwrap_or_else(|e| panic!("{name}: generation failed: {e:?}"));
+
+        // Topology: size as requested, connected, non-trivial.
+        assert_eq!(ds.graph.n(), expected_n, "{name}: n mismatch");
+        assert!(ds.graph.m() > 0, "{name}: no edges");
+        assert!(ds.graph.is_connected(), "{name}: disconnected graph");
+
+        // Attributes: row count matches the graph, dims match the spec.
+        match expected_dim {
+            Some(dim) => {
+                assert!(ds.is_attributed(), "{name}: expected attributes");
+                assert_eq!(ds.attributes.n(), expected_n, "{name}: attribute row count");
+                assert_eq!(ds.attributes.dim(), dim, "{name}: attribute dim");
+            }
+            None => assert!(!ds.is_attributed(), "{name}: unexpected attributes"),
+        }
+
+        // Ground truth: membership covers every node, clusters partition
+        // the node set, and each node's cluster contains it.
+        assert_eq!(ds.membership.len(), expected_n, "{name}: membership length");
+        assert!(!ds.clusters.is_empty(), "{name}: no planted clusters");
+        let mut seen = vec![false; expected_n];
+        for (cid, cluster) in ds.clusters.iter().enumerate() {
+            assert!(!cluster.is_empty(), "{name}: empty cluster {cid}");
+            for &v in cluster {
+                assert!((v as usize) < expected_n, "{name}: out-of-range node {v}");
+                assert!(!seen[v as usize], "{name}: node {v} in two clusters");
+                seen[v as usize] = true;
+                assert_eq!(ds.membership[v as usize], cid as u32, "{name}: membership of {v}");
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "{name}: clusters do not cover all nodes");
+        for seed in [0 as NodeId, (expected_n / 2) as NodeId, (expected_n - 1) as NodeId] {
+            assert!(ds.ground_truth(seed).contains(&seed), "{name}: ground truth of {seed}");
+        }
+
+        // Stats agree with the underlying containers.
+        let stats = ds.stats();
+        assert_eq!(stats.n, expected_n, "{name}: stats.n");
+        assert_eq!(stats.m, ds.graph.m(), "{name}: stats.m");
+        assert_eq!(stats.dim, expected_dim.unwrap_or(0), "{name}: stats.dim");
+    }
+}
+
+#[test]
+fn generation_is_deterministic_per_spec() {
+    let mut spec = by_name("cora", 1.0).unwrap();
+    spec.n = 400;
+    let a = spec.clone().generate("a").unwrap();
+    let b = spec.generate("b").unwrap();
+    assert_eq!(a.graph, b.graph, "same spec must generate the same topology");
+    assert_eq!(a.membership, b.membership, "same spec must plant the same clusters");
+}

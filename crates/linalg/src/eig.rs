@@ -89,8 +89,8 @@ mod tests {
 
     #[test]
     fn diagonal_matrix_is_its_own_decomposition() {
-        let a = DenseMatrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0])
-            .unwrap();
+        let a =
+            DenseMatrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]).unwrap();
         let e = jacobi_eigen(&a).unwrap();
         assert!((e.values[0] - 3.0).abs() < 1e-12);
         assert!((e.values[1] - 2.0).abs() < 1e-12);

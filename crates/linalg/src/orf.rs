@@ -26,7 +26,11 @@ use rand::SeedableRng;
 /// Maps k-dimensional row features `xk` (rows of `UΛ`) to `2k`-dimensional
 /// orthogonal-random-feature rows approximating the exp-cosine kernel with
 /// sensitivity `δ`.
-pub fn orf_exp_features(xk: &DenseMatrix, delta: f64, seed: u64) -> Result<DenseMatrix, LinalgError> {
+pub fn orf_exp_features(
+    xk: &DenseMatrix,
+    delta: f64,
+    seed: u64,
+) -> Result<DenseMatrix, LinalgError> {
     if delta <= 0.0 {
         return Err(LinalgError::ShapeMismatch { context: "orf_exp_features: delta must be > 0" });
     }
@@ -73,12 +77,8 @@ mod tests {
 
     /// Unit-norm 3-d test vectors.
     fn unit_rows() -> DenseMatrix {
-        let rows = [
-            [1.0, 0.0, 0.0],
-            [0.0, 1.0, 0.0],
-            [0.6, 0.8, 0.0],
-            [0.577350, 0.577350, 0.577350],
-        ];
+        let rows =
+            [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.6, 0.8, 0.0], [0.577350, 0.577350, 0.577350]];
         DenseMatrix::from_fn(4, 3, |i, j| rows[i][j])
     }
 
@@ -90,15 +90,15 @@ mod tests {
         let mut sums = vec![vec![0.0f64; 4]; 4];
         for t in 0..trials {
             let y = orf_exp_features(&x, delta, t as u64).unwrap();
-            for i in 0..4 {
-                for j in 0..4 {
-                    sums[i][j] += dot(y.row(i), y.row(j));
+            for (i, row) in sums.iter_mut().enumerate() {
+                for (j, s) in row.iter_mut().enumerate() {
+                    *s += dot(y.row(i), y.row(j));
                 }
             }
         }
-        for i in 0..4 {
-            for j in 0..4 {
-                let est = sums[i][j] / trials as f64;
+        for (i, row) in sums.iter().enumerate() {
+            for (j, &s) in row.iter().enumerate() {
+                let est = s / trials as f64;
                 let truth = (dot(x.row(i), x.row(j)) / delta).exp();
                 assert!(
                     (est - truth).abs() < 0.12 * truth,

@@ -119,7 +119,7 @@ pub fn randomized_svd(
     }
     let w = eig.vectors.truncate_cols(take); // s × k
     let u = q.matmul(&w)?; // n × k
-    // V = Bᵀ W Σ⁻¹ = Bt · W · Σ⁻¹ (d × k); columns with σ≈0 are zeroed.
+                           // V = Bᵀ W Σ⁻¹ = Bt · W · Σ⁻¹ (d × k); columns with σ≈0 are zeroed.
     let mut v = bt.matmul(&w)?;
     for i in 0..v.rows() {
         let row = v.row_mut(i);

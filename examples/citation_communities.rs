@@ -21,8 +21,8 @@ fn main() {
         dataset.attributes.dim()
     );
 
-    let tnam = Tnam::build(&dataset.attributes, &TnamConfig::new(32, MetricFn::Cosine))
-        .expect("TNAM");
+    let tnam =
+        Tnam::build(&dataset.attributes, &TnamConfig::new(32, MetricFn::Cosine)).expect("TNAM");
     let laca_engine =
         Laca::new(&dataset.graph, Some(&tnam), LacaParams::new(1e-6)).expect("engine");
     let pr = PrNibble::new(&dataset.graph, 0.8, 1e-6);

@@ -25,9 +25,8 @@ fn main() {
     );
 
     // Seed: a reasonably collaborative scholar.
-    let seed = (0..dataset.graph.n() as NodeId)
-        .max_by_key(|&v| dataset.graph.degree(v).min(12))
-        .unwrap();
+    let seed =
+        (0..dataset.graph.n() as NodeId).max_by_key(|&v| dataset.graph.degree(v).min(12)).unwrap();
     println!(
         "\nseed scholar: {} ({} direct co-authors)\n",
         scholar_name(seed),

@@ -13,7 +13,10 @@ use laca::graph::gen::{AttributeSpec, AttributedGraphSpec};
 use laca::prelude::*;
 
 fn main() {
-    println!("{:<18}{:>14}{:>14}{:>20}", "p_intra (signal)", "LACA (C)", "HK-Relax", "LACA w/o SNAS");
+    println!(
+        "{:<18}{:>14}{:>14}{:>20}",
+        "p_intra (signal)", "LACA (C)", "HK-Relax", "LACA w/o SNAS"
+    );
     for &p_intra in &[0.9, 0.7, 0.5, 0.35, 0.2] {
         let dataset = AttributedGraphSpec {
             n: 3_000,
@@ -23,14 +26,19 @@ fn main() {
             missing_intra: 0.1,
             degree_exponent: 2.2,
             cluster_size_skew: 0.15,
-            attributes: Some(AttributeSpec { dim: 500, topic_words: 40, tokens_per_node: 35, attr_noise: 0.3 }),
+            attributes: Some(AttributeSpec {
+                dim: 500,
+                topic_words: 40,
+                tokens_per_node: 35,
+                attr_noise: 0.3,
+            }),
             seed: 0x50C1A1,
         }
         .generate("flickr-ish")
         .expect("generation");
 
-        let tnam = Tnam::build(&dataset.attributes, &TnamConfig::new(32, MetricFn::Cosine))
-            .expect("TNAM");
+        let tnam =
+            Tnam::build(&dataset.attributes, &TnamConfig::new(32, MetricFn::Cosine)).expect("TNAM");
         let laca_engine =
             Laca::new(&dataset.graph, Some(&tnam), LacaParams::new(1e-6)).expect("engine");
         let wo_snas =

@@ -19,7 +19,12 @@ fn main() {
         missing_intra: 0.1,
         degree_exponent: 2.5,
         cluster_size_skew: 0.3,
-        attributes: Some(AttributeSpec { dim: 300, topic_words: 30, tokens_per_node: 30, attr_noise: 0.3 }),
+        attributes: Some(AttributeSpec {
+            dim: 300,
+            topic_words: 30,
+            tokens_per_node: 30,
+            attr_noise: 0.3,
+        }),
         seed: 2025,
     }
     .generate("quickstart")
@@ -39,8 +44,8 @@ fn main() {
     println!("TNAM built in {:?} (width {})", t0.elapsed(), tnam.width());
 
     // 3. Online queries (Algo. 4).
-    let engine = Laca::new(&dataset.graph, Some(&tnam), LacaParams::new(1e-5))
-        .expect("engine construction");
+    let engine =
+        Laca::new(&dataset.graph, Some(&tnam), LacaParams::new(1e-5)).expect("engine construction");
     for seed in [0u32, 500, 1500] {
         let truth = dataset.ground_truth(seed);
         let t0 = std::time::Instant::now();

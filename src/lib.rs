@@ -56,6 +56,9 @@ pub use laca_linalg as linalg;
 pub mod prelude {
     pub use laca_core::extract::{sweep_cut, top_k_cluster};
     pub use laca_core::{Laca, LacaParams, MetricFn, Tnam, TnamConfig};
-    pub use laca_diffusion::{adaptive_diffuse, greedy_diffuse, DiffusionParams, SparseVec};
+    pub use laca_diffusion::{
+        adaptive_diffuse, greedy_diffuse, DiffusionParams, DiffusionResult, DiffusionStats,
+        SparseVec,
+    };
     pub use laca_graph::{AttributeMatrix, AttributedDataset, CsrGraph, NodeId};
 }

@@ -17,7 +17,12 @@ fn dataset() -> AttributedDataset {
         missing_intra: 0.05,
         degree_exponent: 2.5,
         cluster_size_skew: 0.2,
-        attributes: Some(AttributeSpec { dim: 80, topic_words: 12, tokens_per_node: 20, attr_noise: 0.25 }),
+        attributes: Some(AttributeSpec {
+            dim: 80,
+            topic_words: 12,
+            tokens_per_node: 20,
+            attr_noise: 0.25,
+        }),
         seed: 0xB0B,
     }
     .generate("bounds")
@@ -62,10 +67,7 @@ fn theorem_v4_gap_shrinks_linearly_with_epsilon() {
     // Gap must be monotonically shrinking and roughly linear in ε.
     assert!(max_gaps[0] >= max_gaps[1] - 1e-12);
     assert!(max_gaps[1] >= max_gaps[2] - 1e-12);
-    assert!(
-        max_gaps[2] <= max_gaps[0] / 10.0 + 1e-9,
-        "gaps {max_gaps:?} do not shrink linearly"
-    );
+    assert!(max_gaps[2] <= max_gaps[0] / 10.0 + 1e-9, "gaps {max_gaps:?} do not shrink linearly");
 }
 
 #[test]
@@ -94,7 +96,12 @@ fn gnn_identity_holds_on_generated_data() {
         missing_intra: 0.0,
         degree_exponent: 0.0,
         cluster_size_skew: 0.0,
-        attributes: Some(AttributeSpec { dim: 20, topic_words: 5, tokens_per_node: 10, attr_noise: 0.1 }),
+        attributes: Some(AttributeSpec {
+            dim: 20,
+            topic_words: 5,
+            tokens_per_node: 10,
+            attr_noise: 0.1,
+        }),
         seed: 0x61,
     }
     .generate("gnn")

@@ -15,7 +15,12 @@ fn spec() -> AttributedGraphSpec {
         missing_intra: 0.05,
         degree_exponent: 2.4,
         cluster_size_skew: 0.25,
-        attributes: Some(AttributeSpec { dim: 120, topic_words: 15, tokens_per_node: 25, attr_noise: 0.3 }),
+        attributes: Some(AttributeSpec {
+            dim: 120,
+            topic_words: 15,
+            tokens_per_node: 25,
+            attr_noise: 0.3,
+        }),
         seed: 0xE2E,
     }
 }

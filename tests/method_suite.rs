@@ -19,7 +19,12 @@ fn noisy_dataset() -> AttributedDataset {
         missing_intra: 0.1,
         degree_exponent: 2.3,
         cluster_size_skew: 0.2,
-        attributes: Some(AttributeSpec { dim: 150, topic_words: 20, tokens_per_node: 30, attr_noise: 0.25 }),
+        attributes: Some(AttributeSpec {
+            dim: 150,
+            topic_words: 20,
+            tokens_per_node: 30,
+            attr_noise: 0.25,
+        }),
         seed: 0x5EED,
     }
     .generate("noisy")
@@ -32,14 +37,11 @@ fn all_registry_methods_produce_valid_clusters() {
     let cfg = EvalComputeConfig::default();
     let seeds = sample_seeds(&ds, 5, 3);
     for spec in MethodSpec::table_v_rows() {
-        let prepared = spec
-            .prepare(&ds, &cfg)
-            .unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
+        let prepared = spec.prepare(&ds, &cfg).unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
         for &s in &seeds {
             let size = ds.ground_truth(s).len();
-            let cluster = prepared
-                .cluster(s, size)
-                .unwrap_or_else(|e| panic!("{}: {e}", prepared.label));
+            let cluster =
+                prepared.cluster(s, size).unwrap_or_else(|e| panic!("{}: {e}", prepared.label));
             assert!(cluster.contains(&s), "{} dropped seed", prepared.label);
             assert!(!cluster.is_empty());
             assert!(cluster.len() <= size);
@@ -83,7 +85,12 @@ fn laca_is_competitive_on_clean_structure_too() {
         missing_intra: 0.02,
         degree_exponent: 2.4,
         cluster_size_skew: 0.2,
-        attributes: Some(AttributeSpec { dim: 150, topic_words: 20, tokens_per_node: 30, attr_noise: 0.25 }),
+        attributes: Some(AttributeSpec {
+            dim: 150,
+            topic_words: 20,
+            tokens_per_node: 30,
+            attr_noise: 0.25,
+        }),
         seed: 0xC1EA,
     }
     .generate("clean")

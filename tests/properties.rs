@@ -20,8 +20,7 @@ fn connected_graph() -> impl Strategy<Value = CsrGraph> {
     (4usize..40).prop_flat_map(|n| {
         let extra = proptest::collection::vec((0..n as u32, 0..n as u32), 0..3 * n);
         extra.prop_map(move |chords| {
-            let mut edges: Vec<(NodeId, NodeId)> =
-                (1..n as u32).map(|v| (v - 1, v)).collect();
+            let mut edges: Vec<(NodeId, NodeId)> = (1..n as u32).map(|v| (v - 1, v)).collect();
             edges.extend(chords.into_iter().filter(|&(a, b)| a != b));
             CsrGraph::from_edges(n, &edges).unwrap()
         })
@@ -30,17 +29,13 @@ fn connected_graph() -> impl Strategy<Value = CsrGraph> {
 
 /// Strategy: a non-negative sparse input vector supported on the graph.
 fn input_vector(n: usize) -> impl Strategy<Value = SparseVec> {
-    proptest::collection::vec((0..n as u32, 0.01f64..2.0), 1..5)
-        .prop_map(SparseVec::from_pairs)
+    proptest::collection::vec((0..n as u32, 0.01f64..2.0), 1..5).prop_map(SparseVec::from_pairs)
 }
 
 /// Strategy: sparse unit-normalizable attribute rows.
 fn attribute_rows(n: usize) -> impl Strategy<Value = AttributeMatrix> {
-    proptest::collection::vec(
-        proptest::collection::vec((0u32..12, 0.1f64..2.0), 1..5),
-        n..=n,
-    )
-    .prop_map(|rows| AttributeMatrix::from_rows(12, &rows).unwrap())
+    proptest::collection::vec(proptest::collection::vec((0u32..12, 0.1f64..2.0), 1..5), n..=n)
+        .prop_map(|rows| AttributeMatrix::from_rows(12, &rows).unwrap())
 }
 
 proptest! {
@@ -76,12 +71,12 @@ proptest! {
 
     #[test]
     fn diffusion_conserves_mass(
-        g in connected_graph(),
-        f_pairs in proptest::collection::vec((0u32..1000, 0.01f64..2.0), 1..5),
+        (g, f) in connected_graph().prop_flat_map(|g| {
+            let n = g.n();
+            (Just(g), input_vector(n))
+        }),
         sigma in 0.0f64..1.0,
     ) {
-        let n = g.n() as u32;
-        let f = SparseVec::from_pairs(f_pairs.into_iter().map(|(v, x)| (v % n, x)));
         let params = DiffusionParams::new(0.8, 1e-3).with_sigma(sigma);
         let out = adaptive_diffuse(&g, &f, &params).unwrap();
         let total = out.reserve.l1_norm() + out.residual.l1_norm();

@@ -1,0 +1,138 @@
+//! Minimal vendored stand-in for the `proptest` crate (offline build).
+//!
+//! Implements the subset the workspace's property suites use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! * range strategies (`0..n`, `0.1f64..5.0`, `n..=n`) and tuple strategies,
+//! * [`collection::vec`] with `usize`, `Range<usize>` or
+//!   `RangeInclusive<usize>` sizes,
+//! * `ProptestConfig::with_cases`, and
+//! * the `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
+//!   macros.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics with
+//! the generated inputs' case number and seed, which is reproducible because
+//! every case's RNG is seeded deterministically from the case index (or from
+//! `PROPTEST_RNG_SEED` when set).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Expands to one `#[test]` fn per property, each running `cases` seeded
+/// random cases of its body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])+
+      fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])+
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                // Arm the failure-context guard before generation: strategies
+                // can panic too (unwraps inside prop_map), and the case number
+                // is the only reproduction handle this shrink-less stub has.
+                let __guard = $crate::test_runner::CaseGuard::new(stringify!($name), __case);
+                let mut __rng = $crate::test_runner::rng_for_case(stringify!($name), __case);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+                __guard.passed();
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_generate_in_bounds(
+            n in 2usize..20,
+            (a, b) in (0u32..100, 0.5f64..1.5),
+            x in 0.0f64..1.0,
+        ) {
+            prop_assert!((2..20).contains(&n));
+            prop_assert!(a < 100);
+            prop_assert!((0.5..1.5).contains(&b), "b = {b}");
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn flat_map_and_vec_sizes_compose(
+            pairs in (1usize..8).prop_flat_map(|n| {
+                crate::collection::vec((0..n as u32, 0.0f64..1.0), n..=n)
+            })
+        ) {
+            prop_assert!(!pairs.is_empty());
+            let n = pairs.len() as u32;
+            for &(v, w) in &pairs {
+                prop_assert!(v < n);
+                prop_assert!((0.0..1.0).contains(&w));
+            }
+        }
+
+        #[test]
+        fn prop_map_transforms(v in (0u32..10).prop_map(|x| x * 3)) {
+            prop_assert_eq!(v % 3, 0);
+            prop_assert_ne!(v, 30);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut r1 = crate::test_runner::rng_for_case("t", 5);
+        let mut r2 = crate::test_runner::rng_for_case("t", 5);
+        let s = 0usize..1000;
+        use crate::strategy::Strategy;
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

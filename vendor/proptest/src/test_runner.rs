@@ -1,0 +1,79 @@
+//! Case scheduling: configuration, per-case deterministic RNGs, and
+//! failure context.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hash::{Hash, Hasher};
+
+/// The RNG handed to strategies (re-exported so strategies can name it).
+pub type TestRng = StdRng;
+
+/// Runner configuration; only `cases` is honored by the stub.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Base seed: `PROPTEST_RNG_SEED` env var when set, else a fixed constant
+/// so every run of the suite is reproducible.
+fn base_seed() -> u64 {
+    match std::env::var("PROPTEST_RNG_SEED") {
+        Ok(s) => s.parse().unwrap_or(0xC0FF_EE00_D15E_A5E5),
+        Err(_) => 0xC0FF_EE00_D15E_A5E5,
+    }
+}
+
+/// Deterministic RNG for one named property's `case`-th run.
+pub fn rng_for_case(test_name: &str, case: u32) -> TestRng {
+    let mut hasher = rustc_hash::FxHasher::default();
+    test_name.hash(&mut hasher);
+    let name_digest = hasher.finish();
+    let seed = base_seed() ^ name_digest ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    StdRng::seed_from_u64(seed)
+}
+
+/// Prints which case failed (with its reproduction seed) if the property
+/// body panics before `passed` is called.
+pub struct CaseGuard {
+    test_name: &'static str,
+    case: u32,
+    passed: bool,
+}
+
+impl CaseGuard {
+    /// Arms the guard for one case.
+    pub fn new(test_name: &'static str, case: u32) -> Self {
+        CaseGuard { test_name, case, passed: false }
+    }
+
+    /// Disarms the guard: the case completed without panicking.
+    pub fn passed(mut self) {
+        self.passed = true;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if !self.passed {
+            eprintln!(
+                "proptest: property `{}` failed at case {} \
+                 (deterministic; rerun reproduces it, or set PROPTEST_RNG_SEED)",
+                self.test_name, self.case
+            );
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Minimal vendored stand-in for the `rand` crate (offline build).
+//!
+//! Implements the subset of the rand 0.8 API this workspace uses:
+//! `rand::rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `Rng`
+//! extension trait with `gen`, `gen_range`, `gen_bool`. The generator is
+//! xoshiro256++ seeded through SplitMix64 — high-quality, deterministic,
+//! and fully reproducible across platforms (which is all the workspace
+//! needs; no cryptographic claims are made).
+
+pub mod rngs;
+
+use std::ops::{Range, RangeInclusive};
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array for `StdRng`).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a single `u64` via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next().to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&word[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 — used to expand small seeds into full generator state.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types samplable uniformly over their "standard" domain
+/// (`[0, 1)` for floats, the full range for integers).
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Lemire-style unbiased bounded integer sampling on `u64`.
+#[inline]
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Rejection sampling over the largest multiple of `bound`.
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8, isize, i64, i32);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = <$t as Standard>::sample_standard(rng);
+                let v = self.start + u * (self.end - self.start);
+                // `lo + u·span` can round up to `hi`; keep the range half-open.
+                if v >= self.end {
+                    self.end.next_down().max(self.start)
+                } else {
+                    v
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let u = <$t as Standard>::sample_standard(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f64, f32);
+
+/// Extension trait mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly over the type's standard domain.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5usize..=5);
+            assert_eq!(y, 5);
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn standard_f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

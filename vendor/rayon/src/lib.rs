@@ -1,0 +1,114 @@
+//! Minimal vendored stand-in for the `rayon` crate (offline build).
+//!
+//! Implements the subset the workspace uses — `slice.par_iter().map(f)
+//! .collect()` — with real data parallelism: the input is chunked across
+//! `std::thread::available_parallelism()` scoped threads and results are
+//! reassembled in order. No work stealing, no global pool; each `collect`
+//! spawns its own scoped threads, which is fine at the workspace's
+//! granularity (hundreds of multi-millisecond cluster queries).
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+use std::num::NonZeroUsize;
+
+/// `.par_iter()` entry point, mirroring rayon's trait of the same name.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Sync + 'a;
+
+    /// Starts a parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { data: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { data: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    data: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` (applied on worker threads).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { data: self.data, f }
+    }
+}
+
+/// The result of [`ParIter::map`]; terminal `collect` runs the work.
+pub struct ParMap<'a, T, F> {
+    data: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Applies the map on scoped threads and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n = self.data.len();
+        let threads =
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return self.data.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut parts: Vec<Vec<R>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .data
+                .chunks(chunk)
+                .map(|piece| scope.spawn(move || piece.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_tiny_and_empty_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}
