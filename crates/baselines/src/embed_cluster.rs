@@ -136,9 +136,94 @@ pub fn kmeans_cluster(
     trim_or_pad(emb, seed, size, members)
 }
 
+/// Query-independent DBSCAN structure over an embedding, built once and
+/// shared across seed queries.
+///
+/// The density-connected components of an embedding do not depend on the
+/// query seed, so the `O(n²·d)` neighborhood scan is paid once here
+/// instead of once per `dbscan_cluster` call (the evaluation protocol
+/// runs hundreds of seeds against the same embedding).
+#[derive(Debug, Clone)]
+pub struct DbscanIndex {
+    /// Component id for core nodes, `None` for non-core nodes.
+    core_comp: Vec<Option<u32>>,
+    /// Members of each component: its core nodes plus every border node
+    /// within `eps` of one of them — exactly the set the seed-expansion
+    /// reaches from any core node of the component.
+    members: Vec<Vec<NodeId>>,
+}
+
+impl DbscanIndex {
+    /// Builds the index: one `O(n²·d)` counting pass classifies core
+    /// nodes, then a BFS over cores recomputes each core's neighborhood
+    /// exactly once more while expanding. Regions are never all held in
+    /// memory at once (a cohesive embedding's neighborhoods total
+    /// `O(n²)` entries), so peak extra memory stays `O(n)`.
+    pub fn build(emb: &DenseMatrix, eps: f64, min_pts: usize) -> Self {
+        let n = emb.rows();
+        let region_of = |v: usize, out: &mut Vec<usize>| {
+            out.clear();
+            let row = emb.row(v);
+            out.extend((0..n).filter(|&u| 1.0 - cosine(row, emb.row(u)) <= eps));
+        };
+        let mut region: Vec<usize> = Vec::new();
+        let is_core: Vec<bool> = (0..n)
+            .map(|v| {
+                let row = emb.row(v);
+                (0..n).filter(|&u| 1.0 - cosine(row, emb.row(u)) <= eps).count() >= min_pts
+            })
+            .collect();
+        let mut core_comp: Vec<Option<u32>> = vec![None; n];
+        let mut members: Vec<Vec<NodeId>> = Vec::new();
+        // `marked[u] == comp + 1` means `u` is already a member of `comp`
+        // (stamp avoids an O(n) clear per component).
+        let mut marked = vec![0u32; n];
+        for v in 0..n {
+            if !is_core[v] || core_comp[v].is_some() {
+                continue;
+            }
+            let comp = members.len() as u32;
+            let stamp = comp + 1;
+            let mut stack = vec![v];
+            core_comp[v] = Some(comp);
+            marked[v] = stamp;
+            let mut comp_members = vec![v as NodeId];
+            while let Some(c) = stack.pop() {
+                region_of(c, &mut region);
+                for &u in &region {
+                    if marked[u] != stamp {
+                        marked[u] = stamp;
+                        comp_members.push(u as NodeId);
+                    }
+                    if is_core[u] && core_comp[u].is_none() {
+                        core_comp[u] = Some(comp);
+                        stack.push(u);
+                    }
+                }
+            }
+            comp_members.sort_unstable();
+            members.push(comp_members);
+        }
+        DbscanIndex { core_comp, members }
+    }
+
+    /// The cluster of `seed`: its density-connected component when the
+    /// seed is a core point, K-NN fallback otherwise — identical to what
+    /// per-query seed expansion computes.
+    pub fn cluster(&self, emb: &DenseMatrix, seed: NodeId, size: usize) -> Vec<NodeId> {
+        match self.core_comp[seed as usize] {
+            Some(comp) => trim_or_pad(emb, seed, size, self.members[comp as usize].clone()),
+            None => knn_cluster(emb, seed, size),
+        }
+    }
+}
+
 /// DBSCAN in cosine-distance space (`1 − cos`), expanded from the seed's
 /// density-connected component; falls back to K-NN when the seed is not
 /// density-reachable.
+///
+/// Convenience one-shot wrapper; repeated queries against the same
+/// embedding should build a [`DbscanIndex`] once instead.
 pub fn dbscan_cluster(
     emb: &DenseMatrix,
     seed: NodeId,
@@ -146,37 +231,7 @@ pub fn dbscan_cluster(
     eps: f64,
     min_pts: usize,
 ) -> Vec<NodeId> {
-    let n = emb.rows();
-    let region = |v: usize| -> Vec<usize> {
-        let row = emb.row(v);
-        (0..n).filter(|&u| 1.0 - cosine(row, emb.row(u)) <= eps).collect()
-    };
-    let seed_region = region(seed as usize);
-    if seed_region.len() < min_pts {
-        return knn_cluster(emb, seed, size);
-    }
-    let mut in_cluster = vec![false; n];
-    let mut visited = vec![false; n];
-    let mut stack = vec![seed as usize];
-    visited[seed as usize] = true;
-    in_cluster[seed as usize] = true;
-    while let Some(v) = stack.pop() {
-        let reg = region(v);
-        if reg.len() < min_pts {
-            continue; // border point: in cluster but not expanded
-        }
-        for u in reg {
-            if !in_cluster[u] {
-                in_cluster[u] = true;
-            }
-            if !visited[u] {
-                visited[u] = true;
-                stack.push(u);
-            }
-        }
-    }
-    let members: Vec<NodeId> = (0..n).filter(|&v| in_cluster[v]).map(|v| v as NodeId).collect();
-    trim_or_pad(emb, seed, size, members)
+    DbscanIndex::build(emb, eps, min_pts).cluster(emb, seed, size)
 }
 
 fn sq_dist(a: &[f64], b: &[f64]) -> f64 {

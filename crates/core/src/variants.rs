@@ -17,7 +17,8 @@
 
 use crate::laca::DiffusionBackend;
 use crate::{CoreError, Laca, LacaParams, Tnam, TnamConfig};
-use laca_diffusion::{adaptive_diffuse, DiffusionParams, SparseVec};
+use laca_diffusion::workspace::with_thread_workspace;
+use laca_diffusion::{adaptive_diffuse_in, DiffusionParams, SparseVec};
 use laca_graph::{AttributeMatrix, CsrGraph, NodeId};
 
 /// The four configurations of the Table VI ablation study.
@@ -147,34 +148,38 @@ pub fn bdd_variant_score(
         sigma: params.sigma,
         record_residuals: false,
     };
-    // Step 1.
-    let g1 = graph_for(variant.0[0]);
-    let pi = adaptive_diffuse(g1, &SparseVec::unit(seed), &dp(params.epsilon))?.reserve;
-    if pi.is_empty() {
-        return Ok(SparseVec::new());
-    }
-    // Step 2: middle transition.
-    let g2 = graph_for(variant.0[1]);
-    let mid = adaptive_diffuse(g2, &pi, &dp(params.epsilon))?.reserve;
-    if mid.is_empty() {
-        return Ok(SparseVec::new());
-    }
-    // Step 3: degree-scaled backward diffusion (as in Algo. 4 lines 5–6).
-    let g3 = graph_for(variant.0[2]);
-    let mut f = SparseVec::new();
-    for (i, v) in mid.iter() {
-        f.set(i, v * g3.weighted_degree(i));
-    }
-    let l1 = f.l1_norm();
-    if l1 == 0.0 {
-        return Ok(SparseVec::new());
-    }
-    let out = adaptive_diffuse(g3, &f, &dp(params.epsilon * l1))?.reserve;
-    let mut rho = SparseVec::new();
-    for (i, v) in out.iter() {
-        rho.set(i, v / g3.weighted_degree(i));
-    }
-    Ok(rho)
+    // All three diffusions share the thread's workspace (the plain and
+    // reweighted graphs have the same node set, so the scratch fits both).
+    with_thread_workspace(|ws| {
+        // Step 1.
+        let g1 = graph_for(variant.0[0]);
+        let pi = adaptive_diffuse_in(g1, &SparseVec::unit(seed), &dp(params.epsilon), ws)?.reserve;
+        if pi.is_empty() {
+            return Ok(SparseVec::new());
+        }
+        // Step 2: middle transition.
+        let g2 = graph_for(variant.0[1]);
+        let mid = adaptive_diffuse_in(g2, &pi, &dp(params.epsilon), ws)?.reserve;
+        if mid.is_empty() {
+            return Ok(SparseVec::new());
+        }
+        // Step 3: degree-scaled backward diffusion (as in Algo. 4 lines 5–6).
+        let g3 = graph_for(variant.0[2]);
+        let mut f = SparseVec::new();
+        for (i, v) in mid.iter() {
+            f.set(i, v * g3.weighted_degree(i));
+        }
+        let l1 = f.l1_norm();
+        if l1 == 0.0 {
+            return Ok(SparseVec::new());
+        }
+        let out = adaptive_diffuse_in(g3, &f, &dp(params.epsilon * l1), ws)?.reserve;
+        let mut rho = SparseVec::new();
+        for (i, v) in out.iter() {
+            rho.set(i, v / g3.weighted_degree(i));
+        }
+        Ok(rho)
+    })
 }
 
 /// Convenience: runs a full ablation query (builds nothing; callers supply
@@ -237,26 +242,29 @@ pub fn alt_snas_bdd(
         sigma: params.sigma,
         record_residuals: false,
     };
-    let pi = adaptive_diffuse(graph, &SparseVec::unit(seed), &dp(params.epsilon))?.reserve;
-    let support: Vec<(NodeId, f64)> = pi.to_sorted_pairs();
-    let mut phi = SparseVec::new();
-    for &(i, _) in &support {
-        let mut acc = 0.0;
-        for &(j, pj) in &support {
-            acc += pj * oracle.s(j as usize, i as usize);
+    with_thread_workspace(|ws| {
+        let pi =
+            adaptive_diffuse_in(graph, &SparseVec::unit(seed), &dp(params.epsilon), ws)?.reserve;
+        let support: Vec<(NodeId, f64)> = pi.to_sorted_pairs();
+        let mut phi = SparseVec::new();
+        for &(i, _) in &support {
+            let mut acc = 0.0;
+            for &(j, pj) in &support {
+                acc += pj * oracle.s(j as usize, i as usize);
+            }
+            phi.set(i, acc * graph.weighted_degree(i));
         }
-        phi.set(i, acc * graph.weighted_degree(i));
-    }
-    let l1 = phi.l1_norm();
-    if l1 == 0.0 {
-        return Ok(SparseVec::new());
-    }
-    let out = adaptive_diffuse(graph, &phi, &dp(params.epsilon * l1))?.reserve;
-    let mut rho = SparseVec::new();
-    for (i, v) in out.iter() {
-        rho.set(i, v / graph.weighted_degree(i));
-    }
-    Ok(rho)
+        let l1 = phi.l1_norm();
+        if l1 == 0.0 {
+            return Ok(SparseVec::new());
+        }
+        let out = adaptive_diffuse_in(graph, &phi, &dp(params.epsilon * l1), ws)?.reserve;
+        let mut rho = SparseVec::new();
+        for (i, v) in out.iter() {
+            rho.set(i, v / graph.weighted_degree(i));
+        }
+        Ok(rho)
+    })
 }
 
 #[cfg(test)]

@@ -10,28 +10,16 @@
 //! `σ` and (b) the accumulated non-greedy cost stays below the greedy
 //! budget `‖f‖₁ / ((1−α)ε)`; otherwise it falls back to greedy steps,
 //! preserving Theorem IV.2's guarantee and Lemma IV.3's volume bound.
+//!
+//! Both loops run on a [`DiffusionWorkspace`], which maintains `vol(r)`
+//! and the above-threshold count incrementally as pushes happen — the
+//! Algo. 2 branch test is `O(1)` per iteration instead of the reference
+//! implementation's `O(|supp(r)|)` rescan.
 
-use crate::greedy::{extract_gamma, push_gamma};
-use crate::{
-    check_input, DiffusionError, DiffusionParams, DiffusionResult, DiffusionStats, SparseVec,
-};
+use crate::workspace::{with_thread_workspace, DiffusionWorkspace};
+use crate::SparseVec;
+use crate::{check_input, DiffusionError, DiffusionParams, DiffusionResult, DiffusionStats};
 use laca_graph::CsrGraph;
-
-/// One non-greedy step (Eq. 17): converts `(1−α)` of *all* residual mass
-/// into reserve and pushes the rest. Returns the number of pushes.
-fn nongreedy_step(graph: &CsrGraph, alpha: f64, q: &mut SparseVec, r: &mut SparseVec) -> usize {
-    let mut pushes = 0usize;
-    let old = std::mem::take(r);
-    for (i, v) in old.iter() {
-        q.add(i, (1.0 - alpha) * v);
-        let spread = alpha * v / graph.weighted_degree(i);
-        for (j, w) in graph.edges_of(i) {
-            r.add(j, spread * w);
-            pushes += 1;
-        }
-    }
-    pushes
-}
 
 /// Pure non-greedy diffusion: iterates Eq. 17 until every residual entry is
 /// below the Eq. 15 threshold. This is the "Non-greedy" series of Fig. 5 and
@@ -42,28 +30,37 @@ pub fn nongreedy_diffuse(
     f: &SparseVec,
     params: &DiffusionParams,
 ) -> Result<DiffusionResult, DiffusionError> {
-    params.validate()?;
-    check_input(f)?;
-    let mut r = f.clone();
-    let mut q = SparseVec::new();
-    let mut stats = DiffusionStats::default();
-    loop {
-        let above = r.iter().any(|(i, v)| v / graph.weighted_degree(i) >= params.epsilon);
-        if !above {
-            break;
-        }
-        stats.iterations += 1;
-        stats.nongreedy_iterations += 1;
-        stats.nongreedy_cost += r.volume(graph);
-        stats.push_operations += nongreedy_step(graph, params.alpha, &mut q, &mut r);
-        if params.record_residuals {
-            stats.residual_history.push(r.l1_norm());
-        }
-    }
-    Ok(DiffusionResult { reserve: q, residual: r, stats })
+    with_thread_workspace(|ws| nongreedy_diffuse_in(graph, f, params, ws))
 }
 
-/// Runs AdaptiveDiffuse (Algo. 2) on `graph` from the initial vector `f`.
+/// [`nongreedy_diffuse`] on a caller-managed workspace.
+pub fn nongreedy_diffuse_in(
+    graph: &CsrGraph,
+    f: &SparseVec,
+    params: &DiffusionParams,
+    ws: &mut DiffusionWorkspace,
+) -> Result<DiffusionResult, DiffusionError> {
+    params.validate()?;
+    check_input(f)?;
+    ws.begin(graph.n());
+    ws.seed::<true>(graph, params.epsilon, f);
+    let mut stats = DiffusionStats::default();
+    while ws.has_above() {
+        stats.iterations += 1;
+        stats.nongreedy_iterations += 1;
+        stats.nongreedy_cost += ws.vol_r();
+        ws.extract_all(graph, params.alpha);
+        stats.push_operations += ws.push_gamma::<true>(graph, params.alpha, params.epsilon);
+        if params.record_residuals {
+            stats.residual_history.push(ws.residual_l1());
+        }
+    }
+    let (reserve, residual) = ws.to_sparse();
+    Ok(DiffusionResult { reserve, residual, stats })
+}
+
+/// Runs AdaptiveDiffuse (Algo. 2) on `graph` from the initial vector `f`,
+/// using the calling thread's cached workspace.
 ///
 /// Guarantees (Theorem IV.2, Lemma IV.3): the returned reserve satisfies
 /// Eq. 14, runs in `O(max{|supp(f)|, ‖f‖₁/((1−α)ε)})`, and has
@@ -74,40 +71,49 @@ pub fn adaptive_diffuse(
     f: &SparseVec,
     params: &DiffusionParams,
 ) -> Result<DiffusionResult, DiffusionError> {
+    with_thread_workspace(|ws| adaptive_diffuse_in(graph, f, params, ws))
+}
+
+/// [`adaptive_diffuse`] on a caller-managed workspace.
+pub fn adaptive_diffuse_in(
+    graph: &CsrGraph,
+    f: &SparseVec,
+    params: &DiffusionParams,
+    ws: &mut DiffusionWorkspace,
+) -> Result<DiffusionResult, DiffusionError> {
     params.validate()?;
     check_input(f)?;
-    let mut r = f.clone();
-    let mut q = SparseVec::new();
+    ws.begin(graph.n());
+    ws.seed::<true>(graph, params.epsilon, f);
     let mut stats = DiffusionStats::default();
     let budget = f.l1_norm() / ((1.0 - params.alpha) * params.epsilon);
     loop {
-        // Count the above-threshold fraction without yet removing entries.
-        let supp_r = r.support_size();
-        let supp_gamma =
-            r.iter().filter(|&(i, v)| v / graph.weighted_degree(i) >= params.epsilon).count();
-        let ratio = if supp_r == 0 { 0.0 } else { supp_gamma as f64 / supp_r as f64 };
-        let vol_r = r.volume(graph);
-        if ratio > params.sigma && stats.nongreedy_cost + vol_r < budget {
+        // Branch test (Algo. 2 line 3) — all three quantities are
+        // maintained incrementally by the workspace, so this is O(1).
+        let vol_r = ws.vol_r();
+        if ws.gamma_ratio() > params.sigma && stats.nongreedy_cost + vol_r < budget {
             // Non-greedy branch (Algo. 2 lines 4–6).
             stats.iterations += 1;
             stats.nongreedy_iterations += 1;
             stats.nongreedy_cost += vol_r;
-            stats.push_operations += nongreedy_step(graph, params.alpha, &mut q, &mut r);
+            ws.extract_all(graph, params.alpha);
+            stats.push_operations += ws.push_gamma::<true>(graph, params.alpha, params.epsilon);
         } else {
             // Greedy branch (Algo. 2 lines 8–11 = Algo. 1 lines 4–7).
-            let gamma = extract_gamma(graph, &mut r, params.epsilon);
-            if gamma.is_empty() {
+            if ws.frontier_is_empty() {
                 break;
             }
+            ws.extract_frontier::<true>(graph, params.alpha);
             stats.iterations += 1;
             stats.greedy_iterations += 1;
-            stats.push_operations += push_gamma(graph, &gamma, params.alpha, &mut q, &mut r);
+            stats.push_operations += ws.push_gamma::<true>(graph, params.alpha, params.epsilon);
         }
         if params.record_residuals {
-            stats.residual_history.push(r.l1_norm());
+            stats.residual_history.push(ws.residual_l1());
         }
     }
-    Ok(DiffusionResult { reserve: q, residual: r, stats })
+    let (reserve, residual) = ws.to_sparse();
+    Ok(DiffusionResult { reserve, residual, stats })
 }
 
 #[cfg(test)]

@@ -4,54 +4,20 @@
 //! at or above the threshold (Eq. 15), converts the `1 − α` fraction of
 //! each into reserve, and scatters the remaining `α` fraction across the
 //! out-neighbors (Eq. 16), until no residual exceeds the threshold.
+//!
+//! The loop runs on a [`DiffusionWorkspace`]: the above-threshold set `γ`
+//! is a frontier queue maintained as pushes cross the threshold, so each
+//! iteration costs `O(|γ| + pushes)` with no rescan of `supp(r)` and no
+//! hashing. The hash-map original survives as
+//! [`crate::reference::greedy_diffuse`].
 
-use crate::{
-    check_input, DiffusionError, DiffusionParams, DiffusionResult, DiffusionStats, SparseVec,
-};
-use laca_graph::{CsrGraph, NodeId};
+use crate::workspace::{with_thread_workspace, DiffusionWorkspace};
+use crate::SparseVec;
+use crate::{check_input, DiffusionError, DiffusionParams, DiffusionResult, DiffusionStats};
+use laca_graph::CsrGraph;
 
-/// Extracts the above-threshold entries `γ` from `r` (Eq. 15), removing
-/// them from `r`. Returns `(node, value)` pairs.
-pub(crate) fn extract_gamma(
-    graph: &CsrGraph,
-    r: &mut SparseVec,
-    epsilon: f64,
-) -> Vec<(NodeId, f64)> {
-    let mut gamma: Vec<(NodeId, f64)> = Vec::new();
-    for (i, v) in r.iter() {
-        if v / graph.weighted_degree(i) >= epsilon {
-            gamma.push((i, v));
-        }
-    }
-    for &(i, _) in &gamma {
-        r.take(i);
-    }
-    gamma
-}
-
-/// Converts `(1 − α)` of every `γ` entry into reserve and pushes the `α`
-/// remainder to neighbors, accumulating into `r`. Returns the number of
-/// push operations.
-pub(crate) fn push_gamma(
-    graph: &CsrGraph,
-    gamma: &[(NodeId, f64)],
-    alpha: f64,
-    q: &mut SparseVec,
-    r: &mut SparseVec,
-) -> usize {
-    let mut pushes = 0usize;
-    for &(i, v) in gamma {
-        q.add(i, (1.0 - alpha) * v);
-        let spread = alpha * v / graph.weighted_degree(i);
-        for (j, w) in graph.edges_of(i) {
-            r.add(j, spread * w);
-            pushes += 1;
-        }
-    }
-    pushes
-}
-
-/// Runs GreedyDiffuse on `graph` from the initial vector `f`.
+/// Runs GreedyDiffuse on `graph` from the initial vector `f`, using the
+/// calling thread's cached workspace.
 ///
 /// Returns `q` satisfying Eq. 14 in
 /// `O(max{|supp(f)|, ‖f‖₁ / ((1−α)ε)})` time (Theorem IV.1).
@@ -60,30 +26,40 @@ pub fn greedy_diffuse(
     f: &SparseVec,
     params: &DiffusionParams,
 ) -> Result<DiffusionResult, DiffusionError> {
+    with_thread_workspace(|ws| greedy_diffuse_in(graph, f, params, ws))
+}
+
+/// [`greedy_diffuse`] on a caller-managed workspace (zero allocation in
+/// the push loop once `ws` is warm).
+pub fn greedy_diffuse_in(
+    graph: &CsrGraph,
+    f: &SparseVec,
+    params: &DiffusionParams,
+    ws: &mut DiffusionWorkspace,
+) -> Result<DiffusionResult, DiffusionError> {
     params.validate()?;
     check_input(f)?;
-    let mut r = f.clone();
-    let mut q = SparseVec::new();
+    ws.begin(graph.n());
+    ws.seed::<false>(graph, params.epsilon, f);
     let mut stats = DiffusionStats::default();
-    loop {
-        let gamma = extract_gamma(graph, &mut r, params.epsilon);
-        if gamma.is_empty() {
-            break;
-        }
+    while !ws.frontier_is_empty() {
+        ws.extract_frontier::<false>(graph, params.alpha);
         stats.iterations += 1;
         stats.greedy_iterations += 1;
-        stats.push_operations += push_gamma(graph, &gamma, params.alpha, &mut q, &mut r);
+        stats.push_operations += ws.push_gamma::<false>(graph, params.alpha, params.epsilon);
         if params.record_residuals {
-            stats.residual_history.push(r.l1_norm());
+            stats.residual_history.push(ws.residual_l1());
         }
     }
-    Ok(DiffusionResult { reserve: q, residual: r, stats })
+    let (reserve, residual) = ws.to_sparse();
+    Ok(DiffusionResult { reserve, residual, stats })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::exact::exact_diffuse;
+    use laca_graph::NodeId;
 
     /// The 10-node graph of Fig. 4 in the paper.
     ///

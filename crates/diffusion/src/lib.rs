@@ -10,24 +10,35 @@
 //! where `π` is the random-walk-with-restart score with continue
 //! probability `α`. This crate provides:
 //!
-//! * [`SparseVec`] — the hashed sparse vectors the solvers run on
-//!   (diffusion state never allocates `O(n)`, preserving locality),
+//! * [`SparseVec`] — the hashed sparse vectors at the solver boundary
+//!   (inputs and outputs never allocate `O(n)`, preserving locality),
+//! * [`DiffusionWorkspace`] — the epoch-stamped dense scratch the push
+//!   loops actually run on, reused across queries (one per thread via
+//!   [`workspace::with_thread_workspace`], or caller-managed through the
+//!   `*_diffuse_in` entry points),
 //! * [`greedy_diffuse`] — Algo. 1 (**GreedyDiffuse**),
 //! * [`nongreedy_diffuse`] — the full-front iteration of Eq. 17 that the
 //!   paper's Section IV-B study compares against,
 //! * [`adaptive_diffuse`] — Algo. 2 (**AdaptiveDiffuse**), which switches
 //!   between the two under a cost budget,
+//! * [`reference`] — the original hash-map solver implementations, kept as
+//!   differential-testing oracles and benchmark baselines,
 //! * [`exact`] — dense power-iteration references used by tests and by the
 //!   approximation-bound experiments.
 
 pub mod adaptive;
 pub mod exact;
 pub mod greedy;
+pub mod reference;
 pub mod sparse_vec;
+pub mod workspace;
 
-pub use adaptive::{adaptive_diffuse, nongreedy_diffuse};
-pub use greedy::greedy_diffuse;
+pub use adaptive::{
+    adaptive_diffuse, adaptive_diffuse_in, nongreedy_diffuse, nongreedy_diffuse_in,
+};
+pub use greedy::{greedy_diffuse, greedy_diffuse_in};
 pub use sparse_vec::SparseVec;
+pub use workspace::DiffusionWorkspace;
 
 use laca_graph::NodeId;
 

@@ -22,6 +22,13 @@ impl SparseVec {
         Self::default()
     }
 
+    /// Empty vector pre-sized for `cap` entries (no rehash growth while
+    /// filling — used when converting dense workspace scratch back to the
+    /// sparse boundary type).
+    pub fn with_capacity(cap: usize) -> Self {
+        SparseVec { map: FxHashMap::with_capacity_and_hasher(cap, Default::default()) }
+    }
+
     /// The unit vector `1⁽ˢ⁾` (Algo. 4 line 1).
     pub fn unit(s: NodeId) -> Self {
         let mut v = Self::new();

@@ -1,0 +1,512 @@
+//! Epoch-stamped dense scratch for the diffusion push loops.
+//!
+//! The solvers in [`crate::greedy`] and [`crate::adaptive`] originally ran
+//! on [`SparseVec`] hash maps, paying a hash probe per push and an
+//! `O(|supp(r)|)` rescan per iteration to recompute `|supp(γ)|/|supp(r)|`
+//! and `vol(r)` for the Algo. 2 branch test. A [`DiffusionWorkspace`]
+//! replaces that state with the classic dense-scratch/touched-list layout
+//! used by real local-clustering codes (e.g. Weighted Flow Diffusion):
+//!
+//! * one dense [`Slot`] array indexed by node id holding the node's entire
+//!   diffusion state — residual, reserve, cached `1/d(v)` and two stamps —
+//!   in exactly 32 aligned bytes, so a steady-state push costs **one**
+//!   cache-line access, validated by **epoch stamps** (beginning a query
+//!   bumps one counter instead of clearing `O(n)` memory: zero allocation,
+//!   zero hashing, zero clearing);
+//! * a **touched list** recording each node's first touch, so converting
+//!   the result back to [`SparseVec`] and scanning the residual support
+//!   both cost `O(touched)`, never `O(n)`;
+//! * a **frontier queue** of above-threshold residual nodes, maintained as
+//!   pushes cross the Eq. 15 threshold — GreedyDiffuse extracts `γ` by
+//!   draining the queue instead of rescanning `r`;
+//! * **incremental aggregates** `|supp(r)|`, `|supp(γ)|` and `vol(r)`,
+//!   updated as pushes happen — the AdaptiveDiffuse branch test becomes
+//!   `O(1)` per iteration.
+//!
+//! The workspace is sized to the largest graph it has seen and is reusable
+//! across queries *and* across graphs (per-graph data such as `1/d(v)`
+//! lives in [`CsrGraph`] and is cached into slots per query, guarded by
+//! the stamp). [`with_thread_workspace`] hands out one lazily-initialized
+//! workspace per thread, which is how the query loops in `laca-core` and
+//! `laca-eval` share scratch under the rayon shim's persistent worker
+//! pool.
+
+use crate::SparseVec;
+use laca_graph::{CsrGraph, NodeId};
+use std::cell::RefCell;
+
+/// A node's complete diffusion state, packed into one half-cache-line.
+///
+/// `align(32)` keeps a slot from straddling two 64-byte lines, so a
+/// steady-state push — read/update `r`, test the threshold against the
+/// cached `inv_d`, (rarely) flip `queued` — is a single random memory
+/// access. The hash-map original paid a control-byte probe *and* a bucket
+/// access per push, on top of hashing.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C, align(32))]
+struct Slot {
+    /// Residual value `r(v)`; meaningful only when `stamp` matches.
+    r: f64,
+    /// Reserve value `q(v)`; meaningful only when `stamp` matches.
+    q: f64,
+    /// `1 / d(v)` copied from the graph at first touch this query (the
+    /// graph can change between queries; the stamp guards staleness).
+    inv_d: f64,
+    /// Epoch stamp: slot is valid iff equal to the workspace epoch.
+    stamp: u32,
+    /// Frontier-queue stamp: queued iff equal to the workspace epoch.
+    queued: u32,
+}
+
+/// Reusable per-thread (or per-caller) scratch for the diffusion solvers.
+///
+/// All state is invalidated in `O(1)` by [`DiffusionWorkspace::begin`];
+/// nothing is cleared eagerly. See the module docs for the layout.
+#[derive(Debug, Clone, Default)]
+pub struct DiffusionWorkspace {
+    /// Current query stamp; slots are valid iff their stamp matches.
+    /// Starts at 1 so zero-initialized slots mean "stale".
+    epoch: u32,
+    slots: Vec<Slot>,
+    /// Nodes touched this query, in first-touch order (no duplicates).
+    touched: Vec<NodeId>,
+    /// Residual nodes at or above the Eq. 15 threshold, awaiting greedy
+    /// extraction (`Slot::queued` marks membership).
+    frontier: Vec<NodeId>,
+    /// Extracted `γ` entries `(node, value, 1/d)` between the extract and
+    /// push phases.
+    gamma: Vec<(NodeId, f64, f64)>,
+    /// `|supp(r)|`, maintained incrementally.
+    supp_r: usize,
+    /// Nodes whose reserve went non-zero (sizes the output map exactly).
+    supp_q: usize,
+    /// `vol(r) = Σ_{v ∈ supp(r)} d(v)`, maintained incrementally.
+    vol_r: f64,
+    /// `|supp(γ)|` — residual entries at or above the threshold.
+    above: usize,
+    /// Total queries begun on this workspace (reuse telemetry).
+    queries: u64,
+}
+
+impl DiffusionWorkspace {
+    /// An empty workspace; arrays grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace pre-sized for `graph`, so even the first query on it
+    /// allocates nothing beyond the output vectors.
+    pub fn for_graph(graph: &CsrGraph) -> Self {
+        let mut ws = Self::new();
+        ws.ensure_capacity(graph.n());
+        ws
+    }
+
+    /// Number of queries begun on this workspace.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Capacities of every internal buffer. Two equal signatures around a
+    /// query prove the query allocated nothing inside the workspace — the
+    /// steady-state zero-allocation property the tests assert.
+    pub fn capacity_signature(&self) -> [usize; 4] {
+        [self.slots.len(), self.touched.capacity(), self.frontier.capacity(), self.gamma.capacity()]
+    }
+
+    fn ensure_capacity(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize(n, Slot::default());
+        }
+    }
+
+    /// Starts a query on a graph of `n` nodes: grows the slot array if
+    /// this is the largest graph seen, then invalidates all previous state
+    /// by bumping the epoch.
+    pub(crate) fn begin(&mut self, n: usize) {
+        self.ensure_capacity(n);
+        if self.epoch == u32::MAX {
+            // Stamp wrap-around: reset all stamps once every 2³² queries.
+            for s in &mut self.slots {
+                s.stamp = 0;
+                s.queued = 0;
+            }
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.touched.clear();
+        self.frontier.clear();
+        self.gamma.clear();
+        self.supp_r = 0;
+        self.supp_q = 0;
+        self.vol_r = 0.0;
+        self.above = 0;
+        self.queries += 1;
+    }
+
+    /// `|supp(γ)| / |supp(r)|`, the Algo. 2 branch ratio, in `O(1)`.
+    #[inline]
+    pub(crate) fn gamma_ratio(&self) -> f64 {
+        if self.supp_r == 0 {
+            0.0
+        } else {
+            self.above as f64 / self.supp_r as f64
+        }
+    }
+
+    /// `vol(r)` in `O(1)`.
+    #[inline]
+    pub(crate) fn vol_r(&self) -> f64 {
+        self.vol_r
+    }
+
+    /// `true` when some residual entry is at or above the threshold.
+    #[inline]
+    pub(crate) fn has_above(&self) -> bool {
+        self.above > 0
+    }
+
+    /// `true` when the greedy frontier queue is empty (no `γ` to extract).
+    #[inline]
+    pub(crate) fn frontier_is_empty(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    /// Seeds the residual from the query's input vector.
+    ///
+    /// `TRACK` selects whether the adaptive aggregates (`supp_r`, `vol_r`,
+    /// `above`) are maintained; GreedyDiffuse never reads them, so its
+    /// instantiation skips that work throughout the query.
+    pub(crate) fn seed<const TRACK: bool>(
+        &mut self,
+        graph: &CsrGraph,
+        epsilon: f64,
+        f: &SparseVec,
+    ) {
+        let epoch = self.epoch;
+        let mut agg = Aggregates { supp_r: self.supp_r, vol_r: self.vol_r, above: self.above };
+        for (i, v) in f.iter() {
+            r_add::<TRACK>(
+                &mut self.slots,
+                &mut self.touched,
+                &mut self.frontier,
+                &mut agg,
+                graph,
+                epoch,
+                epsilon,
+                i,
+                v,
+            );
+        }
+        self.supp_r = agg.supp_r;
+        self.vol_r = agg.vol_r;
+        self.above = agg.above;
+    }
+
+    /// Greedy extraction (Algo. 1 line 4): drains the frontier queue into
+    /// `γ`, zeroing those residual entries and crediting `(1−α)` of each
+    /// to the reserve — the slot is hot, so the reserve update is free.
+    /// `O(|γ|)`, no rescan of `r`.
+    pub(crate) fn extract_frontier<const TRACK: bool>(&mut self, graph: &CsrGraph, alpha: f64) {
+        self.gamma.clear();
+        let mut frontier = std::mem::take(&mut self.frontier);
+        for &v in &frontier {
+            let slot = &mut self.slots[v as usize];
+            debug_assert!(slot.stamp == self.epoch && slot.r != 0.0);
+            slot.queued = 0;
+            let val = slot.r;
+            slot.r = 0.0;
+            self.supp_r -= 1;
+            if TRACK {
+                self.vol_r -= graph.weighted_degree(v);
+                self.above -= 1;
+            }
+            if slot.q == 0.0 {
+                self.supp_q += 1;
+            }
+            slot.q += (1.0 - alpha) * val;
+            self.gamma.push((v, val, slot.inv_d));
+        }
+        frontier.clear();
+        self.frontier = frontier;
+    }
+
+    /// Non-greedy extraction (Eq. 17): takes the *entire* residual support
+    /// into `γ`, crediting reserves as it goes. `O(touched)` over the
+    /// query's touched set.
+    pub(crate) fn extract_all(&mut self, _graph: &CsrGraph, alpha: f64) {
+        self.gamma.clear();
+        let touched = std::mem::take(&mut self.touched);
+        for &v in &touched {
+            let slot = &mut self.slots[v as usize];
+            if slot.stamp == self.epoch && slot.r != 0.0 {
+                let val = slot.r;
+                slot.r = 0.0;
+                if slot.q == 0.0 {
+                    self.supp_q += 1;
+                }
+                slot.q += (1.0 - alpha) * val;
+                self.gamma.push((v, val, slot.inv_d));
+            }
+            slot.queued = 0;
+        }
+        // Stamps stay valid (entries are "touched, now zero"), so the list
+        // keeps its no-duplicates invariant when mass flows back.
+        self.touched = touched;
+        self.supp_r = 0;
+        self.vol_r = 0.0;
+        self.above = 0;
+        self.frontier.clear();
+    }
+
+    /// Push phase shared by both branches (Eq. 16 / Eq. 17): scatters the
+    /// `α` fraction of every `γ` entry to its neighbors (the `1−α` reserve
+    /// credit already happened at extraction). Returns the number of push
+    /// operations.
+    ///
+    /// The loop runs on split borrows of the workspace fields rather than
+    /// through `&mut self`: each borrow is `noalias`, so the aggregates
+    /// live in registers across pushes instead of being reloaded around
+    /// every slot write.
+    pub(crate) fn push_gamma<const TRACK: bool>(
+        &mut self,
+        graph: &CsrGraph,
+        alpha: f64,
+        epsilon: f64,
+    ) -> usize {
+        let mut pushes = 0usize;
+        let mut gamma = std::mem::take(&mut self.gamma);
+        let epoch = self.epoch;
+        let mut agg = Aggregates { supp_r: self.supp_r, vol_r: self.vol_r, above: self.above };
+        {
+            let slots = &mut self.slots;
+            let touched = &mut self.touched;
+            let frontier = &mut self.frontier;
+            for &(v, val, inv_d) in &gamma {
+                let spread = alpha * val * inv_d;
+                // Split on weightedness outside the inner loop: unweighted
+                // pushes (`w = 1`) skip the per-edge weight load and
+                // multiply (`spread * 1.0 == spread` bit-for-bit, so
+                // results match the reference exactly).
+                match graph.neighbor_weights(v) {
+                    None => {
+                        for &j in graph.neighbors(v) {
+                            r_add::<TRACK>(
+                                slots, touched, frontier, &mut agg, graph, epoch, epsilon, j,
+                                spread,
+                            );
+                            pushes += 1;
+                        }
+                    }
+                    Some(weights) => {
+                        for (&j, &w) in graph.neighbors(v).iter().zip(weights) {
+                            r_add::<TRACK>(
+                                slots,
+                                touched,
+                                frontier,
+                                &mut agg,
+                                graph,
+                                epoch,
+                                epsilon,
+                                j,
+                                spread * w,
+                            );
+                            pushes += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.supp_r = agg.supp_r;
+        self.vol_r = agg.vol_r;
+        self.above = agg.above;
+        gamma.clear();
+        self.gamma = gamma;
+        pushes
+    }
+
+    /// `‖r‖₁` over the touched set (Fig. 5 telemetry only; not on the
+    /// steady-state path).
+    pub(crate) fn residual_l1(&self) -> f64 {
+        self.touched
+            .iter()
+            .map(|&v| self.slots[v as usize])
+            .filter(|slot| slot.stamp == self.epoch)
+            .map(|slot| slot.r.abs())
+            .sum()
+    }
+
+    /// Converts the scratch back to the public [`SparseVec`] boundary
+    /// types: `(reserve, residual)`. One pass over the touched list; the
+    /// output maps are pre-sized so filling them never rehashes.
+    pub(crate) fn to_sparse(&self) -> (SparseVec, SparseVec) {
+        let mut reserve = SparseVec::with_capacity(self.supp_q);
+        let mut residual = SparseVec::with_capacity(self.supp_r);
+        for &v in &self.touched {
+            let slot = &self.slots[v as usize];
+            if slot.q != 0.0 {
+                reserve.set(v, slot.q);
+            }
+            if slot.r != 0.0 {
+                residual.set(v, slot.r);
+            }
+        }
+        (reserve, residual)
+    }
+}
+
+/// The incrementally maintained residual aggregates, held in registers by
+/// the push loops (see [`DiffusionWorkspace::push_gamma`]).
+struct Aggregates {
+    supp_r: usize,
+    vol_r: f64,
+    above: usize,
+}
+
+/// Adds residual mass at `v`, keeping `supp(r)`, `vol(r)`, the
+/// above-threshold count and the frontier queue consistent.
+///
+/// Free function over split `noalias` borrows — the hot path of every
+/// solver. Steady-state cost: one [`Slot`] access (a single cache line)
+/// plus register ops; no graph loads, no hashing.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn r_add<const TRACK: bool>(
+    slots: &mut [Slot],
+    touched: &mut Vec<NodeId>,
+    frontier: &mut Vec<NodeId>,
+    agg: &mut Aggregates,
+    graph: &CsrGraph,
+    epoch: u32,
+    epsilon: f64,
+    v: NodeId,
+    delta: f64,
+) {
+    if delta == 0.0 {
+        return;
+    }
+    let slot = &mut slots[v as usize];
+    if slot.stamp != epoch {
+        // First touch this query: stamp, reset, cache 1/d(v).
+        slot.stamp = epoch;
+        slot.queued = 0;
+        slot.r = 0.0;
+        slot.q = 0.0;
+        slot.inv_d = graph.inv_degree(v);
+        touched.push(v);
+    }
+    let old = slot.r;
+    let new = old + delta;
+    slot.r = new;
+    let inv_d = slot.inv_d;
+    if old == 0.0 {
+        agg.supp_r += 1;
+        if TRACK {
+            agg.vol_r += graph.weighted_degree(v);
+        }
+    }
+    // Residual mass only grows between extractions (pushes are
+    // non-negative), so a threshold crossing happens at most once per
+    // residence in supp(r): detect it here instead of rescanning `r`.
+    let was_above = old * inv_d >= epsilon;
+    let is_above = new * inv_d >= epsilon;
+    if is_above && !was_above {
+        if TRACK {
+            agg.above += 1;
+        }
+        if slot.queued != epoch {
+            slot.queued = epoch;
+            frontier.push(v);
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_WORKSPACE: RefCell<DiffusionWorkspace> =
+        RefCell::new(DiffusionWorkspace::new());
+}
+
+/// Runs `f` with this thread's diffusion workspace.
+///
+/// The workspace is created lazily, grows to the largest graph the thread
+/// has queried, and lives as long as the thread — under the rayon shim's
+/// persistent pool that means scratch survives across whole
+/// `evaluate_parallel` calls. Re-entrant calls (the workspace is already
+/// borrowed higher up the stack) fall back to a fresh temporary workspace
+/// rather than panicking.
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut DiffusionWorkspace) -> R) -> R {
+    THREAD_WORKSPACE.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        Err(_) => f(&mut DiffusionWorkspace::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{adaptive_diffuse_in, greedy_diffuse_in, nongreedy_diffuse_in, DiffusionParams};
+
+    fn graph() -> CsrGraph {
+        CsrGraph::from_edges(
+            8,
+            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (4, 7)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn slot_is_one_half_cache_line() {
+        assert_eq!(std::mem::size_of::<Slot>(), 32);
+        assert_eq!(std::mem::align_of::<Slot>(), 32);
+    }
+
+    #[test]
+    fn steady_state_queries_do_not_allocate_in_the_workspace() {
+        let g = graph();
+        let f = SparseVec::unit(0);
+        let params = DiffusionParams::new(0.8, 1e-6);
+        let mut ws = DiffusionWorkspace::for_graph(&g);
+        // Warm-up query lets the touched/frontier/gamma buffers reach their
+        // steady-state capacity.
+        greedy_diffuse_in(&g, &f, &params, &mut ws).unwrap();
+        let warm = ws.capacity_signature();
+        for _ in 0..5 {
+            let out = greedy_diffuse_in(&g, &f, &params, &mut ws).unwrap();
+            assert!(!out.reserve.is_empty());
+            assert_eq!(ws.capacity_signature(), warm, "workspace grew after warm-up");
+        }
+        for _ in 0..5 {
+            adaptive_diffuse_in(&g, &f, &params, &mut ws).unwrap();
+            assert_eq!(ws.capacity_signature(), warm, "adaptive grew the warm workspace");
+        }
+        assert_eq!(ws.queries(), 11);
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_solvers_and_graphs() {
+        let g1 = graph();
+        let g2 = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let params = DiffusionParams::new(0.8, 1e-4);
+        let mut ws = DiffusionWorkspace::new();
+        let a = greedy_diffuse_in(&g1, &SparseVec::unit(0), &params, &mut ws).unwrap();
+        let b = greedy_diffuse_in(&g2, &SparseVec::unit(2), &params, &mut ws).unwrap();
+        let c = nongreedy_diffuse_in(&g1, &SparseVec::unit(0), &params, &mut ws).unwrap();
+        // Stale state from g1's first query must not leak into g2's.
+        let fresh =
+            greedy_diffuse_in(&g2, &SparseVec::unit(2), &params, &mut DiffusionWorkspace::new())
+                .unwrap();
+        assert_eq!(b.reserve.to_sorted_pairs(), fresh.reserve.to_sorted_pairs());
+        assert_eq!(b.residual.to_sorted_pairs(), fresh.residual.to_sorted_pairs());
+        assert!(!a.reserve.is_empty() && !c.reserve.is_empty());
+    }
+
+    #[test]
+    fn thread_workspace_is_shared_within_a_thread() {
+        let before = with_thread_workspace(|ws| ws.queries());
+        let g = graph();
+        crate::greedy_diffuse(&g, &SparseVec::unit(1), &DiffusionParams::new(0.8, 1e-4)).unwrap();
+        let after = with_thread_workspace(|ws| ws.queries());
+        assert_eq!(after, before + 1);
+    }
+}

@@ -68,6 +68,11 @@ pub fn evaluate(
 /// Evaluates one prepared method over the given seeds in parallel (rayon).
 /// Timing is still per-query wall clock; use the sequential variant when
 /// measuring absolute latency.
+///
+/// The rayon shim dispatches to a persistent worker pool, so each worker's
+/// thread-local `DiffusionWorkspace` (see `laca_diffusion::workspace`)
+/// warms up once and is reused for every LACA-family query this function
+/// runs — across seeds *and* across successive `evaluate_parallel` calls.
 pub fn evaluate_parallel(
     prepared: &PreparedMethod<'_>,
     ds: &AttributedDataset,

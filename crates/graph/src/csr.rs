@@ -25,6 +25,14 @@ pub struct CsrGraph {
     weights: Option<Vec<f64>>,
     /// Weighted degree per node (`= adjacency-list length` when unweighted).
     degrees: Vec<f64>,
+    /// Cached `1 / d(v)` per node (`+∞` for isolated nodes). The diffusion
+    /// push loops spend one multiply here per push, so the reciprocal is
+    /// computed once at construction instead of dividing in the hot path.
+    inv_degrees: Vec<f64>,
+}
+
+fn reciprocals(degrees: &[f64]) -> Vec<f64> {
+    degrees.iter().map(|&d| 1.0 / d).collect()
 }
 
 impl CsrGraph {
@@ -61,8 +69,9 @@ impl CsrGraph {
             neighbors.extend_from_slice(list);
             offsets.push(neighbors.len());
         }
-        let degrees = (0..n).map(|i| (offsets[i + 1] - offsets[i]) as f64).collect();
-        Ok(CsrGraph { offsets, neighbors, weights: None, degrees })
+        let degrees: Vec<f64> = (0..n).map(|i| (offsets[i + 1] - offsets[i]) as f64).collect();
+        let inv_degrees = reciprocals(&degrees);
+        Ok(CsrGraph { offsets, neighbors, weights: None, degrees, inv_degrees })
     }
 
     /// Builds a weighted graph on `n` nodes from `(u, v, w)` triples.
@@ -108,8 +117,10 @@ impl CsrGraph {
             }
             offsets.push(neighbors.len());
         }
-        let degrees = (0..n).map(|i| weights[offsets[i]..offsets[i + 1]].iter().sum()).collect();
-        Ok(CsrGraph { offsets, neighbors, weights: Some(weights), degrees })
+        let degrees: Vec<f64> =
+            (0..n).map(|i| weights[offsets[i]..offsets[i + 1]].iter().sum()).collect();
+        let inv_degrees = reciprocals(&degrees);
+        Ok(CsrGraph { offsets, neighbors, weights: Some(weights), degrees, inv_degrees })
     }
 
     /// Number of nodes `n`.
@@ -143,6 +154,15 @@ impl CsrGraph {
     #[inline]
     pub fn weighted_degree(&self, v: NodeId) -> f64 {
         self.degrees[v as usize]
+    }
+
+    /// Cached reciprocal `1 / d(v)` (`+∞` for isolated nodes).
+    ///
+    /// Diffusion pushes scale by `α·r(v)/d(v)` once per neighbor; using the
+    /// cached reciprocal turns that division into a multiply.
+    #[inline]
+    pub fn inv_degree(&self, v: NodeId) -> f64 {
+        self.inv_degrees[v as usize]
     }
 
     /// Neighbors of `v`, sorted ascending.
@@ -241,13 +261,15 @@ impl CsrGraph {
                 }
             }
         }
-        let degrees =
+        let degrees: Vec<f64> =
             (0..n).map(|i| weights[self.offsets[i]..self.offsets[i + 1]].iter().sum()).collect();
+        let inv_degrees = reciprocals(&degrees);
         CsrGraph {
             offsets: self.offsets.clone(),
             neighbors: self.neighbors.clone(),
             weights: Some(weights),
             degrees,
+            inv_degrees,
         }
     }
 

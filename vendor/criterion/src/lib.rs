@@ -7,12 +7,109 @@
 //! criterion's statistical machinery. Each benchmark is warmed up once and
 //! then run for `sample_size` samples (bounded by a per-benchmark time
 //! budget); the mean, min and max per-iteration times are printed.
+//!
+//! Beyond printing, every timing is recorded in a process-wide registry so
+//! bench binaries can post-process them: [`take_results`] drains the
+//! registry, [`write_json`] serializes results to a machine-readable file,
+//! and `criterion_main!` automatically writes the whole run to the path in
+//! the `CRITERION_JSON` environment variable when it is set — the hook the
+//! workspace's `BENCH_*.json` perf-trajectory files are built on.
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Per-benchmark wall-clock budget (keeps full suites fast).
 const TIME_BUDGET: Duration = Duration::from_secs(3);
+
+/// One benchmark's recorded timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Full label, e.g. `"diffusion/greedy/1e-4"`.
+    pub label: String,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: u128,
+    /// Fastest sample in nanoseconds.
+    pub min_ns: u128,
+    /// Slowest sample in nanoseconds.
+    pub max_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+fn registry() -> &'static Mutex<Vec<BenchResult>> {
+    static REGISTRY: OnceLock<Mutex<Vec<BenchResult>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Drains and returns every benchmark result recorded so far, in run order.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *registry().lock().expect("criterion registry poisoned"))
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Serializes benchmark results (plus caller-supplied derived entries such
+/// as speedups) to a JSON file. Hand-rolled writer — the workspace has no
+/// serde — emitting `{"results": [...], "derived": {...}}`.
+pub fn write_json(
+    path: &std::path::Path,
+    results: &[BenchResult],
+    derived: &[(String, f64)],
+) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+             \"samples\": {}}}{}\n",
+            json_escape(&r.label),
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"derived\": {\n");
+    for (i, (k, v)) in derived.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            json_escape(k),
+            if v.is_finite() { format!("{v:.4}") } else { "null".to_string() },
+            if i + 1 < derived.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out)
+}
+
+/// Writes all recorded results to `$CRITERION_JSON` when that variable is
+/// set (no-op otherwise). Called by `criterion_main!` after the groups run;
+/// drains the registry either way so repeated harness runs don't
+/// accumulate.
+pub fn finalize_from_env() {
+    let results = take_results();
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            let path = std::path::PathBuf::from(path);
+            match write_json(&path, &results, &[]) {
+                Ok(()) => {
+                    println!("wrote {} benchmark results to {}", results.len(), path.display())
+                }
+                Err(e) => eprintln!("CRITERION_JSON: failed to write {}: {e}", path.display()),
+            }
+        }
+    }
+}
 
 /// Prevents the optimizer from deleting a benchmarked computation.
 #[inline]
@@ -139,6 +236,13 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
         "{label:<50} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({} samples)",
         b.samples.len()
     );
+    registry().lock().expect("criterion registry poisoned").push(BenchResult {
+        label: label.to_string(),
+        mean_ns: mean.as_nanos(),
+        min_ns: min.as_nanos(),
+        max_ns: max.as_nanos(),
+        samples: b.samples.len(),
+    });
 }
 
 /// Declares a function that runs the listed benchmark functions in order.
@@ -158,6 +262,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize_from_env();
         }
     };
 }
@@ -178,5 +283,28 @@ mod tests {
         });
         group.finish();
         assert!(runs >= 4, "warm-up + 3 samples expected, got {runs}");
+    }
+
+    #[test]
+    fn results_are_recorded_and_serializable() {
+        // Drain anything a concurrently-running test recorded.
+        let _ = take_results();
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("json");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        let results = take_results();
+        let ours: Vec<&BenchResult> = results.iter().filter(|r| r.label == "json/noop").collect();
+        assert_eq!(ours.len(), 1);
+        assert!(ours[0].samples >= 1);
+        assert!(ours[0].min_ns <= ours[0].mean_ns && ours[0].mean_ns <= ours[0].max_ns);
+        let dir = std::env::temp_dir().join("criterion-stub-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_json(&path, &results, &[("speedup/x".to_string(), 3.5)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"json/noop\""));
+        assert!(text.contains("\"speedup/x\": 3.5000"));
     }
 }

@@ -1,17 +1,76 @@
 //! Minimal vendored stand-in for the `rayon` crate (offline build).
 //!
 //! Implements the subset the workspace uses — `slice.par_iter().map(f)
-//! .collect()` — with real data parallelism: the input is chunked across
-//! `std::thread::available_parallelism()` scoped threads and results are
-//! reassembled in order. No work stealing, no global pool; each `collect`
-//! spawns its own scoped threads, which is fine at the workspace's
-//! granularity (hundreds of multi-millisecond cluster queries).
+//! .collect()` — with real data parallelism on a **persistent global
+//! thread pool**: `available_parallelism()` workers are spawned once, on
+//! first use, and every subsequent `collect` dispatches chunk jobs to
+//! them. Compared to the previous scoped-threads-per-call design this
+//! removes the per-`collect` thread spawn/join cost and, just as
+//! important, gives worker threads a stable identity — thread-local
+//! caches (e.g. `laca-diffusion`'s per-thread `DiffusionWorkspace`)
+//! survive across calls instead of dying with each scope.
+//!
+//! Nested `collect`s run inline on the calling worker (no deadlock on a
+//! bounded pool), and a chunk that panics re-raises the panic on the
+//! calling thread, mirroring rayon.
+
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
 
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
 }
 
-use std::num::NonZeroUsize;
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    sender: Sender<Job>,
+    workers: usize,
+}
+
+// `Sender<Job>` is !Sync, so submissions are serialized through a mutex;
+// jobs are coarse (one per worker per collect), so contention is
+// negligible.
+struct SharedPool(Mutex<Pool>);
+
+thread_local! {
+    /// `true` on pool worker threads; nested collects run inline there.
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn pool() -> &'static SharedPool {
+    static POOL: OnceLock<SharedPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || {
+                    IS_POOL_WORKER.with(|f| f.set(true));
+                    loop {
+                        // Take one job at a time off the shared queue.
+                        let job = { rx.lock().expect("rayon-shim queue poisoned").recv() };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // sender dropped: process exit
+                        }
+                    }
+                })
+                .expect("rayon-shim failed to spawn worker");
+        }
+        SharedPool(Mutex::new(Pool { sender: tx, workers }))
+    })
+}
+
+/// Number of worker threads in the global pool (spawning it if needed).
+pub fn current_num_threads() -> usize {
+    pool().0.lock().expect("rayon-shim pool poisoned").workers
+}
 
 /// `.par_iter()` entry point, mirroring rayon's trait of the same name.
 pub trait IntoParallelRefIterator<'a> {
@@ -66,28 +125,70 @@ where
     R: Send,
     F: Fn(&'a T) -> R + Sync,
 {
-    /// Applies the map on scoped threads and collects results in input order.
+    /// Applies the map on the global pool and collects results in input
+    /// order.
     pub fn collect<C: FromIterator<R>>(self) -> C {
         let n = self.data.len();
-        let threads =
-            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(n.max(1));
-        if threads <= 1 || n <= 1 {
+        let threads = current_num_threads().min(n.max(1));
+        // Run inline when parallelism can't help, and on pool workers
+        // (a worker blocking on its own pool could deadlock).
+        if threads <= 1 || n <= 1 || IS_POOL_WORKER.with(|f| f.get()) {
             return self.data.iter().map(&self.f).collect();
         }
         let chunk = n.div_ceil(threads);
         let f = &self.f;
-        let mut parts: Vec<Vec<R>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .data
-                .chunks(chunk)
-                .map(|piece| scope.spawn(move || piece.iter().map(f).collect::<Vec<R>>()))
-                .collect();
-            for h in handles {
-                parts.push(h.join().expect("rayon-shim worker panicked"));
+        type PartMsg<R> = (usize, std::thread::Result<Vec<R>>);
+        let (tx, rx): (Sender<PartMsg<R>>, Receiver<PartMsg<R>>) = channel();
+        let mut jobs = 0usize;
+        {
+            let pool = pool().0.lock().expect("rayon-shim pool poisoned");
+            for (idx, piece) in self.data.chunks(chunk).enumerate() {
+                let tx = tx.clone();
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let out =
+                        catch_unwind(AssertUnwindSafe(|| piece.iter().map(f).collect::<Vec<R>>()));
+                    // The receiver outlives the job (collect blocks until
+                    // every job has reported), so a failed send means the
+                    // calling thread itself died — nothing left to notify.
+                    let _ = tx.send((idx, out));
+                });
+                // SAFETY: the job borrows `self.data` and `self.f`, which
+                // live until this function returns — and the function only
+                // returns after receiving one message per job below, each
+                // sent *after* its job finished using the borrows. Erasing
+                // the lifetime to 'static is therefore sound: no borrow
+                // outlives the blocking collect. The two failure paths
+                // below (send/recv on a torn-down pool) must not unwind
+                // past the borrows while jobs are outstanding, so they
+                // abort instead of panicking.
+                let job: Job =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+                if pool.sender.send(job).is_err() {
+                    // Unreachable while workers are immortal; unwinding
+                    // here would free the borrows under live jobs (UB).
+                    eprintln!("rayon-shim: worker pool is gone; aborting");
+                    std::process::abort();
+                }
+                jobs += 1;
             }
-        });
-        parts.into_iter().flatten().collect()
+        }
+        drop(tx);
+        let mut parts: Vec<Option<Vec<R>>> = (0..jobs).map(|_| None).collect();
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for _ in 0..jobs {
+            let Ok((idx, out)) = rx.recv() else {
+                eprintln!("rayon-shim: worker lost mid-collect; aborting");
+                std::process::abort();
+            };
+            match out {
+                Ok(part) => parts[idx] = Some(part),
+                Err(payload) => panic = Some(payload),
+            }
+        }
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+        parts.into_iter().flatten().flatten().collect()
     }
 }
 
@@ -110,5 +211,42 @@ mod tests {
         let one = [7u32];
         let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn pool_is_reused_across_collects() {
+        // Worker thread ids must repeat across calls — the pool persists.
+        let xs: Vec<u32> = (0..64).collect();
+        let ids1: std::collections::HashSet<std::thread::ThreadId> =
+            xs.par_iter().map(|_| std::thread::current().id()).collect();
+        let ids2: std::collections::HashSet<std::thread::ThreadId> =
+            xs.par_iter().map(|_| std::thread::current().id()).collect();
+        assert!(!ids1.is_disjoint(&ids2), "no worker survived between collects");
+    }
+
+    #[test]
+    fn nested_collect_runs_inline() {
+        let xs: Vec<u32> = (0..8).collect();
+        let out: Vec<u32> = xs
+            .par_iter()
+            .map(|&x| {
+                let inner: Vec<u32> = [x].par_iter().map(|&y| y + 1).collect();
+                inner[0]
+            })
+            .collect();
+        assert_eq!(out, (1..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let xs: Vec<u32> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u32> =
+                xs.par_iter().map(|&x| if x == 17 { panic!("boom") } else { x }).collect();
+        });
+        assert!(result.is_err());
+        // The pool must still work afterwards.
+        let ok: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert_eq!(ok.len(), 32);
     }
 }
