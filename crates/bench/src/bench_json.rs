@@ -1,0 +1,255 @@
+//! Reader for the `BENCH_*.json` files the criterion stand-in writes
+//! (`criterion::write_json`): `{"results": [...], "derived": {...}}`.
+//!
+//! The workspace has no serde, and the format is our own writer's output,
+//! so this is a small line-oriented parser rather than a general JSON
+//! reader — exactly inverse to `write_json`, with tests round-tripping
+//! through it. `bench_compare` builds on this to diff two bench runs.
+
+/// One benchmark's timings, mirroring `criterion::BenchResult`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Full label, e.g. `"serving/warm/w4"`.
+    pub label: String,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: u128,
+    /// Fastest sample (the noise-robust comparison metric).
+    pub min_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// A parsed bench file: timed results plus derived named scalars
+/// (speedups, queries/sec, hit rates, ...).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchFile {
+    /// The `"results"` array.
+    pub results: Vec<BenchEntry>,
+    /// The `"derived"` map, in file order (`null` entries are skipped).
+    pub derived: Vec<(String, f64)>,
+}
+
+impl BenchFile {
+    /// Looks a result up by exact label.
+    pub fn result(&self, label: &str) -> Option<&BenchEntry> {
+        self.results.iter().find(|r| r.label == label)
+    }
+
+    /// Looks a derived scalar up by exact key.
+    pub fn derived(&self, key: &str) -> Option<f64> {
+        self.derived.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
+/// Extracts the string value of `"key": "..."` from a line.
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Extracts the numeric value of `"key": 123` from a line.
+fn extract_num(line: &str, key: &str) -> Option<u128> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Parses one `"key": value` line of the derived section.
+fn parse_derived_line(line: &str) -> Option<(String, f64)> {
+    let rest = line.trim().strip_prefix('"')?;
+    let key_end = rest.find('"')?;
+    let key = rest[..key_end].to_string();
+    let value = rest[key_end + 1..].trim_start().strip_prefix(':')?.trim().trim_end_matches(',');
+    value.parse::<f64>().ok().map(|v| (key, v))
+}
+
+/// Parses a bench JSON file's text. Unknown lines are ignored, so the
+/// parser tolerates formatting drift as long as the field layout (one
+/// result object per line; one derived entry per line after a
+/// `"derived"` marker) holds.
+pub fn parse(text: &str) -> Result<BenchFile, String> {
+    let mut out = BenchFile::default();
+    let mut in_derived = false;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("\"derived\"") {
+            in_derived = true;
+            continue;
+        }
+        if trimmed.contains("\"label\"") {
+            let label = extract_str(trimmed, "label")
+                .ok_or_else(|| format!("malformed result line: {trimmed}"))?;
+            let num = |key: &str| {
+                extract_num(trimmed, key)
+                    .ok_or_else(|| format!("result `{label}` is missing `{key}`"))
+            };
+            let (mean_ns, min_ns, max_ns, samples) =
+                (num("mean_ns")?, num("min_ns")?, num("max_ns")?, num("samples")? as usize);
+            out.results.push(BenchEntry { label, mean_ns, min_ns, max_ns, samples });
+        } else if in_derived {
+            if let Some(entry) = parse_derived_line(trimmed) {
+                out.derived.push(entry);
+            }
+        }
+    }
+    if out.results.is_empty() && out.derived.is_empty() {
+        return Err("no benchmark results found (is this a BENCH_*.json file?)".to_string());
+    }
+    Ok(out)
+}
+
+/// Parses the bench JSON file at `path`.
+pub fn parse_file(path: &std::path::Path) -> Result<BenchFile, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// One label's old-vs-new comparison from [`compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// The shared benchmark label.
+    pub label: String,
+    /// Old (baseline) time in nanoseconds.
+    pub old_ns: u128,
+    /// New (candidate) time in nanoseconds.
+    pub new_ns: u128,
+    /// `new / old` — above 1 is slower than baseline.
+    pub ratio: f64,
+}
+
+/// Which timing field a comparison uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Fastest sample — robust to scheduler noise; the default.
+    Min,
+    /// Mean over samples.
+    Mean,
+}
+
+/// Compares every label present in both files; returns the comparisons
+/// plus the labels only one side has.
+pub fn compare(
+    old: &BenchFile,
+    new: &BenchFile,
+    metric: Metric,
+) -> (Vec<Comparison>, Vec<String>, Vec<String>) {
+    let pick = |e: &BenchEntry| match metric {
+        Metric::Min => e.min_ns,
+        Metric::Mean => e.mean_ns,
+    };
+    let mut common = Vec::new();
+    let mut only_old = Vec::new();
+    for o in &old.results {
+        match new.result(&o.label) {
+            Some(n) => {
+                let (old_ns, new_ns) = (pick(o), pick(n));
+                common.push(Comparison {
+                    label: o.label.clone(),
+                    old_ns,
+                    new_ns,
+                    ratio: new_ns as f64 / (old_ns.max(1)) as f64,
+                });
+            }
+            None => only_old.push(o.label.clone()),
+        }
+    }
+    let only_new = new
+        .results
+        .iter()
+        .filter(|n| old.result(&n.label).is_none())
+        .map(|n| n.label.clone())
+        .collect();
+    (common, only_old, only_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_the_criterion_writer() {
+        let results = vec![
+            criterion::BenchResult {
+                label: "serving/cold/w1".to_string(),
+                mean_ns: 1_000_000,
+                min_ns: 900_000,
+                max_ns: 1_200_000,
+                samples: 5,
+            },
+            criterion::BenchResult {
+                label: "serving/warm/w4".to_string(),
+                mean_ns: 10_000,
+                min_ns: 9_000,
+                max_ns: 12_000,
+                samples: 5,
+            },
+        ];
+        let derived =
+            vec![("qps/warm/w4".to_string(), 98765.4321), ("nan/entry".to_string(), f64::NAN)];
+        let dir = std::env::temp_dir().join(format!("laca-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.json");
+        criterion::write_json(&path, &results, &derived).unwrap();
+        let parsed = parse_file(&path).unwrap();
+        assert_eq!(parsed.results.len(), 2);
+        assert_eq!(parsed.result("serving/cold/w1").unwrap().min_ns, 900_000);
+        assert_eq!(parsed.result("serving/warm/w4").unwrap().samples, 5);
+        // NaN is serialized as null and skipped on read.
+        assert_eq!(parsed.derived.len(), 1);
+        assert!((parsed.derived("qps/warm/w4").unwrap() - 98765.4321).abs() < 1e-3);
+    }
+
+    #[test]
+    fn parses_the_committed_baseline_format() {
+        let text = r#"{
+  "results": [
+    {"label": "diffusion/greedy/1e-3", "mean_ns": 4466, "min_ns": 3913, "max_ns": 7151, "samples": 20}
+  ],
+  "derived": {
+    "speedup/greedy/1e-3": 2.2556
+  }
+}
+"#;
+        let parsed = parse(text).unwrap();
+        assert_eq!(parsed.result("diffusion/greedy/1e-3").unwrap().min_ns, 3913);
+        assert_eq!(parsed.derived("speedup/greedy/1e-3"), Some(2.2556));
+    }
+
+    #[test]
+    fn compare_flags_ratio_and_label_drift() {
+        let old = parse(
+            r#"{"results": [
+  {"label": "a", "mean_ns": 100, "min_ns": 100, "max_ns": 100, "samples": 3},
+  {"label": "gone", "mean_ns": 5, "min_ns": 5, "max_ns": 5, "samples": 3}
+], "derived": {}}"#,
+        )
+        .unwrap();
+        let new = parse(
+            r#"{"results": [
+  {"label": "a", "mean_ns": 150, "min_ns": 140, "max_ns": 160, "samples": 3},
+  {"label": "fresh", "mean_ns": 7, "min_ns": 7, "max_ns": 7, "samples": 3}
+], "derived": {}}"#,
+        )
+        .unwrap();
+        let (common, only_old, only_new) = compare(&old, &new, Metric::Min);
+        assert_eq!(common.len(), 1);
+        assert!((common[0].ratio - 1.4).abs() < 1e-12);
+        assert_eq!(only_old, vec!["gone".to_string()]);
+        assert_eq!(only_new, vec!["fresh".to_string()]);
+        let (by_mean, _, _) = compare(&old, &new, Metric::Mean);
+        assert!((by_mean[0].ratio - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_bench_files() {
+        assert!(parse("{}").is_err());
+        assert!(parse("hello world").is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Diffs two `BENCH_*.json` files (e.g. a committed baseline against a
+//! fresh run) and flags regressions beyond a threshold.
+//!
+//! ```sh
+//! cargo run --release -p laca-bench --bin bench_compare -- \
+//!     BENCH_diffusion.json /tmp/bench_diffusion.json --threshold 1.5
+//! ```
+//!
+//! Exit code 0 = no regression, 1 = at least one label regressed, 2 =
+//! usage/parse error. CI runs this as a *non-blocking* step
+//! (`scripts/bench_compare.sh`): shared-runner timing noise makes a hard
+//! perf gate flaky, but the report in the log catches large, real
+//! regressions the day they land.
+
+use laca_bench::bench_json::{compare, parse_file, Metric};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    old: PathBuf,
+    new: PathBuf,
+    threshold: f64,
+    metric: Metric,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_compare OLD.json NEW.json [--threshold R] [--metric min|mean]\n\
+         \n\
+         Flags labels whose NEW/OLD time ratio exceeds R (default 1.5;\n\
+         improvements beyond 1/R are reported too, informationally)."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut positional: Vec<String> = Vec::new();
+    let mut threshold = 1.5f64;
+    let mut metric = Metric::Min;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--metric" => {
+                i += 1;
+                metric = match args.get(i).map(String::as_str) {
+                    Some("min") => Metric::Min,
+                    Some("mean") => Metric::Mean,
+                    _ => usage(),
+                };
+            }
+            "--help" | "-h" => usage(),
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if positional.len() != 2 || threshold <= 1.0 {
+        usage();
+    }
+    Args {
+        old: PathBuf::from(&positional[0]),
+        new: PathBuf::from(&positional[1]),
+        threshold,
+        metric,
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.2}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let (old, new) = match (parse_file(&args.old), parse_file(&args.new)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (mut common, only_old, only_new) = compare(&old, &new, args.metric);
+    common.sort_by(|a, b| b.ratio.partial_cmp(&a.ratio).unwrap());
+
+    let metric_name = match args.metric {
+        Metric::Min => "min",
+        Metric::Mean => "mean",
+    };
+    println!(
+        "comparing {} (baseline) vs {} ({} times, threshold {:.2}x)\n",
+        args.old.display(),
+        args.new.display(),
+        metric_name,
+        args.threshold
+    );
+    let mut regressions = 0usize;
+    let mut improvements = 0usize;
+    for c in &common {
+        let verdict = if c.ratio > args.threshold {
+            regressions += 1;
+            "REGRESSION"
+        } else if c.ratio < 1.0 / args.threshold {
+            improvements += 1;
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<42} {:>10} -> {:>10}  {:>6.2}x  {verdict}",
+            c.label,
+            fmt_ns(c.old_ns),
+            fmt_ns(c.new_ns),
+            c.ratio
+        );
+    }
+    for label in &only_old {
+        println!("{label:<42} (only in baseline)");
+    }
+    for label in &only_new {
+        println!("{label:<42} (new benchmark, no baseline)");
+    }
+    println!(
+        "\n{} labels compared: {regressions} regression(s), {improvements} improvement(s), \
+         {} baseline-only, {} new",
+        common.len(),
+        only_old.len(),
+        only_new.len()
+    );
+    if regressions > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

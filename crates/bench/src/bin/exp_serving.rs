@@ -1,0 +1,124 @@
+//! **Serving scenario**: throughput of the `laca-service` query engine —
+//! queries/sec versus worker count, cold versus warm result cache — plus
+//! an online bit-identity check against the serial engine. This is the
+//! ROADMAP's "serve heavy traffic" story as a first-class experiment, not
+//! a paper table; `benches/serving.rs` is its committed-baseline twin.
+//!
+//! ```sh
+//! cargo run --release -p laca-bench --bin exp_serving -- --seeds 96
+//! ```
+
+use laca_bench::{banner, load_dataset, ExpArgs};
+use laca_core::tnam::TnamConfig;
+use laca_core::{Laca, LacaParams, MetricFn, Tnam};
+use laca_eval::harness::sample_seeds;
+use laca_eval::table::Table;
+use laca_graph::NodeId;
+use laca_service::{ClusterIndex, QueryService, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const WORKERS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let args = ExpArgs::parse(96);
+    let names = args.dataset_names(&["pubmed"]);
+    let params = LacaParams::new(1e-4);
+    let tnam_config = TnamConfig::new(32, MetricFn::Cosine);
+
+    for name in &names {
+        let ds = load_dataset(name, args.scale);
+        let pool = sample_seeds(&ds, args.seeds.max(2), 0x5E4A);
+        let t0 = Instant::now();
+        let index = ClusterIndex::from_dataset(&ds, &tnam_config, params.clone())
+            .expect("index construction");
+        eprintln!("[{name}] index built in {:?}", t0.elapsed());
+
+        // Bit-identity spot check: the serving path must reproduce the
+        // serial engine's answers exactly.
+        let tnam = Tnam::build(&ds.attributes, &tnam_config).expect("tnam");
+        let serial = Laca::new(&ds.graph, Some(&tnam), params.clone()).expect("engine");
+        {
+            let service = QueryService::start(
+                index.clone(),
+                ServiceConfig::default().with_workers(2).with_cache_per_worker(0),
+            );
+            for &s in pool.iter().take(4) {
+                let (rho, stats) = serial.bdd_with_stats(s).expect("serial query");
+                let answer = service.query(s).expect("served query");
+                assert_eq!(
+                    answer.rho.to_sorted_pairs(),
+                    rho.to_sorted_pairs(),
+                    "seed {s}: served ρ' diverged from serial"
+                );
+                assert_eq!(answer.stats.bdd.push_operations, stats.bdd.push_operations);
+            }
+            eprintln!("[{name}] bit-identity vs serial: ok ({} seeds)", pool.len().min(4));
+        }
+
+        // Warm workload: uniform random draws from the pool (cyclic scans
+        // are LRU's worst case and would hide the cache entirely). The
+        // per-worker cache budget covers ~1/3 of the pool, so the
+        // aggregate cache — and with it the hit rate and warm throughput —
+        // grows with the worker count.
+        let budget = (pool.len().div_ceil(3)).max(1);
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let warm_workload: Vec<NodeId> =
+            (0..3 * pool.len()).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+
+        let mut table = Table::new(&["workers", "cold q/s", "warm q/s", "warm hit%", "warm vs w1"]);
+        let mut warm_qps_w1 = 0.0f64;
+        for &w in &WORKERS {
+            // Cold: cache disabled, every query computed.
+            let cold = QueryService::start(
+                index.clone(),
+                ServiceConfig::default().with_workers(w).with_cache_per_worker(0),
+            );
+            let t0 = Instant::now();
+            for answer in cold.query_batch(&pool) {
+                answer.expect("cold query");
+            }
+            let cold_qps = pool.len() as f64 / t0.elapsed().as_secs_f64();
+            drop(cold);
+
+            // Warm: steady state after one untimed pass.
+            let warm = QueryService::start(
+                index.clone(),
+                ServiceConfig::default().with_workers(w).with_cache_per_worker(budget),
+            );
+            for answer in warm.query_batch(&warm_workload) {
+                answer.expect("warm-up query");
+            }
+            let before = warm.stats();
+            let t0 = Instant::now();
+            for answer in warm.query_batch(&warm_workload) {
+                answer.expect("warm query");
+            }
+            let warm_qps = warm_workload.len() as f64 / t0.elapsed().as_secs_f64();
+            let after = warm.stats();
+            let hits = after.cache_hits - before.cache_hits;
+            let misses = after.cache_misses - before.cache_misses;
+            let hit_rate =
+                if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
+            if w == WORKERS[0] {
+                warm_qps_w1 = warm_qps;
+            }
+            eprintln!(
+                "[{name}] w={w}: cold {cold_qps:.0} q/s, warm {warm_qps:.0} q/s \
+                 (hit rate {hit_rate:.2}, cache {}/{})",
+                after.cache_entries, after.cache_capacity
+            );
+            table.add_row(vec![
+                w.to_string(),
+                format!("{cold_qps:.0}"),
+                format!("{warm_qps:.0}"),
+                format!("{:.0}%", hit_rate * 100.0),
+                format!("{:.2}x", warm_qps / warm_qps_w1.max(1e-9)),
+            ]);
+        }
+        banner(&format!("Serving throughput on {name} (ε = 1e-4, pool = {})", pool.len()));
+        println!("{}", table.render());
+        table.write_csv(&args.out_dir.join(format!("serving_{name}.csv"))).expect("write csv");
+    }
+}

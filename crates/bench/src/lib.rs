@@ -14,6 +14,8 @@ use laca_graph::datasets::{by_name, default_scale};
 use laca_graph::AttributedDataset;
 use std::path::PathBuf;
 
+pub mod bench_json;
+
 /// Parsed command-line options shared by all experiment binaries.
 #[derive(Debug, Clone)]
 pub struct ExpArgs {

@@ -18,6 +18,7 @@ use laca_diffusion::{
     DiffusionWorkspace, SparseVec,
 };
 use laca_graph::{CsrGraph, NodeId};
+use std::sync::Arc;
 
 /// Which diffusion solver Algo. 4 invokes (the "w/o AdaptiveDiffuse"
 /// ablation of Table VI swaps in GreedyDiffuse).
@@ -99,40 +100,96 @@ pub struct LacaQueryStats {
     pub phi_l1: f64,
 }
 
+/// Either a borrowed or an `Arc`-shared handle to an immutable artifact.
+///
+/// [`Laca`] historically borrowed its graph and TNAM from the caller
+/// (`Laca<'g>`), which is zero-cost for single-threaded loops but cannot
+/// cross thread boundaries. The serving layer (`laca-service`) needs one
+/// immutable index shared by many worker threads, so each handle can also
+/// be an `Arc` — `Laca<'static>` built from Arcs is `Send + Sync`
+/// (statically asserted below) and freely clonable across a pool.
+#[derive(Debug, Clone)]
+enum SharedRef<'g, T> {
+    Borrowed(&'g T),
+    Owned(Arc<T>),
+}
+
+impl<T> SharedRef<'_, T> {
+    #[inline]
+    fn get(&self) -> &T {
+        match self {
+            SharedRef::Borrowed(t) => t,
+            SharedRef::Owned(t) => t,
+        }
+    }
+}
+
 /// A LACA instance bound to a graph and (optionally) a prebuilt TNAM.
 ///
 /// The TNAM is the reusable preprocessing artifact: build it once per
 /// dataset ([`Tnam::build`]), then answer any number of seed queries.
+///
+/// Construction is either borrowing ([`Laca::new`] — the lifetime ties
+/// the engine to the caller's graph) or shared ([`Laca::new_shared`] —
+/// `Arc`-backed, `'static`, `Send + Sync`, for cross-thread serving).
 #[derive(Debug, Clone)]
 pub struct Laca<'g> {
-    graph: &'g CsrGraph,
-    tnam: Option<&'g Tnam>,
+    graph: SharedRef<'g, CsrGraph>,
+    tnam: Option<SharedRef<'g, Tnam>>,
     params: LacaParams,
 }
 
+fn validate_index(
+    graph: &CsrGraph,
+    tnam: Option<&Tnam>,
+    params: &LacaParams,
+) -> Result<(), CoreError> {
+    if params.use_snas {
+        match tnam {
+            None => return Err(CoreError::NoAttributes),
+            Some(t) if t.n() != graph.n() => {
+                return Err(CoreError::BadParameter("TNAM size does not match graph"))
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
 impl<'g> Laca<'g> {
-    /// Creates a query engine. `tnam = None` is only valid together with
-    /// `params.use_snas = false`.
+    /// Creates a query engine borrowing the caller's graph/TNAM.
+    /// `tnam = None` is only valid together with `params.use_snas = false`.
     pub fn new(
         graph: &'g CsrGraph,
         tnam: Option<&'g Tnam>,
         params: LacaParams,
     ) -> Result<Self, CoreError> {
-        if params.use_snas {
-            match tnam {
-                None => return Err(CoreError::NoAttributes),
-                Some(t) if t.n() != graph.n() => {
-                    return Err(CoreError::BadParameter("TNAM size does not match graph"))
-                }
-                _ => {}
-            }
-        }
-        Ok(Laca { graph, tnam, params })
+        validate_index(graph, tnam, &params)?;
+        Ok(Laca { graph: SharedRef::Borrowed(graph), tnam: tnam.map(SharedRef::Borrowed), params })
+    }
+
+    /// Creates a query engine co-owning its graph/TNAM through `Arc`s.
+    ///
+    /// The result is `Laca<'static>`: it can move into worker threads and
+    /// be queried concurrently (all query paths take `&self`). Same
+    /// validation rules as [`Laca::new`].
+    pub fn new_shared(
+        graph: Arc<CsrGraph>,
+        tnam: Option<Arc<Tnam>>,
+        params: LacaParams,
+    ) -> Result<Laca<'static>, CoreError> {
+        validate_index(&graph, tnam.as_deref(), &params)?;
+        Ok(Laca { graph: SharedRef::Owned(graph), tnam: tnam.map(SharedRef::Owned), params })
     }
 
     /// The graph this engine queries.
     pub fn graph(&self) -> &CsrGraph {
-        self.graph
+        self.graph.get()
+    }
+
+    /// The TNAM in use, if any.
+    pub fn tnam(&self) -> Option<&Tnam> {
+        self.tnam.as_ref().map(SharedRef::get)
     }
 
     /// The parameters in use.
@@ -152,10 +209,11 @@ impl<'g> Laca<'g> {
             sigma: self.params.sigma,
             record_residuals: false,
         };
+        let graph = self.graph.get();
         let out = match self.params.backend {
-            DiffusionBackend::Adaptive => adaptive_diffuse_in(self.graph, f, &dp, ws)?,
-            DiffusionBackend::Greedy => greedy_diffuse_in(self.graph, f, &dp, ws)?,
-            DiffusionBackend::NonGreedy => nongreedy_diffuse_in(self.graph, f, &dp, ws)?,
+            DiffusionBackend::Adaptive => adaptive_diffuse_in(graph, f, &dp, ws)?,
+            DiffusionBackend::Greedy => greedy_diffuse_in(graph, f, &dp, ws)?,
+            DiffusionBackend::NonGreedy => nongreedy_diffuse_in(graph, f, &dp, ws)?,
         };
         Ok(out)
     }
@@ -176,7 +234,8 @@ impl<'g> Laca<'g> {
         seed: NodeId,
         ws: &mut DiffusionWorkspace,
     ) -> Result<(SparseVec, LacaQueryStats), CoreError> {
-        if seed as usize >= self.graph.n() {
+        let graph = self.graph.get();
+        if seed as usize >= graph.n() {
             return Err(CoreError::BadParameter("seed node out of range"));
         }
         let mut stats = LacaQueryStats::default();
@@ -188,7 +247,7 @@ impl<'g> Laca<'g> {
         let pi = rwr.reserve;
 
         // Step 2: φ'.
-        let phi = match (self.params.use_snas, self.tnam) {
+        let phi = match (self.params.use_snas, self.tnam()) {
             (true, Some(tnam)) => {
                 let mut psi = tnam.new_accumulator();
                 for (i, v) in pi.iter() {
@@ -199,8 +258,7 @@ impl<'g> Laca<'g> {
                     // Random-feature noise can push ψ·z⁽ⁱ⁾ slightly below
                     // zero; clamp so Step 3's input stays a valid
                     // non-negative diffusion vector.
-                    let val =
-                        tnam.dot_row(&psi, i as usize).max(0.0) * self.graph.weighted_degree(i);
+                    let val = tnam.dot_row(&psi, i as usize).max(0.0) * graph.weighted_degree(i);
                     phi.set(i, val);
                 }
                 phi
@@ -209,7 +267,7 @@ impl<'g> Laca<'g> {
                 // w/o SNAS: s(v_i, v_j) = [i = j], so φ'_i = π'_i · d(v_i).
                 let mut phi = SparseVec::new();
                 for (i, v) in pi.iter() {
-                    phi.set(i, v * self.graph.weighted_degree(i));
+                    phi.set(i, v * graph.weighted_degree(i));
                 }
                 phi
             }
@@ -225,7 +283,7 @@ impl<'g> Laca<'g> {
         stats.bdd = bdd.stats.clone();
         let mut rho = SparseVec::new();
         for (i, v) in bdd.reserve.iter() {
-            rho.set(i, v / self.graph.weighted_degree(i));
+            rho.set(i, v / graph.weighted_degree(i));
         }
         Ok((rho, stats))
     }
@@ -242,6 +300,16 @@ impl<'g> Laca<'g> {
         Ok(top_k_cluster(&rho, seed, size))
     }
 }
+
+// An Arc-built engine must be shareable across a worker pool. If a future
+// change introduces interior mutability (Cell/RefCell/raw pointers) into
+// the graph, the TNAM or the engine itself, this stops compiling instead
+// of surfacing as a data race at runtime.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Laca<'static>>();
+    assert_send_sync::<LacaParams>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -371,6 +439,43 @@ mod tests {
         let (_, sa) = adaptive.bdd_with_stats(2).unwrap();
         let (_, sg) = greedy.bdd_with_stats(2).unwrap();
         assert!(sa.rwr.iterations <= sg.rwr.iterations);
+    }
+
+    #[test]
+    fn shared_engine_matches_borrowed_engine_across_threads() {
+        let ds = dataset();
+        let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(16, MetricFn::Cosine)).unwrap();
+        let params = LacaParams::new(1e-4);
+        let borrowed = Laca::new(&ds.graph, Some(&tnam), params.clone()).unwrap();
+        let shared =
+            Laca::new_shared(Arc::new(ds.graph.clone()), Some(Arc::new(tnam.clone())), params)
+                .unwrap();
+        let expected: Vec<_> = (0..4u32)
+            .map(|s| {
+                let (rho, stats) = borrowed.bdd_with_stats(s).unwrap();
+                (rho.to_sorted_pairs(), stats.bdd.push_operations)
+            })
+            .collect();
+        let handles: Vec<_> = (0..4u32)
+            .map(|s| {
+                let engine = shared.clone();
+                std::thread::spawn(move || {
+                    let (rho, stats) = engine.bdd_with_stats(s).unwrap();
+                    (rho.to_sorted_pairs(), stats.bdd.push_operations)
+                })
+            })
+            .collect();
+        for (s, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), expected[s], "seed {s} diverged across threads");
+        }
+    }
+
+    #[test]
+    fn shared_construction_validates_like_borrowed() {
+        let ds = dataset();
+        let graph = Arc::new(ds.graph.clone());
+        assert!(Laca::new_shared(Arc::clone(&graph), None, LacaParams::new(1e-4)).is_err());
+        assert!(Laca::new_shared(graph, None, LacaParams::new(1e-4).without_snas()).is_ok());
     }
 
     #[test]

@@ -202,6 +202,14 @@ impl Tnam {
     }
 }
 
+// The TNAM (both row representations) is shared read-only across serving
+// threads; any future interior mutability must fail here, not at runtime.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Tnam>();
+    assert_send_sync::<Rows>();
+};
+
 /// Applies Eq. 18: `z⁽ⁱ⁾ = y⁽ⁱ⁾ / √(y⁽ⁱ⁾ · y*)`. Rows whose normalizer is
 /// non-positive (possible under random-feature noise) are zeroed, which
 /// drops them from all similarity sums rather than amplifying noise.

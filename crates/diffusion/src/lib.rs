@@ -14,8 +14,9 @@
 //!   (inputs and outputs never allocate `O(n)`, preserving locality),
 //! * [`DiffusionWorkspace`] — the epoch-stamped dense scratch the push
 //!   loops actually run on, reused across queries (one per thread via
-//!   [`workspace::with_thread_workspace`], or caller-managed through the
-//!   `*_diffuse_in` entry points),
+//!   [`workspace::with_thread_workspace`], checked out of a shared
+//!   [`WorkspacePool`], or caller-managed through the `*_diffuse_in`
+//!   entry points),
 //! * [`greedy_diffuse`] — Algo. 1 (**GreedyDiffuse**),
 //! * [`nongreedy_diffuse`] — the full-front iteration of Eq. 17 that the
 //!   paper's Section IV-B study compares against,
@@ -38,7 +39,7 @@ pub use adaptive::{
 };
 pub use greedy::{greedy_diffuse, greedy_diffuse_in};
 pub use sparse_vec::SparseVec;
-pub use workspace::DiffusionWorkspace;
+pub use workspace::{DiffusionWorkspace, PooledWorkspace, WorkspacePool};
 
 use laca_graph::NodeId;
 

@@ -18,6 +18,13 @@ pub struct AttributeMatrix {
     values: Vec<f64>,
 }
 
+// Shared read-only across serving threads (the TNAM's sparse ablation
+// keeps a copy); interior mutability must fail at compile time.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AttributeMatrix>();
+};
+
 impl AttributeMatrix {
     /// Builds from per-row sparse `(index, value)` lists and normalizes each
     /// row to unit L2 norm. Rows that are entirely zero stay zero.

@@ -331,6 +331,13 @@ impl CsrGraph {
     }
 }
 
+// The CSR graph is the immutable artifact every serving thread shares;
+// catch any future interior mutability at compile time.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CsrGraph>();
+};
+
 /// Incremental edge accumulator used by the generators.
 #[derive(Debug, Default, Clone)]
 pub struct GraphBuilder {

@@ -1,0 +1,285 @@
+//! Sharded LRU result cache keyed by `(seed, params-fingerprint)`.
+//!
+//! Shape follows the classic serving-cache layout: the key space is
+//! hash-partitioned into independent shards, each a fixed-capacity LRU so
+//! concurrent lookups from different submitters contend on different
+//! locks. Each shard's recency list is intrusive — nodes live in a slab
+//! `Vec` and link by index — so a hit costs one hash probe plus two link
+//! splices, with no allocation after the shard fills.
+
+use rustc_hash::FxHashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// Sentinel index for "no node" in the intrusive list.
+const NIL: usize = usize::MAX;
+
+/// One entry of the slab-backed doubly-linked recency list.
+#[derive(Debug)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU map (single shard).
+#[derive(Debug)]
+pub struct LruShard<K, V> {
+    map: FxHashMap<K, usize>,
+    slab: Vec<Node<K, V>>,
+    /// Most-recently used node, or `NIL` when empty.
+    head: usize,
+    /// Least-recently used node (the eviction candidate), or `NIL`.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
+    /// An empty shard holding at most `capacity ≥ 1` entries.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LruShard {
+            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            slab: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Detaches node `idx` from the recency list (its links keep their
+    /// stale values; callers re-link immediately).
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    /// Links node `idx` in as the new head (most recently used).
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.slab[h].prev = idx,
+        }
+        self.head = idx;
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let idx = *self.map.get(key)?;
+        if idx != self.head {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        Some(self.slab[idx].value.clone())
+    }
+
+    /// Inserts (or refreshes) `key → value`, evicting the least-recently
+    /// used entry when the shard is full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            if idx != self.head {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return;
+        }
+        let idx = if self.map.len() < self.capacity {
+            // Room left: take a fresh slab slot.
+            self.slab.push(Node { key: key.clone(), value, prev: NIL, next: NIL });
+            self.slab.len() - 1
+        } else {
+            // Full: recycle the LRU node in place.
+            let idx = self.tail;
+            debug_assert_ne!(idx, NIL);
+            self.unlink(idx);
+            let old_key = std::mem::replace(&mut self.slab[idx].key, key.clone());
+            self.map.remove(&old_key);
+            self.slab[idx].value = value;
+            idx
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+    }
+}
+
+/// A hash-sharded LRU cache: `shards` independent [`LruShard`]s behind
+/// their own locks, splitting `capacity` evenly (rounded up).
+#[derive(Debug)]
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<LruShard<K, V>>>,
+}
+
+/// Minimum per-shard depth: below this, hash imbalance between shards
+/// dominates (a 1-deep shard thrashes on any key collision), so small
+/// caches collapse to fewer shards instead.
+const MIN_PER_SHARD: usize = 8;
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
+    /// A cache of ≈`capacity` total entries split over at most `shards`
+    /// shards (per-shard capacity `ceil(capacity / shards)`). The shard
+    /// count is reduced so each shard holds at least [`MIN_PER_SHARD`]
+    /// entries — lock sharding only pays once shards are deep enough that
+    /// hash imbalance doesn't evict hot keys.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = shards.clamp(1, capacity.div_ceil(MIN_PER_SHARD));
+        let per_shard = capacity.div_ceil(shards);
+        ShardedCache { shards: (0..shards).map(|_| Mutex::new(LruShard::new(per_shard))).collect() }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<LruShard<K, V>> {
+        let mut h = rustc_hash::FxHasher::default();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up `key` in its shard, refreshing recency on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().expect("cache shard poisoned").get(key)
+    }
+
+    /// Inserts `key → value` into its shard.
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key).lock().expect("cache shard poisoned").insert(key, value);
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").len()).sum()
+    }
+
+    /// `true` when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().expect("cache shard poisoned").is_empty())
+    }
+
+    /// Total capacity (sum of shard capacities).
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").capacity).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lru_evicts_in_recency_order() {
+        let mut lru = LruShard::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.get(&"a"), Some(1)); // refresh "a": "b" is now LRU
+        lru.insert("c", 3); // evicts "b"
+        assert_eq!(lru.get(&"b"), None);
+        assert_eq!(lru.get(&"a"), Some(1));
+        assert_eq!(lru.get(&"c"), Some(3));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn lru_insert_refreshes_existing_key() {
+        let mut lru = LruShard::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        lru.insert("a", 10); // refresh + overwrite: "b" is LRU
+        lru.insert("c", 3); // evicts "b"
+        assert_eq!(lru.get(&"a"), Some(10));
+        assert_eq!(lru.get(&"b"), None);
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_latest() {
+        let mut lru = LruShard::new(1);
+        for i in 0..10u32 {
+            lru.insert(i, i);
+        }
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get(&9), Some(9));
+    }
+
+    #[test]
+    fn sharded_cache_splits_capacity_and_counts() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(64, 8);
+        assert_eq!(cache.capacity(), 64);
+        assert!(cache.is_empty());
+        for i in 0..64 {
+            cache.insert(i, i * 2);
+        }
+        assert!(cache.len() <= 64);
+        let hits = (0..64).filter(|&i| cache.get(&i) == Some(i * 2)).count();
+        // Uneven hashing can evict within a shard, but most entries fit.
+        assert!(hits >= 48, "only {hits}/64 entries survived");
+    }
+
+    #[test]
+    fn tiny_caches_collapse_to_one_deep_shard() {
+        // 8 entries over a requested 8 shards would be 1-deep shards that
+        // thrash on the first hash collision; the constructor must give a
+        // single 8-deep shard instead, so a pool of ≤ 8 keys fully fits.
+        let cache: ShardedCache<u32, u32> = ShardedCache::new(8, 8);
+        assert_eq!(cache.capacity(), 8);
+        for i in 0..8 {
+            cache.insert(i, i);
+        }
+        for i in 0..8 {
+            assert_eq!(cache.get(&i), Some(i), "entry {i} was evicted below capacity");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Differential test against a naive recency-list model: any
+        /// operation sequence must produce identical hit/miss behavior.
+        #[test]
+        fn lru_matches_naive_model(
+            capacity in 1usize..6,
+            ops in proptest::collection::vec((0u32..8, 0u32..2), 1..60),
+        ) {
+            let mut lru = LruShard::new(capacity);
+            // Model: Vec of (key, value), front = MRU, truncated to capacity.
+            let mut model: Vec<(u32, u32)> = Vec::new();
+            for (key, op) in ops {
+                if op == 0 {
+                    let expected = model.iter().position(|&(k, _)| k == key).map(|pos| {
+                        let entry = model.remove(pos);
+                        model.insert(0, entry);
+                        model[0].1
+                    });
+                    prop_assert_eq!(lru.get(&key), expected, "get({}) diverged", key);
+                } else {
+                    let value = key.wrapping_mul(31);
+                    if let Some(pos) = model.iter().position(|&(k, _)| k == key) {
+                        model.remove(pos);
+                    }
+                    model.insert(0, (key, value));
+                    model.truncate(capacity);
+                    lru.insert(key, value);
+                }
+                prop_assert_eq!(lru.len(), model.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The immutable, shareable preprocessing artifact behind a service.
+
+use laca_core::laca::DiffusionBackend;
+use laca_core::tnam::TnamConfig;
+use laca_core::{CoreError, Laca, LacaParams, Tnam};
+use laca_graph::{AttributedDataset, CsrGraph};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Everything a worker needs to answer seed queries, behind `Arc`s:
+/// the CSR graph, the prebuilt TNAM (when the params use the SNAS), and
+/// the query parameters. Build once, clone freely — clones share the
+/// underlying graph/TNAM, so handing an index to a [`crate::QueryService`]
+/// or to N worker threads copies two pointers, not the data.
+///
+/// The index also carries a **params fingerprint** (stable across clones)
+/// that keys the service's result cache: two indices over the same data
+/// with different `ε`/`α`/backend produce different cache keys, so a
+/// params change can never serve stale answers.
+#[derive(Debug, Clone)]
+pub struct ClusterIndex {
+    graph: Arc<CsrGraph>,
+    tnam: Option<Arc<Tnam>>,
+    params: LacaParams,
+    fingerprint: u64,
+}
+
+/// Stable digest of every field of [`LacaParams`] that affects query
+/// results. Float params are hashed by bit pattern: any observable change
+/// (even in the last ulp) changes the fingerprint.
+pub fn params_fingerprint(params: &LacaParams) -> u64 {
+    let mut h = rustc_hash::FxHasher::default();
+    params.alpha.to_bits().hash(&mut h);
+    params.epsilon.to_bits().hash(&mut h);
+    params.sigma.to_bits().hash(&mut h);
+    let backend: u8 = match params.backend {
+        DiffusionBackend::Adaptive => 0,
+        DiffusionBackend::Greedy => 1,
+        DiffusionBackend::NonGreedy => 2,
+    };
+    backend.hash(&mut h);
+    params.use_snas.hash(&mut h);
+    h.finish()
+}
+
+impl ClusterIndex {
+    /// Assembles an index from already-shared parts, with the same
+    /// validation as [`Laca::new`] (SNAS params require a TNAM whose size
+    /// matches the graph).
+    pub fn new(
+        graph: Arc<CsrGraph>,
+        tnam: Option<Arc<Tnam>>,
+        params: LacaParams,
+    ) -> Result<Self, CoreError> {
+        // Engine construction is the validation path; the engine itself is
+        // rebuilt per worker (it is two pointers + params).
+        Laca::new_shared(Arc::clone(&graph), tnam.clone(), params.clone())?;
+        let fingerprint = params_fingerprint(&params);
+        Ok(ClusterIndex { graph, tnam, params, fingerprint })
+    }
+
+    /// Builds an index from a dataset: runs TNAM preprocessing (Algo. 3)
+    /// when the params use the SNAS, then wraps everything in `Arc`s.
+    ///
+    /// This is the "offline phase" of the serving story — typically
+    /// seconds to minutes — after which every query is online-cheap.
+    pub fn from_dataset(
+        ds: &AttributedDataset,
+        tnam_config: &TnamConfig,
+        params: LacaParams,
+    ) -> Result<Self, CoreError> {
+        let tnam = if params.use_snas {
+            Some(Arc::new(Tnam::build(&ds.attributes, tnam_config)?))
+        } else {
+            None
+        };
+        Self::new(Arc::new(ds.graph.clone()), tnam, params)
+    }
+
+    /// A query engine over this index. `Laca<'static>` — `Send + Sync`,
+    /// movable into worker threads.
+    pub fn engine(&self) -> Laca<'static> {
+        Laca::new_shared(Arc::clone(&self.graph), self.tnam.clone(), self.params.clone())
+            .expect("index was validated at construction")
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Number of nodes (valid seed ids are `0..n`).
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// The query parameters this index answers under.
+    pub fn params(&self) -> &LacaParams {
+        &self.params
+    }
+
+    /// The params fingerprint used in cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laca_core::MetricFn;
+    use laca_graph::gen::{AttributeSpec, AttributedGraphSpec};
+
+    fn dataset() -> AttributedDataset {
+        AttributedGraphSpec {
+            n: 120,
+            n_clusters: 3,
+            avg_degree: 6.0,
+            p_intra: 0.85,
+            missing_intra: 0.05,
+            degree_exponent: 2.5,
+            cluster_size_skew: 0.2,
+            attributes: Some(AttributeSpec {
+                dim: 32,
+                topic_words: 8,
+                tokens_per_node: 15,
+                attr_noise: 0.2,
+            }),
+            seed: 11,
+        }
+        .generate("index-test")
+        .unwrap()
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_params() {
+        let base = LacaParams::new(1e-4);
+        assert_eq!(params_fingerprint(&base), params_fingerprint(&base.clone()));
+        assert_ne!(params_fingerprint(&base), params_fingerprint(&LacaParams::new(1e-5)));
+        assert_ne!(params_fingerprint(&base), params_fingerprint(&base.clone().with_alpha(0.9)));
+        assert_ne!(params_fingerprint(&base), params_fingerprint(&base.clone().with_sigma(0.2)));
+        assert_ne!(
+            params_fingerprint(&base),
+            params_fingerprint(&base.clone().with_backend(DiffusionBackend::Greedy))
+        );
+        assert_ne!(
+            params_fingerprint(&LacaParams::new(1e-4)),
+            params_fingerprint(&LacaParams::new(1e-4).without_snas())
+        );
+    }
+
+    #[test]
+    fn from_dataset_builds_and_clones_share_data() {
+        let ds = dataset();
+        let cfg = TnamConfig::new(8, MetricFn::Cosine);
+        let index = ClusterIndex::from_dataset(&ds, &cfg, LacaParams::new(1e-4)).unwrap();
+        let copy = index.clone();
+        assert!(std::ptr::eq(index.graph(), copy.graph()), "clone copied the graph");
+        assert_eq!(index.fingerprint(), copy.fingerprint());
+        assert_eq!(index.n(), 120);
+        // Engines from the same index answer identically.
+        let a = index.engine().bdd(3).unwrap();
+        let b = copy.engine().bdd(3).unwrap();
+        assert_eq!(a.to_sorted_pairs(), b.to_sorted_pairs());
+    }
+
+    #[test]
+    fn rejects_snas_params_without_tnam() {
+        let ds = dataset();
+        let err = ClusterIndex::new(Arc::new(ds.graph.clone()), None, LacaParams::new(1e-4));
+        assert!(err.is_err());
+        let ok = ClusterIndex::new(
+            Arc::new(ds.graph.clone()),
+            None,
+            LacaParams::new(1e-4).without_snas(),
+        );
+        assert!(ok.is_ok());
+    }
+}

@@ -1,0 +1,78 @@
+//! # `laca-service` — a concurrent query-serving engine for LACA
+//!
+//! The paper's split is *offline preprocessing* (build the TNAM once)
+//! versus *online queries* (sub-second per seed). This crate adds the
+//! third piece a production deployment needs: a serving layer that
+//! accepts, schedules and answers **many concurrent queries** over one
+//! immutable preprocessed index.
+//!
+//! * [`ClusterIndex`] — graph + TNAM + params behind `Arc`s, cheap to
+//!   clone, `Send + Sync` (statically asserted);
+//! * [`QueryService`] — a fixed worker pool where each worker holds a
+//!   persistent `DiffusionWorkspace` (checked out of
+//!   [`laca_diffusion::WorkspacePool`]), fed by a bounded submission
+//!   queue, with single ([`QueryService::query`]) and batched
+//!   ([`QueryService::query_batch`]) entry points;
+//! * [`cache::ShardedCache`] — a sharded LRU result cache keyed by
+//!   `(seed, params-fingerprint)`, consulted on the submit path so hits
+//!   never occupy a worker;
+//! * [`ServiceStats`] — a snapshot API over the hit/miss/latency
+//!   counters.
+//!
+//! Answers are **bit-identical** to serial [`laca_core::Laca::bdd`]; the
+//! integration tests assert it across interleaved multi-threaded loads.
+//!
+//! ```
+//! use laca_core::{LacaParams, MetricFn};
+//! use laca_core::tnam::TnamConfig;
+//! use laca_graph::gen::{AttributeSpec, AttributedGraphSpec};
+//! use laca_service::{ClusterIndex, QueryService, ServiceConfig};
+//!
+//! let ds = AttributedGraphSpec {
+//!     n: 200, n_clusters: 4, avg_degree: 6.0, p_intra: 0.85,
+//!     missing_intra: 0.05, degree_exponent: 2.5, cluster_size_skew: 0.2,
+//!     attributes: Some(AttributeSpec::default_for(32)), seed: 7,
+//! }
+//! .generate("demo")
+//! .unwrap();
+//!
+//! // Offline: build the shared index once.
+//! let index = ClusterIndex::from_dataset(
+//!     &ds,
+//!     &TnamConfig::new(8, MetricFn::Cosine),
+//!     LacaParams::new(1e-4),
+//! )
+//! .unwrap();
+//!
+//! // Online: serve concurrent queries.
+//! let service = QueryService::start(index, ServiceConfig::default().with_workers(2));
+//! let answers = service.query_batch(&[0, 1, 2]);
+//! assert!(answers.iter().all(|a| a.is_ok()));
+//! // Re-querying an answered seed is a cache hit sharing the same Arc.
+//! let again = service.query(0).unwrap();
+//! assert!(std::sync::Arc::ptr_eq(&again, answers[0].as_ref().unwrap()));
+//! assert_eq!(service.stats().cache_hits, 1);
+//! ```
+
+pub mod cache;
+pub mod index;
+pub mod service;
+
+pub use cache::ShardedCache;
+pub use index::{params_fingerprint, ClusterIndex};
+pub use service::{
+    QueryAnswer, QueryHandle, QueryService, ServiceConfig, ServiceError, ServiceStats,
+};
+
+// The whole serving surface crosses threads by design; if any layer grows
+// non-`Send`/`Sync` state, fail the build here rather than racing at
+// runtime (`std::sync::mpsc::Receiver` keeps `QueryHandle` single-owner,
+// which is intentional — a handle is waited on by its submitter).
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ClusterIndex>();
+    assert_send_sync::<QueryService>();
+    assert_send_sync::<QueryAnswer>();
+    assert_send_sync::<ServiceStats>();
+    assert_send_sync::<ShardedCache<(laca_graph::NodeId, u64), std::sync::Arc<QueryAnswer>>>();
+};

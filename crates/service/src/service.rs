@@ -1,0 +1,467 @@
+//! The concurrent query engine: bounded submission queue, fixed worker
+//! pool with persistent diffusion workspaces, and the cache fast path.
+
+use crate::cache::ShardedCache;
+use crate::ClusterIndex;
+use laca_core::laca::LacaQueryStats;
+use laca_core::CoreError;
+use laca_diffusion::{SparseVec, WorkspacePool};
+use laca_graph::NodeId;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tuning knobs for a [`QueryService`]. `Default` is a reasonable
+/// embedded setup: one worker per hardware thread, a 1 024-deep queue,
+/// and a per-worker result-cache budget of 512 answers.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (≥ 1). Each holds a persistent
+    /// [`laca_diffusion::DiffusionWorkspace`] checked out of the service's
+    /// pool for its whole lifetime, so steady-state queries allocate
+    /// nothing inside the push loops.
+    pub workers: usize,
+    /// Bound of the submission queue (≥ 1). When full, `submit` blocks —
+    /// backpressure, not unbounded memory growth.
+    pub queue_capacity: usize,
+    /// Result-cache budget *per worker*, in answers; the total cache
+    /// capacity is `workers × cache_per_worker`, mirroring sharded serving
+    /// systems where every worker brings its own memory budget (so
+    /// provisioning more workers also grows the aggregate cache). `0`
+    /// disables caching entirely.
+    pub cache_per_worker: usize,
+    /// Lock shards of the result cache (≥ 1; more shards, less contention).
+    pub cache_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            queue_capacity: 1024,
+            cache_per_worker: 512,
+            cache_shards: 8,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the submission-queue bound.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the per-worker cache budget (`0` disables the cache).
+    pub fn with_cache_per_worker(mut self, entries: usize) -> Self {
+        self.cache_per_worker = entries;
+        self
+    }
+
+    /// Sets the cache shard count.
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards;
+        self
+    }
+}
+
+/// Errors surfaced by the service API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The service was shut down before (or while) the query ran.
+    Closed,
+    /// The underlying LACA query failed (bad seed, solver error, ...).
+    Core(CoreError),
+    /// The query panicked on its worker; the worker survived and keeps
+    /// serving (the panic payload went to the worker's stderr).
+    QueryPanicked,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Closed => write!(f, "query service is shut down"),
+            ServiceError::Core(e) => write!(f, "query failed: {e}"),
+            ServiceError::QueryPanicked => write!(f, "query panicked on its worker"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+/// One answered seed query. Shared via `Arc`: cache hits hand out the
+/// same allocation the original computation produced.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// The queried seed.
+    pub seed: NodeId,
+    /// The approximate BDD vector `ρ'` — exactly what serial
+    /// [`laca_core::Laca::bdd_with_stats`] returns for this seed.
+    pub rho: SparseVec,
+    /// Query telemetry (push counts etc.), identical to the serial path's.
+    pub stats: LacaQueryStats,
+}
+
+type QueryResult = Result<Arc<QueryAnswer>, ServiceError>;
+
+/// A pending (or already-answered) query returned by
+/// [`QueryService::submit`].
+#[derive(Debug)]
+pub struct QueryHandle {
+    inner: HandleInner,
+}
+
+#[derive(Debug)]
+enum HandleInner {
+    /// Answered at submit time (cache hit, or rejected before enqueue).
+    Ready(QueryResult),
+    /// In flight; the worker sends exactly one result.
+    Pending(mpsc::Receiver<QueryResult>),
+}
+
+impl QueryHandle {
+    /// Blocks until the answer is available.
+    pub fn wait(self) -> QueryResult {
+        match self.inner {
+            HandleInner::Ready(result) => result,
+            // A dropped sender means the service shut down mid-flight.
+            HandleInner::Pending(rx) => rx.recv().unwrap_or(Err(ServiceError::Closed)),
+        }
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    seed: NodeId,
+    reply: mpsc::Sender<QueryResult>,
+    enqueued: Instant,
+}
+
+/// The bounded MPMC submission queue (mutex + two condvars; jobs are
+/// milliseconds of work, so queue-lock contention is noise).
+struct JobQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues `job`, blocking while the queue is full. Fails only after
+    /// shutdown.
+    fn push(&self, job: Job) -> Result<(), ServiceError> {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        loop {
+            if state.closed {
+                return Err(ServiceError::Closed);
+            }
+            if state.jobs.len() < self.capacity {
+                state.jobs.push_back(job);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("job queue poisoned");
+        }
+    }
+
+    /// Dequeues the next job, blocking while empty. `None` once the queue
+    /// is closed *and* drained — workers finish in-flight work before
+    /// exiting.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("job queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("job queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Monotonic service counters (updated with relaxed atomics; the snapshot
+/// is advisory telemetry, not a synchronization point).
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    compute_ns: AtomicU64,
+    queue_wait_ns: AtomicU64,
+}
+
+/// A point-in-time snapshot of a service's counters
+/// ([`QueryService::stats`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Worker threads serving the queue.
+    pub workers: usize,
+    /// Total result-cache capacity in answers (0 = caching disabled).
+    pub cache_capacity: usize,
+    /// Answers currently cached.
+    pub cache_entries: usize,
+    /// Queries answered from the cache at submit time.
+    pub cache_hits: u64,
+    /// Queries that missed the cache and were enqueued.
+    pub cache_misses: u64,
+    /// Queries computed to completion by workers (success or error).
+    pub completed: u64,
+    /// Queries that failed in the core algorithm.
+    pub errors: u64,
+    /// Total worker compute time, nanoseconds.
+    pub compute_ns: u64,
+    /// Total time jobs spent queued before a worker picked them up.
+    pub queue_wait_ns: u64,
+}
+
+impl ServiceStats {
+    /// Cache hit rate over all submissions (0 when nothing was submitted).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean compute time per completed query (zero before any complete).
+    pub fn avg_compute(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.compute_ns.checked_div(self.completed).unwrap_or(0))
+    }
+
+    /// Mean queue wait per completed query (zero before any complete).
+    pub fn avg_queue_wait(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.queue_wait_ns.checked_div(self.completed).unwrap_or(0))
+    }
+}
+
+/// State shared between the service handle and its workers.
+struct Shared {
+    index: ClusterIndex,
+    queue: JobQueue,
+    cache: Option<ShardedCache<(NodeId, u64), Arc<QueryAnswer>>>,
+    counters: Counters,
+    workspaces: WorkspacePool,
+}
+
+/// An embeddable concurrent query engine over one [`ClusterIndex`].
+///
+/// * **Shared index** — graph + TNAM + params behind `Arc`s; worker
+///   engines are pointer copies.
+/// * **Worker pool** — `config.workers` threads, each holding a
+///   persistent [`laca_diffusion::DiffusionWorkspace`] checked out of a
+///   [`WorkspacePool`] for its lifetime (steady-state queries allocate
+///   nothing in the push loops).
+/// * **Bounded queue** — `submit` applies backpressure once
+///   `config.queue_capacity` jobs are in flight.
+/// * **Result cache** — sharded LRU keyed `(seed, params-fingerprint)`,
+///   consulted on the submit path; hits never touch the queue.
+///
+/// Results are **bit-identical** to serial [`laca_core::Laca::bdd`]: the
+/// solvers are deterministic and per-worker scratch does not affect
+/// arithmetic (asserted by `tests/concurrency.rs`).
+///
+/// Dropping the service closes the queue, lets workers drain in-flight
+/// jobs, and joins them.
+pub struct QueryService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Starts `config.workers` worker threads over `index`.
+    pub fn start(index: ClusterIndex, config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
+        let cache_capacity = workers * config.cache_per_worker;
+        let cache =
+            (cache_capacity > 0).then(|| ShardedCache::new(cache_capacity, config.cache_shards));
+        let workspaces = WorkspacePool::for_graph(index.graph(), workers);
+        let shared = Arc::new(Shared {
+            index,
+            queue: JobQueue::new(config.queue_capacity.max(1)),
+            cache,
+            counters: Counters::default(),
+            workspaces,
+        });
+        let handles = (0..workers)
+            .map(|wid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("laca-service-{wid}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn service worker")
+            })
+            .collect();
+        QueryService { shared, workers: handles }
+    }
+
+    /// Starts a service with the default configuration.
+    pub fn with_defaults(index: ClusterIndex) -> Self {
+        Self::start(index, ServiceConfig::default())
+    }
+
+    /// Submits one seed query. Returns immediately on a cache hit;
+    /// otherwise enqueues the query (blocking only when the queue is at
+    /// capacity) and returns a handle to wait on.
+    pub fn submit(&self, seed: NodeId) -> QueryHandle {
+        let shared = &self.shared;
+        let key = (seed, shared.index.fingerprint());
+        if let Some(cache) = &shared.cache {
+            if let Some(answer) = cache.get(&key) {
+                shared.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return QueryHandle { inner: HandleInner::Ready(Ok(answer)) };
+            }
+        }
+        shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let job = Job { seed, reply: tx, enqueued: Instant::now() };
+        match shared.queue.push(job) {
+            Ok(()) => QueryHandle { inner: HandleInner::Pending(rx) },
+            Err(e) => QueryHandle { inner: HandleInner::Ready(Err(e)) },
+        }
+    }
+
+    /// Answers one seed query, blocking until it completes.
+    pub fn query(&self, seed: NodeId) -> QueryResult {
+        self.submit(seed).wait()
+    }
+
+    /// Submits a batch and waits for every answer, in input order. All
+    /// queries are in flight before the first wait, so a batch pipelines
+    /// across the whole worker pool.
+    pub fn query_batch(&self, seeds: &[NodeId]) -> Vec<QueryResult> {
+        let handles: Vec<QueryHandle> = seeds.iter().map(|&s| self.submit(s)).collect();
+        handles.into_iter().map(QueryHandle::wait).collect()
+    }
+
+    /// The index this service answers over.
+    pub fn index(&self) -> &ClusterIndex {
+        &self.shared.index
+    }
+
+    /// A point-in-time snapshot of the hit/miss/latency counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.shared.counters;
+        ServiceStats {
+            workers: self.workers.len(),
+            cache_capacity: self.shared.cache.as_ref().map_or(0, ShardedCache::capacity),
+            cache_entries: self.shared.cache.as_ref().map_or(0, ShardedCache::len),
+            cache_hits: c.hits.load(Ordering::Relaxed),
+            cache_misses: c.misses.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            compute_ns: c.compute_ns.load(Ordering::Relaxed),
+            queue_wait_ns: c.queue_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked already printed its message; the
+            // service is going away either way.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Body of one worker thread: one engine (pointer copies of the index),
+/// one workspace for life, then serve until the queue closes and drains.
+fn worker_loop(shared: &Shared) {
+    // If this worker dies by a panic that escapes the per-job containment
+    // below, close the queue on the way out: submitters then fail fast
+    // with `Closed` instead of enqueueing into a queue nobody drains.
+    struct CloseOnPanic<'a>(&'a Shared);
+    impl Drop for CloseOnPanic<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.queue.close();
+            }
+        }
+    }
+    let _close_on_panic = CloseOnPanic(shared);
+
+    let engine = shared.index.engine();
+    let fingerprint = shared.index.fingerprint();
+    let mut workspace = shared.workspaces.checkout();
+    while let Some(job) = shared.queue.pop() {
+        let wait_ns = job.enqueued.elapsed().as_nanos() as u64;
+        let started = Instant::now();
+        // Contain per-query panics: one poisoned query must not take the
+        // worker (and with it the whole service) down. The workspace is
+        // safe to reuse afterwards — `begin` epoch-invalidates all slot
+        // state and clears every list at the next query.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.bdd_with_stats_in(job.seed, &mut workspace)
+        }));
+        let compute_ns = started.elapsed().as_nanos() as u64;
+        let counters = &shared.counters;
+        counters.queue_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+        counters.compute_ns.fetch_add(compute_ns, Ordering::Relaxed);
+        counters.completed.fetch_add(1, Ordering::Relaxed);
+        let reply: QueryResult = match result {
+            Ok(Ok((rho, stats))) => {
+                let answer = Arc::new(QueryAnswer { seed: job.seed, rho, stats });
+                if let Some(cache) = &shared.cache {
+                    cache.insert((job.seed, fingerprint), Arc::clone(&answer));
+                }
+                Ok(answer)
+            }
+            Ok(Err(e)) => {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::Core(e))
+            }
+            Err(_panic) => {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::QueryPanicked)
+            }
+        };
+        // The submitter may have dropped its handle; that's fine.
+        let _ = job.reply.send(reply);
+    }
+}

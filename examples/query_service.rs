@@ -1,0 +1,119 @@
+//! Serving queries: build a shared [`ClusterIndex`] once, start a
+//! [`QueryService`] worker pool over it, and answer single, batched and
+//! repeated (cache-hit) seed queries concurrently.
+//!
+//! ```sh
+//! cargo run --release --example query_service
+//! ```
+
+use laca::graph::gen::{AttributeSpec, AttributedGraphSpec};
+use laca::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    // 1. A mid-size attributed graph with planted communities.
+    let dataset = AttributedGraphSpec {
+        n: 5_000,
+        n_clusters: 6,
+        avg_degree: 10.0,
+        p_intra: 0.8,
+        missing_intra: 0.1,
+        degree_exponent: 2.5,
+        cluster_size_skew: 0.3,
+        attributes: Some(AttributeSpec {
+            dim: 300,
+            topic_words: 30,
+            tokens_per_node: 30,
+            attr_noise: 0.3,
+        }),
+        seed: 2025,
+    }
+    .generate("service-demo")
+    .expect("generation");
+    println!("graph: {} nodes, {} edges", dataset.graph.n(), dataset.graph.m());
+
+    // 2. Offline: one immutable index (graph + TNAM + params behind Arcs).
+    let t0 = Instant::now();
+    let index = ClusterIndex::from_dataset(
+        &dataset,
+        &TnamConfig::new(32, MetricFn::Cosine),
+        LacaParams::new(1e-5),
+    )
+    .expect("index construction");
+    println!(
+        "index built in {:?} (params fingerprint {:#018x})",
+        t0.elapsed(),
+        index.fingerprint()
+    );
+
+    // 3. Online: a worker pool sharing that index. Each worker keeps a
+    //    persistent diffusion workspace; the bounded queue applies
+    //    backpressure; answers land in a sharded LRU result cache.
+    let service = QueryService::start(
+        index,
+        ServiceConfig::default().with_workers(4).with_queue_capacity(256),
+    );
+
+    // Single blocking query.
+    let t0 = Instant::now();
+    let answer = service.query(0).expect("query");
+    println!(
+        "seed 0: |supp(ρ')| = {} in {:?} ({} rwr + {} bdd pushes)",
+        answer.rho.support_size(),
+        t0.elapsed(),
+        answer.stats.rwr.push_operations,
+        answer.stats.bdd.push_operations,
+    );
+
+    // A batch pipelines across the whole pool.
+    let seeds: Vec<NodeId> = (0..64).map(|i| i * 7 % 5_000).collect();
+    let t0 = Instant::now();
+    let answers = service.query_batch(&seeds);
+    let elapsed = t0.elapsed();
+    let ok = answers.iter().filter(|a| a.is_ok()).count();
+    println!(
+        "batch: {ok}/{} answers in {elapsed:?} ({:.0} queries/s)",
+        seeds.len(),
+        seeds.len() as f64 / elapsed.as_secs_f64()
+    );
+
+    // Re-querying served seeds hits the result cache — same Arc, ~no cost.
+    let t0 = Instant::now();
+    let again = service.query(seeds[0]).expect("repeat query");
+    println!(
+        "repeat of seed {}: {:?} (shares the cached answer: {})",
+        seeds[0],
+        t0.elapsed(),
+        Arc::ptr_eq(&again, answers[0].as_ref().unwrap())
+    );
+
+    // Concurrent submitters: the service is Sync — share it by reference.
+    let service = Arc::new(service);
+    let clients: Vec<_> = (0..4u32)
+        .map(|c| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let my_seeds: Vec<NodeId> = (0..32).map(|i| (c * 1000 + i * 13) % 5_000).collect();
+                service.query_batch(&my_seeds).into_iter().filter(|a| a.is_ok()).count()
+            })
+        })
+        .collect();
+    let served: usize = clients.into_iter().map(|h| h.join().unwrap()).sum();
+    println!("4 concurrent clients served {served} answers");
+
+    // 4. The ServiceStats snapshot exposes the hit/miss/latency counters.
+    let stats = service.stats();
+    println!(
+        "stats: {} workers | {}/{} cached | {} hits / {} misses (rate {:.2}) | \
+         avg compute {:?} | avg queue wait {:?}",
+        stats.workers,
+        stats.cache_entries,
+        stats.cache_capacity,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.hit_rate(),
+        stats.avg_compute(),
+        stats.avg_queue_wait(),
+    );
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Re-runs the benchmark suites that have committed BENCH_*.json baselines
+# at the repo root, then diffs the fresh numbers against those baselines
+# with `bench_compare`. Exit code 1 means at least one label regressed
+# beyond the threshold.
+#
+# CI runs this as a NON-BLOCKING step (continue-on-error): shared-runner
+# timing noise makes a hard perf gate flaky, but the report surfaces
+# large, real regressions in the log the day they land. Run it locally
+# before committing perf-sensitive changes:
+#
+#   scripts/bench_compare.sh [threshold]
+#
+# The default threshold 1.5 tolerates scheduler noise on the min-time
+# metric; pass a tighter one on a quiet machine.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+threshold="${1:-1.5}"
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+status=0
+for suite in diffusion serving; do
+    baseline="BENCH_${suite}.json"
+    if [[ ! -f "$baseline" ]]; then
+        echo "skipping $suite: no committed $baseline"
+        continue
+    fi
+    echo "=== bench: $suite ==="
+    # The suite-specific env var keeps the committed baseline untouched.
+    env_var="BENCH_$(echo "$suite" | tr '[:lower:]' '[:upper:]')_JSON"
+    env "$env_var=$out/$suite.json" \
+        cargo bench -p laca-bench --bench "$suite" >"$out/$suite.log" 2>&1 || {
+        echo "FAILED to run bench $suite (last 20 lines)"
+        tail -n 20 "$out/$suite.log"
+        exit 1
+    }
+    echo "=== compare: $suite (threshold ${threshold}x) ==="
+    cargo run --release -q -p laca-bench --bin bench_compare -- \
+        "$baseline" "$out/$suite.json" --threshold "$threshold" || status=1
+done
+
+exit "$status"

@@ -13,7 +13,10 @@
 //! * [`core`] — SNAS, TNAM, the LACA algorithm (Algorithms 3–4), cluster
 //!   extraction, ablations and BDD variants;
 //! * [`baselines`] — the paper's 17 competitors;
-//! * [`eval`] — metrics, the method registry and the experiment harness.
+//! * [`eval`] — metrics, the method registry and the experiment harness;
+//! * [`service`] — the concurrent query-serving engine (shared
+//!   [`ClusterIndex`](service::ClusterIndex), worker pool, sharded result
+//!   cache); see `examples/query_service.rs`.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@ pub use laca_diffusion as diffusion;
 pub use laca_eval as eval;
 pub use laca_graph as graph;
 pub use laca_linalg as linalg;
+pub use laca_service as service;
 
 /// The most common imports for library users.
 pub mod prelude {
@@ -61,4 +65,5 @@ pub mod prelude {
         SparseVec,
     };
     pub use laca_graph::{AttributeMatrix, AttributedDataset, CsrGraph, NodeId};
+    pub use laca_service::{ClusterIndex, QueryService, ServiceConfig, ServiceStats};
 }

@@ -53,4 +53,65 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
         let len = rng.gen_range(self.min..=self.max);
         (0..len).map(|_| self.element.generate(rng)).collect()
     }
+
+    /// Truncation first (prefix to the minimum length, prefix to half,
+    /// then each single-element removal — so a failing element anywhere,
+    /// not just in a prefix, can be isolated), then element-wise
+    /// shrinking, where each candidate replaces one position with one of
+    /// the element strategy's candidates. All candidates respect the
+    /// strategy's minimum length.
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out: Vec<Vec<S::Value>> = Vec::new();
+        let len = value.len();
+        if len > self.min {
+            let mut lengths = vec![self.min, self.min + (len - self.min) / 2];
+            lengths.retain(|&l| l < len);
+            lengths.dedup();
+            for l in lengths {
+                out.push(value[..l].to_vec());
+            }
+            for i in 0..len {
+                let mut next = value.clone();
+                next.remove(i);
+                out.push(next);
+            }
+        }
+        for (i, elem) in value.iter().enumerate() {
+            for cand in self.element.shrink(elem) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_shrink_truncates_and_respects_min_len() {
+        let s = vec(0u32..100, 2..=8);
+        let v = vec![50u32, 60, 70, 80, 90];
+        let cands = s.shrink(&v);
+        // Prefix truncations: to min (2), half-way (3); then single removals.
+        assert_eq!(cands[0], vec![50, 60]);
+        assert_eq!(cands[1], vec![50, 60, 70]);
+        assert_eq!(cands[2], vec![60, 70, 80, 90]);
+        assert_eq!(cands[3], vec![50, 70, 80, 90]);
+        assert!(cands.iter().all(|c| c.len() >= 2), "candidate below min length");
+        // Element-wise candidates keep the length.
+        assert!(cands.iter().any(|c| c.len() == 5 && c[0] == 0));
+    }
+
+    #[test]
+    fn vec_at_min_length_still_shrinks_elements() {
+        let s = vec(0u32..100, 2..=8);
+        let cands = s.shrink(&vec![7u32, 9]);
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|c| c.len() == 2));
+        assert!(cands.contains(&vec![0, 9]) && cands.contains(&vec![7, 0]));
+    }
 }

@@ -10,10 +10,16 @@
 //! * the `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
 //!   macros.
 //!
-//! Unlike real proptest there is **no shrinking**: a failing case panics with
-//! the generated inputs' case number and seed, which is reproducible because
-//! every case's RNG is seeded deterministically from the case index (or from
-//! `PROPTEST_RNG_SEED` when set).
+//! Failing cases are **shrunk before being reported**: integer and float
+//! range strategies halve toward their lower bound, `collection::vec`
+//! truncates and shrinks elements, and tuples shrink one coordinate at a
+//! time (`prop_map`/`prop_flat_map` lose the inverse mapping and pass
+//! through unshrunk). The runner re-runs the body on candidates, keeps
+//! whatever still fails, and finally re-raises the panic on the minimal
+//! inputs — so the assertion message you see describes the *minimized*
+//! case. Every case's RNG is still seeded deterministically from the case
+//! index (or from `PROPTEST_RNG_SEED` when set), so raw cases remain
+//! reproducible too.
 
 pub mod collection;
 pub mod strategy;
@@ -27,6 +33,14 @@ pub mod prelude {
 
 /// Expands to one `#[test]` fn per property, each running `cases` seeded
 /// random cases of its body.
+///
+/// Contract (narrower than real proptest, wide enough for this
+/// workspace): at most 8 arguments per property (they are bundled into
+/// one tuple strategy — see `impl_tuple_strategy!` to extend), and a
+/// strategy expression may not reference the patterns bound before it —
+/// every strategy is evaluated before any argument binds. Express
+/// dependent generation with `prop_flat_map` instead (as the existing
+/// suites do).
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -52,14 +66,22 @@ macro_rules! __proptest_impl {
         fn $name() {
             let __config: $crate::test_runner::ProptestConfig = $cfg;
             for __case in 0..__config.cases {
-                // Arm the failure-context guard before generation: strategies
-                // can panic too (unwraps inside prop_map), and the case number
-                // is the only reproduction handle this shrink-less stub has.
-                let __guard = $crate::test_runner::CaseGuard::new(stringify!($name), __case);
+                // One tuple strategy over all arguments: `generate` draws in
+                // declaration order, so each case sees the exact values the
+                // per-argument generation used to produce — and the runner
+                // can shrink the whole argument tuple on failure.
+                let __strategy = ($($strat,)+);
                 let mut __rng = $crate::test_runner::rng_for_case(stringify!($name), __case);
-                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
-                $body
-                __guard.passed();
+                $crate::test_runner::execute_case(
+                    stringify!($name),
+                    __case,
+                    &__strategy,
+                    &mut __rng,
+                    |__value| {
+                        let ($($pat,)+) = __value;
+                        $body
+                    },
+                );
             }
         }
         $crate::__proptest_impl!{ ($cfg) $($rest)* }

@@ -1,24 +1,39 @@
 //! The [`Strategy`] trait and its combinators.
 
 use crate::test_runner::TestRng;
-use rand::Rng;
 use std::ops::{Range, RangeInclusive};
 
 /// A recipe for generating random values of one type.
 ///
-/// Unlike real proptest there is no value tree / shrinking; `generate`
-/// produces a fresh value directly from the case RNG.
+/// Unlike real proptest there is no value tree; `generate` produces a
+/// fresh value directly from the case RNG. Shrinking works on *values*
+/// instead: [`Strategy::shrink`] proposes strictly-simpler candidates for
+/// a failing value, and the runner keeps any candidate that still fails
+/// (see `test_runner::execute_case`). Range and collection strategies
+/// shrink by halving toward their lower bound / truncating; combinators
+/// that lose the inverse mapping (`prop_map`, `prop_flat_map`) don't
+/// shrink.
 pub trait Strategy {
-    /// The type of generated values.
-    type Value;
+    /// The type of generated values. `Clone` so the shrink loop can
+    /// re-run the property body on candidate values.
+    type Value: Clone;
 
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler candidates for a failing `value`, most aggressive
+    /// first. Candidates must be *strictly* simpler (never `value` itself)
+    /// so the runner's adopt-and-retry loop terminates. The default
+    /// proposes nothing (no shrinking).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Transforms generated values through `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
+        U: Clone,
         F: Fn(Self::Value) -> U,
     {
         Map { base: self, f }
@@ -56,6 +71,7 @@ pub struct Map<S, F> {
 impl<S, U, F> Strategy for Map<S, F>
 where
     S: Strategy,
+    U: Clone,
     F: Fn(S::Value) -> U,
 {
     type Value = U;
@@ -84,13 +100,62 @@ where
     }
 }
 
-macro_rules! impl_range_strategy {
+/// Shrink candidates for an integer drawn from `[min, value]`: the lower
+/// bound itself (maximal truncation), the halfway point (binary descent),
+/// and `value - 1` (final linear steps) — deduplicated, `value` excluded.
+macro_rules! int_shrink {
+    ($min:expr, $value:expr, $t:ty) => {{
+        let min = $min;
+        let v = $value;
+        let mut out: Vec<$t> = Vec::new();
+        if v > min {
+            out.push(min);
+            let half = min + (v - min) / 2;
+            if half != min && half != v {
+                out.push(half);
+            }
+            let dec = v - 1;
+            if dec != min && dec != half {
+                out.push(dec);
+            }
+        }
+        out
+    }};
+}
+
+/// Shrink candidates for a float drawn from `[min, value]`: the lower
+/// bound and the halfway point. Stops proposing once the remaining gap is
+/// negligible relative to the value's scale, so binary descent terminates.
+macro_rules! float_shrink {
+    ($min:expr, $value:expr, $t:ty) => {{
+        let min = $min;
+        let v = $value;
+        let mut out: Vec<$t> = Vec::new();
+        let gap = v - min;
+        let scale = v.abs().max(min.abs()).max(1.0);
+        if gap.is_finite() && gap > scale * 1e-9 {
+            out.push(min);
+            let half = min + gap / 2.0;
+            if half != min && half != v {
+                out.push(half);
+            }
+        }
+        out
+    }};
+}
+
+macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
 
             fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
                 rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink!(self.start, *value, $t)
             }
         }
 
@@ -98,13 +163,49 @@ macro_rules! impl_range_strategy {
             type Value = $t;
 
             fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
                 rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink!(*self.start(), *value, $t)
             }
         }
     )*};
 }
 
-impl_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, f64, f32);
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                float_shrink!(self.start, *value, $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                float_shrink!(*self.start(), *value, $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32);
+impl_float_range_strategy!(f64, f32);
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+);)*) => {$(
@@ -114,10 +215,26 @@ macro_rules! impl_tuple_strategy {
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
             }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Shrink one coordinate at a time, holding the rest fixed.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     )*};
 }
 
+// Arity bound: `proptest!` bundles all of a property's arguments into
+// one tuple strategy, so the largest supported argument list equals the
+// largest tuple here. Extend the list if a property ever needs more.
 impl_tuple_strategy! {
     (A.0);
     (A.0, B.1);
@@ -125,4 +242,48 @@ impl_tuple_strategy! {
     (A.0, B.1, C.2, D.3);
     (A.0, B.1, C.2, D.3, E.4);
     (A.0, B.1, C.2, D.3, E.4, F.5);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_range_shrinks_toward_start() {
+        let s = 5usize..100;
+        let cands = s.shrink(&80);
+        assert_eq!(cands, vec![5, 42, 79]);
+        assert!(s.shrink(&5).is_empty(), "lower bound has no simpler value");
+        assert_eq!(s.shrink(&6), vec![5]);
+    }
+
+    #[test]
+    fn float_range_shrinks_and_terminates() {
+        let s = 1.0f64..10.0;
+        let mut v = 9.0f64;
+        let mut steps = 0;
+        while let Some(&first) = s.shrink(&v).first() {
+            assert!(first < v);
+            // Take the *halving* candidate (index 1) when present, else stop
+            // at the bound — mirrors a runner that rejected the bound.
+            match s.shrink(&v).get(1) {
+                Some(&half) => v = half,
+                None => break,
+            }
+            steps += 1;
+            assert!(steps < 64, "float shrink failed to terminate");
+        }
+        assert!(v - 1.0 < 1e-6);
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_coordinate() {
+        let s = (0usize..10, 0u32..10);
+        let cands = s.shrink(&(4, 6));
+        assert!(cands.iter().all(|&(a, b)| (a, b) != (4, 6)));
+        assert!(cands.iter().all(|&(a, b)| a == 4 || b == 6), "both coordinates moved at once");
+        assert!(cands.contains(&(0, 6)) && cands.contains(&(4, 0)));
+    }
 }

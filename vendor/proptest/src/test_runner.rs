@@ -1,9 +1,12 @@
-//! Case scheduling: configuration, per-case deterministic RNGs, and
-//! failure context.
+//! Case scheduling: configuration, per-case deterministic RNGs, failure
+//! context, and the value-level shrink loop.
 
+use crate::strategy::Strategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 /// The RNG handed to strategies (re-exported so strategies can name it).
 pub type TestRng = StdRng;
@@ -75,5 +78,208 @@ impl Drop for CaseGuard {
                 self.test_name, self.case
             );
         }
+    }
+}
+
+/// Cap on shrink probes per failing case (adopt-and-retry re-runs of the
+/// property body). Generous enough for binary descent on every coordinate
+/// of the workspace's strategies; bounds worst-case failure latency.
+const MAX_SHRINK_PROBES: usize = 512;
+
+/// Telemetry from one [`shrink_minimize`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Candidates adopted (each strictly simpler than the last).
+    pub shrinks: usize,
+    /// Total candidate re-runs, including rejected ones.
+    pub probes: usize,
+}
+
+/// Greedy value-level minimization: repeatedly asks `strategy` for
+/// simpler candidates of the current failing value and adopts the first
+/// candidate that still fails, until no candidate fails or the probe
+/// budget runs out. Returns the minimized value and telemetry.
+///
+/// Public so the stub's own tests (and curious users) can drive it with a
+/// plain predicate instead of a panicking property body.
+pub fn shrink_minimize<S, P>(
+    strategy: &S,
+    value: S::Value,
+    mut still_fails: P,
+) -> (S::Value, ShrinkStats)
+where
+    S: Strategy,
+    P: FnMut(S::Value) -> bool,
+{
+    let mut current = value;
+    let mut stats = ShrinkStats { shrinks: 0, probes: 0 };
+    'outer: loop {
+        for candidate in strategy.shrink(&current) {
+            if stats.probes >= MAX_SHRINK_PROBES {
+                break 'outer;
+            }
+            stats.probes += 1;
+            if still_fails(candidate.clone()) {
+                current = candidate;
+                stats.shrinks += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, stats)
+}
+
+/// While held, replaces the global panic hook with a no-op so shrink
+/// probes don't spray hundreds of expected panic messages into the test
+/// output. Held **only during the shrink loop of an already-failing
+/// case** — never around first runs — so the window in which a
+/// concurrently failing unrelated test could have its message swallowed
+/// is limited to the milliseconds of minimization. Re-entrant across
+/// threads via a refcount; the saved hook is restored when the last
+/// guard drops.
+struct QuietPanicGuard;
+
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+fn quiet_state() -> &'static Mutex<(usize, Option<PanicHook>)> {
+    static STATE: std::sync::OnceLock<Mutex<(usize, Option<PanicHook>)>> =
+        std::sync::OnceLock::new();
+    STATE.get_or_init(|| Mutex::new((0, None)))
+}
+
+impl QuietPanicGuard {
+    fn new() -> Self {
+        let mut state = quiet_state().lock().expect("proptest quiet-hook state poisoned");
+        if state.0 == 0 {
+            state.1 = Some(std::panic::take_hook());
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        state.0 += 1;
+        QuietPanicGuard
+    }
+}
+
+impl Drop for QuietPanicGuard {
+    fn drop(&mut self) {
+        let mut state = quiet_state().lock().expect("proptest quiet-hook state poisoned");
+        state.0 -= 1;
+        if state.0 == 0 {
+            if let Some(saved) = state.1.take() {
+                std::panic::set_hook(saved);
+            }
+        }
+    }
+}
+
+/// Runs one property case end to end: generate, run, and on failure
+/// minimize the inputs by shrinking before re-raising the panic.
+///
+/// The final (minimized) run executes *outside* `catch_unwind` so the
+/// panic that surfaces — assertion message, location and all — describes
+/// the minimal failing inputs rather than the raw generated ones.
+pub fn execute_case<S, F>(
+    test_name: &'static str,
+    case: u32,
+    strategy: &S,
+    rng: &mut TestRng,
+    body: F,
+) where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    // Guard generation too: strategies can panic (unwraps inside
+    // prop_map), and the case number is the reproduction handle.
+    let guard = CaseGuard::new(test_name, case);
+    let value = strategy.generate(rng);
+    // The first run is NOT quieted: its panic message prints normally (as
+    // pre-shrinking behavior did), and passing cases never touch the
+    // global hook at all.
+    let first = catch_unwind(AssertUnwindSafe(|| body(value.clone())));
+    if first.is_ok() {
+        guard.passed();
+        return;
+    }
+    let (minimal, stats) = {
+        let _quiet = QuietPanicGuard::new();
+        shrink_minimize(strategy, value, |candidate| {
+            catch_unwind(AssertUnwindSafe(|| body(candidate))).is_err()
+        })
+    };
+    eprintln!(
+        "proptest: property `{test_name}` failed at case {case}; shrunk the inputs {} times \
+         ({} probes); re-running the minimal case:",
+        stats.shrinks, stats.probes
+    );
+    guard.passed(); // The explicit message above replaces the guard's.
+    body(minimal);
+    // A deterministic body must fail again on a value that just failed.
+    unreachable!(
+        "proptest: property `{test_name}` passed on re-run of a failing case — \
+         the body is nondeterministic"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_minimize_finds_the_boundary() {
+        // Property "v < 17" fails for v >= 17; minimization from 1000 must
+        // land exactly on the boundary value 17.
+        let strategy = 0usize..10_000;
+        let (minimal, stats) = shrink_minimize(&strategy, 1000, |v| v >= 17);
+        assert_eq!(minimal, 17);
+        assert!(stats.shrinks > 0 && stats.probes < MAX_SHRINK_PROBES);
+    }
+
+    #[test]
+    fn shrink_minimize_truncates_vecs() {
+        // Fails iff the vec contains an element >= 50: minimal failing case
+        // is a single-element vec [50].
+        let strategy = crate::collection::vec(0u32..100, 1..=12);
+        let start = vec![3u32, 80, 7, 91, 55, 2, 60, 9];
+        let (minimal, _) = shrink_minimize(&strategy, start, |v| v.iter().any(|&x| x >= 50));
+        assert_eq!(minimal, vec![50]);
+    }
+
+    #[test]
+    fn shrink_minimize_respects_probe_budget() {
+        let strategy = 0u64..u64::MAX;
+        let (_, stats) = shrink_minimize(&strategy, u64::MAX - 1, |_| true);
+        assert!(stats.probes <= MAX_SHRINK_PROBES);
+    }
+
+    #[test]
+    fn execute_case_passes_quietly_on_success() {
+        let strategy = (0usize..10,);
+        let mut rng = rng_for_case("quiet_success", 0);
+        execute_case("quiet_success", 0, &strategy, &mut rng, |(v,)| {
+            assert!(v < 10);
+        });
+    }
+
+    #[test]
+    fn execute_case_panics_with_minimized_inputs() {
+        let strategy = (0usize..10_000,);
+        // Find a case whose generated value actually fails (>= 17).
+        let mut case = 0;
+        loop {
+            let mut probe = rng_for_case("minimized_panic", case);
+            if strategy.generate(&mut probe).0 >= 17 {
+                break;
+            }
+            case += 1;
+        }
+        let mut rng2 = rng_for_case("minimized_panic", case);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            execute_case("minimized_panic", case, &strategy, &mut rng2, |(v,)| {
+                assert!(v < 17, "minimal failing v = {v}");
+            });
+        }));
+        let payload = result.expect_err("property should fail");
+        let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("minimal failing v = 17"), "panic message was: {msg}");
     }
 }
