@@ -1,4 +1,4 @@
-//! SimAttr (citations [56], [57]): rank all nodes by the attribute
+//! SimAttr (citations \[56\], \[57\]): rank all nodes by the attribute
 //! similarity to the seed, ignoring topology entirely.
 //!
 //! * SimAttr (C): cosine similarity `x⁽ˢ⁾ · x⁽ᵗ⁾` (rows are unit-norm).

@@ -1,4 +1,4 @@
-//! AttriRank (Hsu et al., 2017 — citation [58]): unsupervised PageRank
+//! AttriRank (Hsu et al., 2017 — citation \[58\]): unsupervised PageRank
 //! with an attribute-derived restart prior.
 //!
 //! The original computes a global ranking: PageRank whose teleport

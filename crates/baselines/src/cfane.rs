@@ -1,5 +1,5 @@
 //! CFANE-style cross-fusion attributed network embedding (Pan et al.,
-//! 2021 — citation [62]).
+//! 2021 — citation \[62\]).
 //!
 //! CFANE fuses a topology channel and an attribute channel into one
 //! embedding. We implement the fusion skeleton without the deep

@@ -1,5 +1,5 @@
 //! CRD — Capacity Releasing Diffusion (Wang et al., ICML'17 — citation
-//! [20]).
+//! \[20\]).
 //!
 //! A flow-based local clusterer: mass is injected at the seed and routed by
 //! a push-relabel **Unit-Flow** procedure in which every node can absorb

@@ -1,6 +1,6 @@
 //! p-Norm Flow Diffusion (Fountoulakis, Wang & Yang, ICML'20 — citation
-//! [21]) and WFD, its attribute-weighted instance (Yang & Fountoulakis,
-//! ICML'23 — citation [33]).
+//! \[21\]) and WFD, its attribute-weighted instance (Yang & Fountoulakis,
+//! ICML'23 — citation \[33\]).
 //!
 //! Source mass `Δ` is placed on the seed; every node can absorb `T(v) =
 //! d(v)`; the diffusion solves the p-norm flow problem by coordinate

@@ -1,4 +1,4 @@
-//! HK-Relax (Kloster & Gleich, KDD'14 — citation [16]): heat-kernel
+//! HK-Relax (Kloster & Gleich, KDD'14 — citation \[16\]): heat-kernel
 //! PageRank `h = e^{−t} Σ_{k≥0} (tᵏ/k!) · (1⁽ˢ⁾ Pᵏ)` via a truncated,
 //! sparsified Taylor expansion.
 //!

@@ -1,5 +1,5 @@
 //! Gaussian-kernel edge reweighting, the attribute-preprocessing step of
-//! APR-Nibble and WFD (citation [33] of the paper): each edge `(u, v)` is
+//! APR-Nibble and WFD (citation \[33\] of the paper): each edge `(u, v)` is
 //! reweighted by `exp(−‖x⁽ᵘ⁾ − x⁽ᵛ⁾‖² / (2h²))`.
 
 use crate::BaselineError;

@@ -1,4 +1,4 @@
-//! Link-similarity baselines (citation [54]): Jaccard, Adamic–Adar and
+//! Link-similarity baselines (citation \[54\]): Jaccard, Adamic–Adar and
 //! Common-Neighbours scores between the seed and every other node.
 //!
 //! These scores are non-zero only within two hops of the seed, so they are

@@ -1,4 +1,4 @@
-//! Node2Vec (Grover & Leskovec, KDD'16 — citation [59]): biased
+//! Node2Vec (Grover & Leskovec, KDD'16 — citation \[59\]): biased
 //! second-order random walks + skip-gram with negative sampling (SGNS),
 //! trained from scratch.
 //!

@@ -1,5 +1,5 @@
 //! PANE-style attributed network embedding (Yang et al., VLDB'20/'23 —
-//! citations [60], [61]).
+//! citations \[60\], \[61\]).
 //!
 //! PANE's forward affinity is the random-walk-with-restart smoothing of
 //! attribute information, factorized into low-dimensional embeddings. We

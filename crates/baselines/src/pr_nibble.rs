@@ -1,4 +1,4 @@
-//! PR-Nibble (Andersen–Chung–Lang, FOCS'06 — citation [15]) and its
+//! PR-Nibble (Andersen–Chung–Lang, FOCS'06 — citation \[15\]) and its
 //! attribute-reweighted variant APR-Nibble.
 //!
 //! Classic queue-driven approximate personalized PageRank push: while some

@@ -1,4 +1,4 @@
-//! GraphSAGE-mean encoder (Hamilton et al., NeurIPS'17 — citation [38]).
+//! GraphSAGE-mean encoder (Hamilton et al., NeurIPS'17 — citation \[38\]).
 //!
 //! Two mean-aggregator layers over k-SVD-compressed input features:
 //! `h' = ReLU(W_self·h + W_nbr·mean_{u∈N(v)} h_u)`, rows L2-normalized

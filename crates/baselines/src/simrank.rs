@@ -1,4 +1,4 @@
-//! Single-source SimRank (Jeh & Widom, KDD'02 — citation [55]).
+//! Single-source SimRank (Jeh & Widom, KDD'02 — citation \[55\]).
 //!
 //! SimRank's random-surfer formulation scores `s(u, v)` by the decayed
 //! probability that two backward random walks meet. We implement the

@@ -289,6 +289,34 @@ impl<'g> Laca<'g> {
     }
 
     /// Approximate BDD vector `ρ'` for a seed node.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use laca_core::{Laca, LacaParams, MetricFn, Tnam, TnamConfig};
+    /// use laca_graph::{AttributeMatrix, CsrGraph};
+    ///
+    /// // Two triangles joined by a bridge.
+    /// let graph = CsrGraph::from_edges(6, &[
+    ///     (0, 1), (1, 2), (0, 2), // community A
+    ///     (3, 4), (4, 5), (3, 5), // community B
+    ///     (2, 3),                 // bridge
+    /// ]).unwrap();
+    /// let rows: Vec<Vec<(u32, f64)>> = (0..6)
+    ///     .map(|i| {
+    ///         let base: u32 = if i < 3 { 0 } else { 2 };
+    ///         vec![(base, 1.0), (base + 1, 0.5)]
+    ///     })
+    ///     .collect();
+    /// let attrs = AttributeMatrix::from_rows(4, &rows).unwrap();
+    /// let tnam = Tnam::build(&attrs, &TnamConfig::new(4, MetricFn::Cosine)).unwrap();
+    ///
+    /// // Online: one diffusion query (Algo. 4) per seed.
+    /// let engine = Laca::new(&graph, Some(&tnam), LacaParams::new(1e-4)).unwrap();
+    /// let rho = engine.bdd(0).unwrap();
+    /// // The seed's own community carries more BDD mass than the other one.
+    /// assert!(rho.get(1) > rho.get(5));
+    /// ```
     pub fn bdd(&self, seed: NodeId) -> Result<SparseVec, CoreError> {
         Ok(self.bdd_with_stats(seed)?.0)
     }

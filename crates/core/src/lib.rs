@@ -17,6 +17,8 @@
 //! * [`gnn`] — the graph-signal-denoising smoother of Section V-C, used to
 //!   verify the GNN connection (`ρ_t = h⁽ˢ⁾ · h⁽ᵗ⁾`).
 
+#![warn(missing_docs)]
+
 pub mod exact;
 pub mod extract;
 pub mod gnn;

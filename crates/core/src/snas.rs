@@ -13,6 +13,19 @@
 
 use crate::CoreError;
 use laca_graph::AttributeMatrix;
+use rayon::prelude::*;
+
+/// Computes the `O(n²)` denominator table `denom[i] = Σ_ℓ f(i, ℓ)` in
+/// parallel over `i`. Each entry is an independent serial sum over `ℓ`
+/// ascending, so the table is bit-identical for any thread count. Tiny
+/// tables stay serial — pool dispatch costs more than it saves.
+fn pairwise_denoms(n: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> Vec<f64> {
+    if n * n < 16_384 {
+        return (0..n).map(|i| (0..n).map(|l| f(i, l)).sum()).collect();
+    }
+    let ids: Vec<usize> = (0..n).collect();
+    ids.par_iter().map(|&i| (0..n).map(|l| f(i, l)).sum()).collect()
+}
 
 /// The metric function `f(·,·)` of Eq. 1 used by the production LACA path.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,7 +92,7 @@ impl ExactSnas {
                 if delta <= 0.0 {
                     return Err(CoreError::BadParameter("delta must be > 0"));
                 }
-                (0..n).map(|i| (0..n).map(|l| (attrs.dot(i, l) / delta).exp()).sum()).collect()
+                pairwise_denoms(n, |i, l| (attrs.dot(i, l) / delta).exp())
             }
         };
         Ok(ExactSnas { inv_sqrt_denom: to_inv_sqrt(&denoms), kind: SnasKind::Metric(metric) })
@@ -91,8 +104,7 @@ impl ExactSnas {
             return Err(CoreError::NoAttributes);
         }
         let n = attrs.n();
-        let denoms: Vec<f64> =
-            (0..n).map(|i| (0..n).map(|l| alt_f(attrs, metric, i, l)).sum()).collect();
+        let denoms: Vec<f64> = pairwise_denoms(n, |i, l| alt_f(attrs, metric, i, l));
         Ok(ExactSnas { inv_sqrt_denom: to_inv_sqrt(&denoms), kind: SnasKind::Alt(metric) })
     }
 

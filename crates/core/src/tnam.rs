@@ -15,12 +15,13 @@
 
 use crate::{CoreError, MetricFn};
 use laca_graph::AttributeMatrix;
-use laca_linalg::dense::dot;
+use laca_linalg::dense::{dot, PAR_FLOP_THRESHOLD};
 use laca_linalg::qr::householder_qr;
 use laca_linalg::random::{chi, gaussian_matrix};
 use laca_linalg::{orf, randomized_svd, DenseMatrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 /// Configuration for [`Tnam::build`].
 #[derive(Debug, Clone, PartialEq)]
@@ -80,7 +81,30 @@ pub struct Tnam {
 
 impl Tnam {
     /// Runs Algo. 3. Cost is `O(n·d)` (Lemma V.3) for the SVD
-    /// configurations.
+    /// configurations; the k-SVD and ORF kernels run on the rayon pool
+    /// and produce bit-identical rows for any thread count.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use laca_core::{MetricFn, Tnam, TnamConfig};
+    /// use laca_graph::AttributeMatrix;
+    ///
+    /// // Six nodes in two attribute blocks over six dimensions.
+    /// let rows: Vec<Vec<(u32, f64)>> = (0..6)
+    ///     .map(|i| {
+    ///         let base: u32 = if i < 3 { 0 } else { 3 };
+    ///         vec![(base, 2.0), (base + 1, 1.0)]
+    ///     })
+    ///     .collect();
+    /// let attrs = AttributeMatrix::from_rows(6, &rows).unwrap();
+    ///
+    /// // Offline: factorize the SNAS once (s(i, j) ≈ z⁽ⁱ⁾ · z⁽ʲ⁾).
+    /// let tnam = Tnam::build(&attrs, &TnamConfig::new(4, MetricFn::Cosine)).unwrap();
+    /// assert_eq!(tnam.width(), 4);
+    /// // Same-block pairs are more similar than cross-block pairs.
+    /// assert!(tnam.s_approx(0, 1) > tnam.s_approx(0, 4));
+    /// ```
     pub fn build(attrs: &AttributeMatrix, config: &TnamConfig) -> Result<Self, CoreError> {
         if attrs.is_empty() {
             return Err(CoreError::NoAttributes);
@@ -213,6 +237,10 @@ const _: fn() = || {
 /// Applies Eq. 18: `z⁽ⁱ⁾ = y⁽ⁱ⁾ / √(y⁽ⁱ⁾ · y*)`. Rows whose normalizer is
 /// non-positive (possible under random-feature noise) are zeroed, which
 /// drops them from all similarity sums rather than amplifying noise.
+///
+/// The `y*` reduction stays serial (`O(n·w)` additions, order-sensitive);
+/// the per-row scaling is parallel — each row's arithmetic is exactly the
+/// serial loop's, so `Z` is bit-identical for any thread count.
 fn normalize_dense(y: DenseMatrix) -> Result<DenseMatrix, CoreError> {
     let n = y.rows();
     let w = y.cols();
@@ -223,12 +251,21 @@ fn normalize_dense(y: DenseMatrix) -> Result<DenseMatrix, CoreError> {
         }
     }
     let mut z = y;
-    for i in 0..n {
-        let norm = dot(z.row(i), &ystar);
+    let rescale = |row: &mut [f64]| {
+        let norm = dot(row, &ystar);
         let scale = if norm > 0.0 { 1.0 / norm.sqrt() } else { 0.0 };
-        for v in z.row_mut(i) {
+        for v in row {
             *v *= scale;
         }
+    };
+    // Small matrices rescale serially (same arithmetic) — pool dispatch
+    // costs more than it saves.
+    if w == 0 || n * w < PAR_FLOP_THRESHOLD {
+        for i in 0..n {
+            rescale(z.row_mut(i));
+        }
+    } else {
+        z.as_mut_slice().par_chunks_mut(w).for_each(rescale);
     }
     Ok(z)
 }
@@ -249,15 +286,29 @@ fn orf_from_sparse(
     let g = gaussian_matrix(d, k, &mut rng);
     let q = householder_qr(&g).q; // d × k, orthonormal columns
     let inv_sqrt_delta = 1.0 / delta.sqrt();
-    let mut y_hat = DenseMatrix::zeros(n, k);
-    for c in 0..k {
-        let sigma_c = chi(k, &mut rng);
+    // All χ(k) draws happen up front in column order — `mul_vec` consumes
+    // no randomness, so the stream is identical to the old interleaved
+    // loop and the per-column work below can run on any worker.
+    let sigmas: Vec<f64> = (0..k).map(|_| chi(k, &mut rng)).collect();
+    // Build Ŷ transposed (k × n: one contiguous row per feature column)
+    // so columns parallelize over disjoint slices; transposing back moves
+    // values without touching their bits.
+    let mut yt_hat = DenseMatrix::zeros(k, n);
+    yt_hat.as_mut_slice().par_chunks_mut(n.max(1)).enumerate().for_each(|(c, orow)| {
+        let sigma_c = sigmas[c];
         let freq: Vec<f64> = (0..d).map(|r| q.get(r, c) * sigma_c * inv_sqrt_delta).collect();
-        let col = attrs.mul_vec(&freq)?;
-        for (i, &v) in col.iter().enumerate() {
-            y_hat.set(i, c, v);
+        // Row i of the column: x⁽ⁱ⁾ · freq, same loop as AttributeMatrix::
+        // mul_vec (bit-identical per element).
+        for (i, o) in orow.iter_mut().enumerate() {
+            let (idx, val) = attrs.row(i);
+            let mut acc = 0.0;
+            for (&j, &v) in idx.iter().zip(val) {
+                acc += v * freq[j as usize];
+            }
+            *o = acc;
         }
-    }
+    });
+    let y_hat = yt_hat.transpose();
     let scale = ((1.0 / delta).exp() / k as f64).sqrt();
     let mut sin = y_hat.map(f64::sin);
     let mut cos = y_hat.map(f64::cos);

@@ -1,0 +1,96 @@
+//! The preprocessing determinism contract at the `laca-core` level:
+//! `Tnam::build` must produce **bit-identical** matrices whether its
+//! kernels run on the worker pool or inline under
+//! `rayon::run_sequential` — for every metric/ablation configuration.
+//! (Same contract as the serving tests of PR 3, applied to the offline
+//! phase.)
+
+use laca_core::tnam::TnamConfig;
+use laca_core::{MetricFn, Tnam};
+use laca_graph::gen::{AttributeSpec, AttributedGraphSpec};
+use laca_graph::AttributeMatrix;
+use rayon::run_sequential;
+
+/// Pins the pool to 4 workers before first use so the parallel legs get
+/// real cross-thread scheduling even on a 1-core container.
+fn four_workers() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| std::env::set_var("RAYON_NUM_THREADS", "4"));
+}
+
+/// Large enough that every parallel kernel clears its serial-fallback
+/// threshold (SVD sketches, ORF feature maps, row normalization).
+fn attrs() -> AttributeMatrix {
+    let ds = AttributedGraphSpec {
+        n: 3000,
+        n_clusters: 6,
+        avg_degree: 8.0,
+        p_intra: 0.85,
+        missing_intra: 0.05,
+        degree_exponent: 2.5,
+        cluster_size_skew: 0.2,
+        attributes: Some(AttributeSpec {
+            dim: 400,
+            topic_words: 24,
+            tokens_per_node: 30,
+            attr_noise: 0.25,
+        }),
+        seed: 1234,
+    }
+    .generate("determinism")
+    .unwrap();
+    ds.attributes
+}
+
+fn assert_tnam_bits_equal(a: &Tnam, b: &Tnam, label: &str) {
+    assert_eq!(a.n(), b.n());
+    assert_eq!(a.width(), b.width());
+    for i in (0..a.n()).step_by(37) {
+        for j in (0..a.n()).step_by(41) {
+            let (va, vb) = (a.s_approx(i, j), b.s_approx(i, j));
+            assert_eq!(va.to_bits(), vb.to_bits(), "{label}: s({i},{j}) diverged: {va} vs {vb}");
+        }
+    }
+    // Accumulator round-trips exercise the stored rows directly.
+    let mut pa = a.new_accumulator();
+    let mut pb = b.new_accumulator();
+    a.accumulate_into(&mut pa, 0, 0.3);
+    b.accumulate_into(&mut pb, 0, 0.3);
+    a.accumulate_into(&mut pa, 7, 0.7);
+    b.accumulate_into(&mut pb, 7, 0.7);
+    for (x, y) in pa.iter().zip(&pb) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: ψ accumulator diverged");
+    }
+}
+
+#[test]
+fn tnam_build_is_bit_identical_serial_vs_parallel() {
+    four_workers();
+    let x = attrs();
+    let configs = [
+        ("cosine+ksvd", TnamConfig::new(32, MetricFn::Cosine).with_seed(5)),
+        ("cosine-ksvd", TnamConfig::new(32, MetricFn::Cosine).with_seed(5).without_svd()),
+        ("exp+ksvd", TnamConfig::new(32, MetricFn::ExpCosine { delta: 1.0 }).with_seed(5)),
+        (
+            "exp-ksvd",
+            TnamConfig::new(32, MetricFn::ExpCosine { delta: 1.0 }).with_seed(5).without_svd(),
+        ),
+    ];
+    for (label, cfg) in configs {
+        let par = Tnam::build(&x, &cfg).unwrap();
+        let seq = run_sequential(|| Tnam::build(&x, &cfg).unwrap());
+        assert_tnam_bits_equal(&par, &seq, label);
+    }
+}
+
+#[test]
+fn repeated_parallel_builds_are_stable() {
+    four_workers();
+    // Scheduling nondeterminism across runs must not leak into the rows:
+    // two parallel builds of the same config are bit-equal to each other.
+    let x = attrs();
+    let cfg = TnamConfig::new(24, MetricFn::ExpCosine { delta: 2.0 }).with_seed(99);
+    let a = Tnam::build(&x, &cfg).unwrap();
+    let b = Tnam::build(&x, &cfg).unwrap();
+    assert_tnam_bits_equal(&a, &b, "repeat");
+}

@@ -22,10 +22,12 @@
 //!   paper's Section IV-B study compares against,
 //! * [`adaptive_diffuse`] — Algo. 2 (**AdaptiveDiffuse**), which switches
 //!   between the two under a cost budget,
-//! * [`reference`] — the original hash-map solver implementations, kept as
+//! * [`mod@reference`] — the original hash-map solver implementations, kept as
 //!   differential-testing oracles and benchmark baselines,
 //! * [`exact`] — dense power-iteration references used by tests and by the
 //!   approximation-bound experiments.
+
+#![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod exact;

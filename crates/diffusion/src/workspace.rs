@@ -7,7 +7,7 @@
 //! replaces that state with the classic dense-scratch/touched-list layout
 //! used by real local-clustering codes (e.g. Weighted Flow Diffusion):
 //!
-//! * one dense [`Slot`] array indexed by node id holding the node's entire
+//! * one dense `Slot` array indexed by node id holding the node's entire
 //!   diffusion state — residual, reserve, cached `1/d(v)` and two stamps —
 //!   in exactly 32 aligned bytes, so a steady-state push costs **one**
 //!   cache-line access, validated by **epoch stamps** (beginning a query
@@ -60,7 +60,7 @@ struct Slot {
 
 /// Reusable per-thread (or per-caller) scratch for the diffusion solvers.
 ///
-/// All state is invalidated in `O(1)` by [`DiffusionWorkspace::begin`];
+/// All state is invalidated in `O(1)` by `DiffusionWorkspace::begin`;
 /// nothing is cleared eagerly. See the module docs for the layout.
 #[derive(Debug, Clone, Default)]
 pub struct DiffusionWorkspace {

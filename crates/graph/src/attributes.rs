@@ -7,6 +7,7 @@
 //! (`d` up to 12 047 but only tens of non-zeros per row).
 
 use crate::GraphError;
+use rayon::prelude::*;
 
 /// Sparse row-major attribute matrix with unit-norm rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -175,18 +176,29 @@ impl AttributeMatrix {
     }
 
     /// Computes `X · g` for a dense `d`-vector `g`, producing an `n`-vector.
+    ///
+    /// Parallel over rows for large matrices; each output element is an
+    /// independent serial dot (ascending non-zeros), so the product is
+    /// bit-identical for any thread count.
     pub fn mul_vec(&self, g: &[f64]) -> Result<Vec<f64>, GraphError> {
         if g.len() != self.dim {
             return Err(GraphError::DimensionMismatch { expected: self.dim, found: g.len() });
         }
         let mut out = vec![0.0; self.n];
-        for (i, o) in out.iter_mut().enumerate() {
+        let fill = |i: usize, o: &mut f64| {
             let (idx, val) = self.row(i);
             let mut acc = 0.0;
             for (&j, &v) in idx.iter().zip(val) {
                 acc += v * g[j as usize];
             }
             *o = acc;
+        };
+        if self.nnz() < 16_384 {
+            for (i, o) in out.iter_mut().enumerate() {
+                fill(i, o);
+            }
+        } else {
+            out.par_iter_mut().enumerate().for_each(|(i, o)| fill(i, o));
         }
         Ok(out)
     }

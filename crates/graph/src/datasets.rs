@@ -2,7 +2,7 @@
 //!
 //! Table III of the paper lists 8 attributed graphs and Table VIII lists 3
 //! non-attributed SNAP graphs. None are redistributable/reachable offline,
-//! so each entry here is a [`gen::AttributedGraphSpec`] whose statistics
+//! so each entry here is a [`crate::gen::AttributedGraphSpec`] whose statistics
 //! (`n`, `m/n`, `d`, average ground-truth cluster size `|Ys|`) match the
 //! paper's, and whose *noise regime* matches the paper's qualitative
 //! description (ground-truth conductance in Table VII, which methods do

@@ -22,6 +22,22 @@ use crate::datasets::AttributedDataset;
 use crate::{AttributeMatrix, GraphError, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Nodes per attribute-sampling block. Each block draws its rows from its
+/// own RNG stream (seeded from `spec.seed` and the block index), so the
+/// sampled attributes depend only on the spec — never on the thread count
+/// or on how blocks are scheduled. Fixed: changing it changes the
+/// generated datasets.
+const ATTR_BLOCK: usize = 512;
+
+/// Derives the RNG stream for one attribute block. SplitMix64 expansion
+/// inside `seed_from_u64` decorrelates consecutive block ids.
+fn block_rng(seed: u64, block: usize) -> StdRng {
+    StdRng::seed_from_u64(
+        seed ^ 0xA77B_10C4_0000_0000 ^ (block as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
+}
 
 /// Attribute-model parameters for [`AttributedGraphSpec`].
 #[derive(Debug, Clone, PartialEq)]
@@ -289,21 +305,34 @@ fn generate(name: String, spec: &AttributedGraphSpec) -> Result<AttributedDatase
                     (words, CumSampler::new(&weights))
                 })
                 .collect();
-            let mut rows: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n);
-            for &mi in membership.iter().take(n) {
-                let c = mi as usize;
-                let (words, sampler) = &topic_samplers[c];
-                let mut row: Vec<(u32, f64)> = Vec::with_capacity(aspec.tokens_per_node);
-                for _ in 0..aspec.tokens_per_node {
-                    let j = if rng.gen::<f64>() < aspec.attr_noise {
-                        background_sampler.sample(&mut rng)
-                    } else {
-                        words[sampler.sample(&mut rng)]
-                    };
-                    row.push((j as u32, 1.0));
+            // Per-block RNG streams: block b samples nodes
+            // [b·ATTR_BLOCK, (b+1)·ATTR_BLOCK) from its own generator, so
+            // the rows are bit-identical however the blocks are scheduled
+            // (and in `rayon::run_sequential`). Attribute sampling is the
+            // only stage that parallelizes — membership, degrees and edges
+            // stay on the sequential spec RNG above.
+            let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+            let topic_samplers = &topic_samplers;
+            let background_sampler = &background_sampler;
+            let membership_ref = &membership;
+            rows.par_chunks_mut(ATTR_BLOCK).enumerate().for_each(|(block, out_rows)| {
+                let mut rng = block_rng(spec.seed, block);
+                let base = block * ATTR_BLOCK;
+                for (local, slot) in out_rows.iter_mut().enumerate() {
+                    let c = membership_ref[base + local] as usize;
+                    let (words, sampler) = &topic_samplers[c];
+                    let mut row: Vec<(u32, f64)> = Vec::with_capacity(aspec.tokens_per_node);
+                    for _ in 0..aspec.tokens_per_node {
+                        let j = if rng.gen::<f64>() < aspec.attr_noise {
+                            background_sampler.sample(&mut rng)
+                        } else {
+                            words[sampler.sample(&mut rng)]
+                        };
+                        row.push((j as u32, 1.0));
+                    }
+                    *slot = row;
                 }
-                rows.push(row);
-            }
+            });
             AttributeMatrix::from_rows(d, &rows)?
         }
     };

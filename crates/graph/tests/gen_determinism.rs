@@ -1,0 +1,56 @@
+//! `AttributedGraphSpec::generate` samples attributes in parallel from
+//! per-block RNG streams; the generated dataset must be **bit-identical**
+//! to a fully sequential run of the same spec (and therefore independent
+//! of thread count and block scheduling).
+
+use laca_graph::gen::{AttributeSpec, AttributedGraphSpec};
+use rayon::run_sequential;
+
+/// Pins the pool to 4 workers before first use so the parallel leg gets
+/// real cross-thread scheduling even on a 1-core container.
+fn four_workers() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| std::env::set_var("RAYON_NUM_THREADS", "4"));
+}
+
+fn spec(seed: u64) -> AttributedGraphSpec {
+    AttributedGraphSpec {
+        n: 2500, // several ATTR_BLOCKs, last one partial
+        n_clusters: 5,
+        avg_degree: 8.0,
+        p_intra: 0.85,
+        missing_intra: 0.05,
+        degree_exponent: 2.5,
+        cluster_size_skew: 0.3,
+        attributes: Some(AttributeSpec {
+            dim: 300,
+            topic_words: 20,
+            tokens_per_node: 30,
+            attr_noise: 0.2,
+        }),
+        seed,
+    }
+}
+
+#[test]
+fn generation_is_bit_identical_serial_vs_parallel() {
+    four_workers();
+    for seed in [7, 1234] {
+        let par = spec(seed).generate("par").unwrap();
+        let seq = run_sequential(|| spec(seed).generate("seq").unwrap());
+        // `PartialEq` on these types is exact f64 equality — bit-level for
+        // any value the generator can produce.
+        assert_eq!(par.graph, seq.graph, "seed {seed}: topology diverged");
+        assert_eq!(par.attributes, seq.attributes, "seed {seed}: attributes diverged");
+        assert_eq!(par.membership, seq.membership, "seed {seed}: membership diverged");
+    }
+}
+
+#[test]
+fn repeated_parallel_generations_are_stable() {
+    four_workers();
+    let a = spec(42).generate("a").unwrap();
+    let b = spec(42).generate("b").unwrap();
+    assert_eq!(a.graph, b.graph);
+    assert_eq!(a.attributes, b.attributes);
+}

@@ -1,6 +1,27 @@
 //! Row-major dense matrices sized for "thin" factors (`n × k`, `k ≤ ~256`).
+//!
+//! The hot products ([`DenseMatrix::matmul`], [`DenseMatrix::transpose_matmul`],
+//! [`DenseMatrix::matvec`], [`DenseMatrix::map`], [`DenseMatrix::scale`]) are
+//! **multi-threaded and chunk-deterministic**: work is split at fixed
+//! boundaries (output rows, or `REDUCE_ROW_CHUNK`-row partials folded in
+//! chunk order), so the result is bit-identical for every thread count —
+//! including `rayon::run_sequential`. Small operands fall back to the same
+//! arithmetic in a plain serial loop (below `PAR_FLOP_THRESHOLD` the
+//! dispatch overhead dominates).
 
 use crate::LinalgError;
+use rayon::prelude::*;
+
+/// Below this many flops a kernel runs its serial loop: pool dispatch
+/// costs more than it saves. The arithmetic is identical either way.
+/// Shared by every parallel kernel in this crate (and `laca-core`'s TNAM
+/// normalization) so the dispatch cutoff is tuned in exactly one place.
+pub const PAR_FLOP_THRESHOLD: usize = 32_768;
+
+/// Row-chunk size for reduction-shaped products (`AᵀB`): each chunk of
+/// input rows produces a partial sum, and partials are folded in chunk
+/// order. Fixed (thread-count independent) so results are reproducible.
+const REDUCE_ROW_CHUNK: usize = 512;
 
 /// A row-major dense matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,45 +111,84 @@ impl DenseMatrix {
         &self.data
     }
 
-    /// Matrix product `self · other`.
+    /// Flat row-major data, mutable — the hook the parallel kernels use to
+    /// split a matrix into disjoint row slices (`par_chunks_mut(cols)`).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix product `self · other`, parallel over output rows.
+    ///
+    /// Each output row is produced by the same accumulation loop as the
+    /// serial path, so the product is bit-identical for any thread count.
     pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch { context: "matmul" });
         }
         let mut out = DenseMatrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            for (kk, &a) in arow.iter().enumerate() {
+        let fill_row = |i: usize, orow: &mut [f64]| {
+            for (kk, &a) in self.row(i).iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let brow = other.row(kk);
-                let orow = out.row_mut(i);
-                for (j, &b) in brow.iter().enumerate() {
+                for (j, &b) in other.row(kk).iter().enumerate() {
                     orow[j] += a * b;
                 }
             }
+        };
+        if self.rows * self.cols * other.cols < PAR_FLOP_THRESHOLD || other.cols == 0 {
+            for i in 0..self.rows {
+                fill_row(i, out.row_mut(i));
+            }
+        } else {
+            out.data.par_chunks_mut(other.cols).enumerate().for_each(|(i, orow)| fill_row(i, orow));
         }
         Ok(out)
     }
 
     /// `selfᵀ · other` without materializing the transpose.
+    ///
+    /// A reduction over input rows: chunks of `REDUCE_ROW_CHUNK` rows
+    /// produce partial `cols × other.cols` sums in parallel, folded in
+    /// chunk order — deterministic for any thread count (though the chunked
+    /// summation order differs from a plain row-by-row loop).
     pub fn transpose_matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
         if self.rows != other.rows {
             return Err(LinalgError::ShapeMismatch { context: "transpose_matmul" });
         }
+        let partial = |rows: std::ops::Range<usize>| {
+            let mut acc = DenseMatrix::zeros(self.cols, other.cols);
+            for r in rows {
+                let arow = self.row(r);
+                let brow = other.row(r);
+                for (i, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let orow = acc.row_mut(i);
+                    for (j, &b) in brow.iter().enumerate() {
+                        orow[j] += a * b;
+                    }
+                }
+            }
+            acc
+        };
+        let n_chunks = self.rows.div_ceil(REDUCE_ROW_CHUNK).max(1);
+        if n_chunks <= 1 || self.rows * self.cols * other.cols < PAR_FLOP_THRESHOLD {
+            return Ok(partial(0..self.rows));
+        }
+        let chunk_ids: Vec<usize> = (0..n_chunks).collect();
+        let partials: Vec<DenseMatrix> = chunk_ids
+            .par_iter()
+            .map(|&c| {
+                let start = c * REDUCE_ROW_CHUNK;
+                partial(start..(start + REDUCE_ROW_CHUNK).min(self.rows))
+            })
+            .collect();
         let mut out = DenseMatrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let arow = self.row(r);
-            let brow = other.row(r);
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = out.row_mut(i);
-                for (j, &b) in brow.iter().enumerate() {
-                    orow[j] += a * b;
-                }
+        for p in partials {
+            for (o, v) in out.data.iter_mut().zip(&p.data) {
+                *o += v;
             }
         }
         Ok(out)
@@ -139,19 +199,32 @@ impl DenseMatrix {
         DenseMatrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
     }
 
-    /// Matrix–vector product `self · x`.
+    /// Matrix–vector product `self · x`, parallel over rows (one dot per
+    /// output element — bit-identical to the serial loop).
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
         if x.len() != self.cols {
             return Err(LinalgError::ShapeMismatch { context: "matvec" });
         }
-        Ok((0..self.rows).map(|i| dot(self.row(i), x)).collect())
+        if self.rows * self.cols < PAR_FLOP_THRESHOLD || self.cols == 0 {
+            return Ok((0..self.rows).map(|i| dot(self.row(i), x)).collect());
+        }
+        Ok(self.data.par_chunks(self.cols).map(|row| dot(row, x)).collect())
     }
 
-    /// Scales every element in place.
+    /// Scales every element in place (parallel over fixed element chunks;
+    /// each element sees exactly one multiply, so order is irrelevant).
     pub fn scale(&mut self, s: f64) {
-        for v in &mut self.data {
-            *v *= s;
+        if self.data.len() < PAR_FLOP_THRESHOLD {
+            for v in &mut self.data {
+                *v *= s;
+            }
+            return;
         }
+        self.data.par_chunks_mut(REDUCE_ROW_CHUNK).for_each(|chunk| {
+            for v in chunk {
+                *v *= s;
+            }
+        });
     }
 
     /// Horizontal concatenation `[self ‖ other]` (Eq. 19 of the paper).
@@ -173,13 +246,16 @@ impl DenseMatrix {
         DenseMatrix::from_fn(self.rows, k, |i, j| self.get(i, j))
     }
 
-    /// Applies `f` element-wise, returning a new matrix.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> DenseMatrix {
-        DenseMatrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+    /// Applies `f` element-wise, returning a new matrix (parallel over
+    /// elements when large; one call per element, so bit-identical to the
+    /// serial loop).
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> DenseMatrix {
+        let data = if self.data.len() < PAR_FLOP_THRESHOLD {
+            self.data.iter().map(|&v| f(v)).collect()
+        } else {
+            self.data.par_iter().map(|&v| f(v)).collect()
+        };
+        DenseMatrix { rows: self.rows, cols: self.cols, data }
     }
 
     /// Frobenius norm.

@@ -9,10 +9,10 @@
 //! * [`eig::jacobi_eigen`] — a Jacobi eigensolver for small symmetric
 //!   matrices (the inner solve of the randomized SVD),
 //! * [`svd::randomized_svd`] — the k-SVD of the sparse attribute matrix
-//!   `X` (Halko–Martinsson–Tropp randomized range finder, citation [34]
+//!   `X` (Halko–Martinsson–Tropp randomized range finder, citation \[34\]
 //!   of the paper),
 //! * [`orf`] — orthogonal random features for the exponential-cosine
-//!   kernel (citation [35]).
+//!   kernel (citation \[35\]).
 //!
 //! [`random`] supplies Box–Muller normal and χ(k) sampling so the
 //! workspace does not need `rand_distr`.

@@ -1,5 +1,5 @@
 //! Orthogonal random features for the exponential-cosine kernel
-//! (Algo. 3 lines 6–9; the paper's citation [35], Yu et al.).
+//! (Algo. 3 lines 6–9; the paper's citation \[35\], Yu et al.).
 //!
 //! Goal: length-`2k` vectors `y⁽ⁱ⁾` with
 //! `E[y⁽ⁱ⁾ · y⁽ʲ⁾] = exp(x⁽ⁱ⁾·x⁽ʲ⁾ / δ)` for unit-norm inputs. Writing
@@ -16,12 +16,13 @@
 //! property tests in `laca-core`), keeping the paper's construction:
 //! Gaussian `G`, `Q` from its QR, `Σ` with i.i.d. χ(k) diagonal.
 
-use crate::dense::DenseMatrix;
+use crate::dense::{DenseMatrix, PAR_FLOP_THRESHOLD};
 use crate::qr::householder_qr;
 use crate::random::{chi, gaussian_matrix};
 use crate::LinalgError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 /// Maps k-dimensional row features `xk` (rows of `UΛ`) to `2k`-dimensional
 /// orthogonal-random-feature rows approximating the exp-cosine kernel with
@@ -46,12 +47,14 @@ pub fn orf_exp_features(
     // Row scaling Σ_cc ~ χ(k) makes the rows of ΣQ distributed like the
     // rows of a Gaussian matrix (Algo. 3 line 8).
     let sigmas: Vec<f64> = (0..k).map(|_| chi(k, &mut rng)).collect();
-    // W = ΣQ, frequencies are its rows; Ŷ = (1/√δ) · X_k · Wᵀ.
+    // W = ΣQ, frequencies are its rows; Ŷ = (1/√δ) · X_k · Wᵀ. Parallel
+    // over output rows (all RNG draws happened above, so worker order
+    // cannot perturb the stream); per-row arithmetic is the serial loop's,
+    // keeping the features bit-identical for any thread count.
     let inv_sqrt_delta = 1.0 / delta.sqrt();
     let mut y_hat = DenseMatrix::zeros(xk.rows(), k);
-    for i in 0..xk.rows() {
+    let fill = |i: usize, orow: &mut [f64]| {
         let xrow = xk.row(i);
-        let orow = y_hat.row_mut(i);
         for (c, o) in orow.iter_mut().enumerate() {
             let qrow = q.row(c);
             let mut acc = 0.0;
@@ -60,6 +63,15 @@ pub fn orf_exp_features(
             }
             *o = acc * sigmas[c] * inv_sqrt_delta;
         }
+    };
+    // Small feature maps run serially (same arithmetic) — dispatch costs
+    // more than it saves.
+    if xk.rows() * k * k < PAR_FLOP_THRESHOLD {
+        for i in 0..xk.rows() {
+            fill(i, y_hat.row_mut(i));
+        }
+    } else {
+        y_hat.as_mut_slice().par_chunks_mut(k).enumerate().for_each(|(i, orow)| fill(i, orow));
     }
     // Y = √(exp(1/δ)/k) · [sin(Ŷ) ‖ cos(Ŷ)].
     let scale = ((1.0 / delta).exp() / k as f64).sqrt();

@@ -3,8 +3,46 @@
 //! Used in two places: orthonormalizing the range sketches inside the
 //! randomized SVD (`n × (k+p)` tall matrices), and producing the uniformly
 //! random orthogonal matrix from a square Gaussian draw in Algo. 3 line 7.
+//!
+//! The factorization works on a **column-major** copy of the input (each
+//! column contiguous), so applying a reflector to the trailing panel is an
+//! independent per-column update — parallelized with `par_chunks_mut` over
+//! whole columns. Reflector construction itself is inherently sequential
+//! (reflector `j+1` depends on the panel update of reflector `j`); the
+//! per-column arithmetic is exactly the serial loop's, so `q`/`r` are
+//! bit-identical for any thread count.
 
 use crate::dense::DenseMatrix;
+use rayon::prelude::*;
+
+/// Below this many flops per panel update the reflector is applied with a
+/// plain serial loop (same arithmetic; pool dispatch isn't worth it).
+const PAR_PANEL_THRESHOLD: usize = 32_768;
+
+/// Applies the unit reflector `v` (`H = I − 2vvᵀ`, acting on entries
+/// `j..`) to every column in `cols` (each a contiguous slice of length
+/// `col_len`), in parallel when the panel is large enough.
+fn apply_reflector(cols: &mut [f64], col_len: usize, j: usize, v: &[f64]) {
+    let update = |col: &mut [f64]| {
+        let tail = &mut col[j..];
+        let mut proj = 0.0;
+        for (x, &vi) in tail.iter().zip(v) {
+            proj += x * vi;
+        }
+        proj *= 2.0;
+        for (x, &vi) in tail.iter_mut().zip(v) {
+            *x -= proj * vi;
+        }
+    };
+    let n_cols = cols.len() / col_len.max(1);
+    if n_cols * (col_len - j) < PAR_PANEL_THRESHOLD {
+        for col in cols.chunks_mut(col_len) {
+            update(col);
+        }
+    } else {
+        cols.par_chunks_mut(col_len).for_each(update);
+    }
+}
 
 /// Thin QR result: `a = q · r` with `q` having orthonormal columns.
 #[derive(Debug, Clone)]
@@ -20,14 +58,15 @@ pub fn householder_qr(a: &DenseMatrix) -> Qr {
     let m = a.rows();
     let n = a.cols();
     let p = m.min(n);
-    // Work matrix, will hold R in its upper triangle.
-    let mut work = a.clone();
+    // Column-major working copy: row `c` of `wt` is column `c` of `a`,
+    // so panel updates touch contiguous memory and parallelize cleanly.
+    let mut wt = a.transpose();
     // Householder vectors, one per reflection (stored dense for clarity;
     // p is at most a couple of hundred in this workspace).
     let mut vs: Vec<Vec<f64>> = Vec::with_capacity(p);
     for j in 0..p {
         // Build the reflector for column j from rows j..m.
-        let mut v: Vec<f64> = (j..m).map(|i| work.get(i, j)).collect();
+        let mut v: Vec<f64> = wt.row(j)[j..m].to_vec();
         let alpha = {
             let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
             if v[0] >= 0.0 {
@@ -50,51 +89,31 @@ pub fn householder_qr(a: &DenseMatrix) -> Qr {
         for x in &mut v {
             *x /= vnorm;
         }
-        // Apply H = I - 2vvᵀ to the trailing submatrix.
-        for col in j..n {
-            let mut proj = 0.0;
-            for (off, &vi) in v.iter().enumerate() {
-                proj += vi * work.get(j + off, col);
-            }
-            proj *= 2.0;
-            for (off, &vi) in v.iter().enumerate() {
-                let cur = work.get(j + off, col);
-                work.set(j + off, col, cur - proj * vi);
-            }
-        }
+        // Apply H = I - 2vvᵀ to the trailing panel (columns j..n).
+        apply_reflector(&mut wt.as_mut_slice()[j * m..n * m], m, j, &v);
         vs.push(v);
     }
-    // Extract R (p × n upper triangle).
+    // Extract R (p × n upper triangle); `wt.get(jcol, i)` is `work[i][jcol]`.
     let mut r = DenseMatrix::zeros(p, n);
     for i in 0..p {
         for j in i..n {
-            r.set(i, j, work.get(i, j));
+            r.set(i, j, wt.get(j, i));
         }
     }
     // Form thin Q by applying the reflections (in reverse) to the first p
-    // columns of the identity.
-    let mut q = DenseMatrix::zeros(m, p);
+    // columns of the identity — also column-major (`qt` row = Q column).
+    let mut qt = DenseMatrix::zeros(p, m);
     for col in 0..p {
-        q.set(col, col, 1.0);
+        qt.set(col, col, 1.0);
     }
     for j in (0..p).rev() {
         let v = &vs[j];
         if v.iter().all(|&x| x == 0.0) {
             continue;
         }
-        for col in 0..p {
-            let mut proj = 0.0;
-            for (off, &vi) in v.iter().enumerate() {
-                proj += vi * q.get(j + off, col);
-            }
-            proj *= 2.0;
-            for (off, &vi) in v.iter().enumerate() {
-                let cur = q.get(j + off, col);
-                q.set(j + off, col, cur - proj * vi);
-            }
-        }
+        apply_reflector(qt.as_mut_slice(), m, j, v);
     }
-    Qr { q, r }
+    Qr { q: qt.transpose(), r }
 }
 
 #[cfg(test)]

@@ -1,13 +1,13 @@
 //! Randomized truncated SVD of the sparse attribute matrix (Algo. 3 line 1).
 //!
 //! Implements the Halko–Martinsson–Tropp randomized range finder with power
-//! iterations (the paper's citation [34]): sketch `Y = X·Ω`, orthonormalize,
+//! iterations (the paper's citation \[34\]): sketch `Y = X·Ω`, orthonormalize,
 //! optionally refine with `(X Xᵀ)^q`, project `B = Qᵀ X`, and solve the small
 //! `(k+p) × (k+p)` Gram eigenproblem with Jacobi. Cost is
 //! `O(nnz(X)·(k+p)·(q+1) + (n+d)·(k+p)²)` — linear in the size of `X` as
 //! Lemma V.3 requires.
 
-use crate::dense::DenseMatrix;
+use crate::dense::{DenseMatrix, PAR_FLOP_THRESHOLD};
 use crate::eig::jacobi_eigen;
 use crate::qr::householder_qr;
 use crate::random::gaussian_matrix;
@@ -15,6 +15,7 @@ use crate::LinalgError;
 use laca_graph::AttributeMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 /// Truncated SVD `X ≈ U · diag(σ) · Vᵀ`.
 #[derive(Debug, Clone)]
@@ -29,45 +30,128 @@ pub struct Svd {
 
 impl Svd {
     /// `U · diag(σ)` — the k-dimensional row representation the paper
-    /// substitutes for `X` (Lemma V.1).
+    /// substitutes for `X` (Lemma V.1). Parallel over rows; one multiply
+    /// per element, so bit-identical for any thread count.
     pub fn u_sigma(&self) -> DenseMatrix {
         let k = self.sigma.len();
-        DenseMatrix::from_fn(self.u.rows(), k, |i, j| self.u.get(i, j) * self.sigma[j])
+        let mut out = DenseMatrix::zeros(self.u.rows(), k);
+        let fill = |i: usize, row: &mut [f64]| {
+            for (j, o) in row.iter_mut().enumerate() {
+                *o = self.u.get(i, j) * self.sigma[j];
+            }
+        };
+        if self.u.rows() * k < PAR_FLOP_THRESHOLD {
+            for i in 0..self.u.rows() {
+                fill(i, out.row_mut(i));
+            }
+        } else {
+            out.as_mut_slice().par_chunks_mut(k).enumerate().for_each(|(i, row)| fill(i, row));
+        }
+        out
     }
 }
 
 /// `X · Ω` for sparse `X` (n×d) and dense `Ω` (d×s) → dense n×s.
+///
+/// Parallel over output rows; each row runs the serial accumulation loop
+/// (ascending non-zeros), so the product is bit-identical for any thread
+/// count.
 fn sparse_mul_dense(x: &AttributeMatrix, omega: &DenseMatrix) -> DenseMatrix {
     let s = omega.cols();
     let mut out = DenseMatrix::zeros(x.n(), s);
-    for i in 0..x.n() {
+    if s == 0 {
+        return out;
+    }
+    let fill = |i: usize, orow: &mut [f64]| {
         let (idx, val) = x.row(i);
-        let orow = out.row_mut(i);
         for (&j, &v) in idx.iter().zip(val) {
             let wrow = omega.row(j as usize);
             for (c, &w) in wrow.iter().enumerate() {
                 orow[c] += v * w;
             }
         }
+    };
+    if x.nnz() * s < PAR_FLOP_THRESHOLD {
+        for i in 0..x.n() {
+            fill(i, out.row_mut(i));
+        }
+    } else {
+        out.as_mut_slice().par_chunks_mut(s).enumerate().for_each(|(i, orow)| fill(i, orow));
     }
     out
 }
 
-/// `Xᵀ · Y` for sparse `X` (n×d) and dense `Y` (n×s) → dense d×s.
-fn sparse_transpose_mul_dense(x: &AttributeMatrix, y: &DenseMatrix) -> DenseMatrix {
-    let s = y.cols();
-    let mut out = DenseMatrix::zeros(x.dim(), s);
-    for i in 0..x.n() {
-        let (idx, val) = x.row(i);
-        let yrow = y.row(i);
-        for (&j, &v) in idx.iter().zip(val) {
-            let orow = out.row_mut(j as usize);
-            for (c, &w) in yrow.iter().enumerate() {
-                orow[c] += v * w;
+/// Compressed-sparse-column copy of an [`AttributeMatrix`], built once per
+/// SVD so the repeated `Xᵀ · Y` products of the power iterations can run
+/// parallel over *output* rows (columns of `X`).
+///
+/// Entries within a column are stored in ascending row order, which makes
+/// the per-column accumulation the exact same addition sequence the CSR
+/// scatter loop performs — `Xᵀ·Y` is bit-identical to the serial scatter
+/// for any thread count.
+struct CscAttrs {
+    dim: usize,
+    col_offsets: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CscAttrs {
+    fn build(x: &AttributeMatrix) -> Self {
+        let d = x.dim();
+        let mut counts = vec![0usize; d + 1];
+        for i in 0..x.n() {
+            for &j in x.row(i).0 {
+                counts[j as usize + 1] += 1;
             }
         }
+        for j in 0..d {
+            counts[j + 1] += counts[j];
+        }
+        let col_offsets = counts.clone();
+        let nnz = col_offsets[d];
+        let mut row_idx = vec![0u32; nnz];
+        let mut values = vec![0.0f64; nnz];
+        let mut cursor = counts;
+        // Visiting rows in ascending order keeps each column's entries
+        // sorted by row — the property the determinism argument needs.
+        for i in 0..x.n() {
+            let (idx, val) = x.row(i);
+            for (&j, &v) in idx.iter().zip(val) {
+                let slot = cursor[j as usize];
+                row_idx[slot] = i as u32;
+                values[slot] = v;
+                cursor[j as usize] += 1;
+            }
+        }
+        CscAttrs { dim: d, col_offsets, row_idx, values }
     }
-    out
+
+    /// `Xᵀ · Y` → dense d×s, parallel over the d output rows.
+    fn transpose_mul_dense(&self, y: &DenseMatrix) -> DenseMatrix {
+        let s = y.cols();
+        let mut out = DenseMatrix::zeros(self.dim, s);
+        if s == 0 {
+            return out;
+        }
+        let fill = |j: usize, orow: &mut [f64]| {
+            let (start, end) = (self.col_offsets[j], self.col_offsets[j + 1]);
+            for (&i, &v) in self.row_idx[start..end].iter().zip(&self.values[start..end]) {
+                let yrow = y.row(i as usize);
+                for (c, &w) in yrow.iter().enumerate() {
+                    orow[c] += v * w;
+                }
+            }
+        };
+        if self.values.len() * s < PAR_FLOP_THRESHOLD {
+            for j in 0..self.dim {
+                fill(j, out.row_mut(j));
+            }
+        } else {
+            out.as_mut_slice().par_chunks_mut(s).enumerate().for_each(|(j, orow)| fill(j, orow));
+        }
+        out
+    }
 }
 
 /// Randomized k-SVD of a sparse matrix.
@@ -93,20 +177,25 @@ pub fn randomized_svd(
     let s = (k + oversample).min(n).min(d);
     let mut rng = StdRng::seed_from_u64(seed);
 
+    // One-time CSC transpose: O(nnz), amortized over the power
+    // iterations' repeated Xᵀ·Y products (which then parallelize over
+    // columns of X with deterministic per-column accumulation).
+    let csc = CscAttrs::build(x);
+
     // Range sketch.
     let omega = gaussian_matrix(d, s, &mut rng);
     let y = sparse_mul_dense(x, &omega);
     let mut q = householder_qr(&y).q;
     // Power iterations with re-orthonormalization for numerical stability.
     for _ in 0..power_iters {
-        let z = sparse_transpose_mul_dense(x, &q);
+        let z = csc.transpose_mul_dense(&q);
         let qz = householder_qr(&z).q;
         let y2 = sparse_mul_dense(x, &qz);
         q = householder_qr(&y2).q;
     }
 
     // B = Qᵀ X  (s × d), stored transposed as Bt = Xᵀ Q (d × s).
-    let bt = sparse_transpose_mul_dense(x, &q);
+    let bt = csc.transpose_mul_dense(&q);
     // Gram matrix G = B Bᵀ = Btᵀ Bt (s × s).
     let gram = bt.transpose_matmul(&bt)?;
     let eig = jacobi_eigen(&gram)?;

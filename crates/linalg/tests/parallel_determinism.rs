@@ -1,0 +1,110 @@
+//! Differential tests: every parallel kernel in `laca-linalg` must be
+//! **bit-identical** to its serial execution (`rayon::run_sequential`
+//! forces the same split order inline on one thread). This is the same
+//! contract the serving tests established for queries in PR 3, extended
+//! to preprocessing: thread count must never change a single output bit.
+
+use laca_graph::AttributeMatrix;
+use laca_linalg::dense::DenseMatrix;
+use laca_linalg::orf::orf_exp_features;
+use laca_linalg::qr::householder_qr;
+use laca_linalg::randomized_svd;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::run_sequential;
+
+/// Pins the pool to 4 workers before first use, so the parallel legs
+/// below run with real cross-thread stealing even on a 1-core container.
+/// Every test calls this first.
+fn four_workers() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| std::env::set_var("RAYON_NUM_THREADS", "4"));
+}
+
+fn bits(m: &DenseMatrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn random_dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DenseMatrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+fn random_sparse(n: usize, d: usize, nnz_per_row: usize, seed: u64) -> AttributeMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<(u32, f64)>> = (0..n)
+        .map(|_| {
+            (0..nnz_per_row)
+                .map(|_| (rng.gen_range(0..d) as u32, rng.gen_range(0.1..2.0)))
+                .collect()
+        })
+        .collect();
+    AttributeMatrix::from_rows(d, &rows).unwrap()
+}
+
+#[test]
+fn matmul_is_bit_identical_serial_vs_parallel() {
+    four_workers();
+    // Big enough to clear the parallel threshold (400·80·60 flops).
+    let a = random_dense(400, 80, 1);
+    let b = random_dense(80, 60, 2);
+    let par = a.matmul(&b).unwrap();
+    let seq = run_sequential(|| a.matmul(&b).unwrap());
+    assert_eq!(bits(&par), bits(&seq));
+}
+
+#[test]
+fn transpose_matmul_is_bit_identical_serial_vs_parallel() {
+    four_workers();
+    // > REDUCE_ROW_CHUNK rows so the chunked reduction actually splits.
+    let a = random_dense(1500, 40, 3);
+    let b = random_dense(1500, 30, 4);
+    let par = a.transpose_matmul(&b).unwrap();
+    let seq = run_sequential(|| a.transpose_matmul(&b).unwrap());
+    assert_eq!(bits(&par), bits(&seq));
+}
+
+#[test]
+fn matvec_and_map_are_bit_identical() {
+    four_workers();
+    let a = random_dense(900, 70, 5);
+    let x: Vec<f64> = (0..70).map(|i| (i as f64).sin()).collect();
+    let par = a.matvec(&x).unwrap();
+    let seq = run_sequential(|| a.matvec(&x).unwrap());
+    assert!(par.iter().zip(&seq).all(|(p, s)| p.to_bits() == s.to_bits()));
+
+    let par = a.map(f64::sin);
+    let seq = run_sequential(|| a.map(f64::sin));
+    assert_eq!(bits(&par), bits(&seq));
+}
+
+#[test]
+fn householder_qr_is_bit_identical_serial_vs_parallel() {
+    four_workers();
+    // Tall sketch shape (the randomized SVD's panels).
+    let a = random_dense(1200, 40, 6);
+    let par = householder_qr(&a);
+    let seq = run_sequential(|| householder_qr(&a));
+    assert_eq!(bits(&par.q), bits(&seq.q));
+    assert_eq!(bits(&par.r), bits(&seq.r));
+}
+
+#[test]
+fn randomized_svd_is_bit_identical_serial_vs_parallel() {
+    four_workers();
+    let x = random_sparse(2000, 300, 12, 7);
+    let par = randomized_svd(&x, 16, 8, 2, 42).unwrap();
+    let seq = run_sequential(|| randomized_svd(&x, 16, 8, 2, 42).unwrap());
+    assert_eq!(bits(&par.u), bits(&seq.u));
+    assert_eq!(bits(&par.v), bits(&seq.v));
+    assert!(par.sigma.iter().zip(&seq.sigma).all(|(p, s)| p.to_bits() == s.to_bits()));
+}
+
+#[test]
+fn orf_features_are_bit_identical_serial_vs_parallel() {
+    four_workers();
+    let xk = random_dense(1500, 32, 8);
+    let par = orf_exp_features(&xk, 1.0, 99).unwrap();
+    let seq = run_sequential(|| orf_exp_features(&xk, 1.0, 99).unwrap());
+    assert_eq!(bits(&par), bits(&seq));
+}

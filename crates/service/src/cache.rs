@@ -138,7 +138,7 @@ const MIN_PER_SHARD: usize = 8;
 impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     /// A cache of ≈`capacity` total entries split over at most `shards`
     /// shards (per-shard capacity `ceil(capacity / shards)`). The shard
-    /// count is reduced so each shard holds at least [`MIN_PER_SHARD`]
+    /// count is reduced so each shard holds at least `MIN_PER_SHARD`
     /// entries — lock sharding only pays once shards are deep enough that
     /// hash imbalance doesn't evict hot keys.
     pub fn new(capacity: usize, shards: usize) -> Self {

@@ -346,6 +346,36 @@ impl QueryService {
     /// Submits one seed query. Returns immediately on a cache hit;
     /// otherwise enqueues the query (blocking only when the queue is at
     /// capacity) and returns a handle to wait on.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use laca_core::tnam::TnamConfig;
+    /// use laca_core::{LacaParams, MetricFn};
+    /// use laca_graph::gen::{AttributeSpec, AttributedGraphSpec};
+    /// use laca_service::{ClusterIndex, QueryService, ServiceConfig};
+    ///
+    /// let ds = AttributedGraphSpec {
+    ///     n: 120, n_clusters: 3, avg_degree: 6.0, p_intra: 0.85,
+    ///     missing_intra: 0.05, degree_exponent: 0.0, cluster_size_skew: 0.0,
+    ///     attributes: Some(AttributeSpec::default_for(24)), seed: 3,
+    /// }
+    /// .generate("demo")
+    /// .unwrap();
+    /// let index = ClusterIndex::from_dataset(
+    ///     &ds,
+    ///     &TnamConfig::new(8, MetricFn::Cosine),
+    ///     LacaParams::new(1e-4),
+    /// )
+    /// .unwrap();
+    /// let service = QueryService::start(index, ServiceConfig::default().with_workers(2));
+    ///
+    /// // Submit returns a handle immediately…
+    /// let handle = service.submit(0);
+    /// // …and `wait` blocks for the worker's (bit-deterministic) answer.
+    /// let answer = handle.wait().unwrap();
+    /// assert!(answer.rho.support_size() > 0);
+    /// ```
     pub fn submit(&self, seed: NodeId) -> QueryHandle {
         let shared = &self.shared;
         let key = (seed, shared.index.fingerprint());

@@ -21,7 +21,7 @@ out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 
 status=0
-for suite in diffusion serving; do
+for suite in diffusion serving tnam; do
     baseline="BENCH_${suite}.json"
     if [[ ! -f "$baseline" ]]; then
         echo "skipping $suite: no committed $baseline"

@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use rand::Rng;
 use std::ops::{Range, RangeInclusive};
 
-/// Anything usable as the size argument of [`vec`]: an exact `usize`, a
+/// Anything usable as the size argument of [`vec()`]: an exact `usize`, a
 /// half-open `Range<usize>`, or an inclusive `RangeInclusive<usize>`.
 pub trait IntoSizeRange {
     /// Converts to inclusive `(min, max)` bounds.
@@ -39,7 +39,7 @@ pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> 
     VecStrategy { element, min, max }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     min: usize,

@@ -1,75 +1,490 @@
 //! Minimal vendored stand-in for the `rayon` crate (offline build).
 //!
-//! Implements the subset the workspace uses — `slice.par_iter().map(f)
-//! .collect()` — with real data parallelism on a **persistent global
-//! thread pool**: `available_parallelism()` workers are spawned once, on
-//! first use, and every subsequent `collect` dispatches chunk jobs to
-//! them. Compared to the previous scoped-threads-per-call design this
-//! removes the per-`collect` thread spawn/join cost and, just as
-//! important, gives worker threads a stable identity — thread-local
-//! caches (e.g. `laca-diffusion`'s per-thread `DiffusionWorkspace`)
-//! survive across calls instead of dying with each scope.
+//! This is a real **work-stealing deque scheduler**, not a per-call
+//! fan-out: `RAYON_NUM_THREADS` (default `available_parallelism()`)
+//! workers are spawned once, each owning a deque of pending jobs. A
+//! worker pushes the jobs it splits off onto its *own* deque (back) and
+//! pops them LIFO; idle workers steal FIFO from the *front* of other
+//! workers' deques (oldest = biggest subtree first) or from a shared
+//! injector queue that external threads submit root jobs through.
+//! Blocked joins never sleep — they *help* by stealing and executing
+//! other jobs until their stolen half completes, so a bounded pool can
+//! run arbitrarily nested `join`/`collect` trees without deadlock.
 //!
-//! Nested `collect`s run inline on the calling worker (no deadlock on a
-//! bounded pool), and a chunk that panics re-raises the panic on the
-//! calling thread, mirroring rayon.
+//! Implemented surface (what this workspace uses):
+//!
+//! * [`join`] — the fork-join primitive everything else is built on;
+//!   fully nestable;
+//! * `slice.par_iter().map(f).collect()` — order-preserving parallel map
+//!   ([`IntoParallelRefIterator`]);
+//! * `slice.par_iter_mut().for_each(f)` (+ `.enumerate()`) — indexed
+//!   mutable iteration ([`IntoParallelRefMutIterator`]);
+//! * `slice.par_chunks(n)` / `slice.par_chunks_mut(n)` (+ `.enumerate()`)
+//!   — chunked iteration ([`ParallelSlice`] / [`ParallelSliceMut`]);
+//! * [`current_num_threads`], honoring `RAYON_NUM_THREADS`.
+//!
+//! Shim-only extension: [`run_sequential`] executes a closure with every
+//! parallel operation on the calling thread forced inline, in the exact
+//! split order the parallel path uses. The workspace's parallel kernels
+//! are written so their results are *bit-identical* regardless of thread
+//! count; `run_sequential` is the oracle half of those differential
+//! tests and the "serial" leg of the preprocessing benchmarks. (Real
+//! rayon would use a one-thread `ThreadPool::install` instead; see
+//! `vendor/README.md` for the divergence list.)
+//!
+//! Panics inside parallel closures are caught on the executing worker,
+//! carried through the job's latch, and re-raised on the joining thread
+//! — including panics in *stolen* halves of a `join`. A `join` whose
+//! first half panics still waits for its second half before unwinding
+//! (the second half borrows the joiner's stack frame).
 
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::mem::{ManuallyDrop, MaybeUninit};
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 
 pub mod prelude {
-    pub use crate::IntoParallelRefIterator;
+    //! The traits that put `par_iter`/`par_iter_mut`/`par_chunks` in scope.
+    pub use crate::{
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice, ParallelSliceMut,
+    };
 }
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// How many leaf tasks to split per worker: more leaves = better load
+/// balance, fewer = less scheduling overhead. 4 is rayon's own heuristic
+/// neighborhood. Splitting is a *scheduling* choice only — the kernels in
+/// this workspace produce identical bits however the range is split.
+const SPLIT_FACTOR: usize = 4;
 
-struct Pool {
-    sender: Sender<Job>,
-    workers: usize,
+// ---------------------------------------------------------------------------
+// Latch: one-shot completion flag, pollable (workers) or blocking (external).
+// ---------------------------------------------------------------------------
+
+/// One-shot completion flag. The latch lives inside a [`StackJob`] on the
+/// *owner's* stack, and the owner frees that frame the moment it observes
+/// completion — so `set()` must not touch the latch after the point an
+/// observer can see it as set. The mutex is therefore the only
+/// synchronization: observers read the flag under the lock, which orders
+/// them after the setter's unlock, and the setter's unlock is its final
+/// access (notify happens while still holding the guard). A lock-free
+/// fast-path flag here would recreate the classic use-after-free race.
+struct Latch {
+    mutex: Mutex<bool>,
+    cond: Condvar,
 }
 
-// `Sender<Job>` is !Sync, so submissions are serialized through a mutex;
-// jobs are coarse (one per worker per collect), so contention is
-// negligible.
-struct SharedPool(Mutex<Pool>);
+impl Latch {
+    fn new() -> Self {
+        Latch { mutex: Mutex::new(false), cond: Condvar::new() }
+    }
+
+    fn probe(&self) -> bool {
+        *lock(&self.mutex)
+    }
+
+    fn set(&self) {
+        let mut flag = lock(&self.mutex);
+        *flag = true;
+        self.cond.notify_all();
+        // Guard drops here — the unlock is the setter's last access.
+    }
+
+    /// Parks the calling thread until the latch is set.
+    fn wait_blocking(&self) {
+        let mut flag = lock(&self.mutex);
+        while !*flag {
+            flag = self.cond.wait(flag).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Locks ignoring poisoning: jobs catch their own panics, so a poisoned
+/// mutex here only means a *different* job panicked between lock and
+/// unlock — which cannot happen (no user code runs under these locks) —
+/// or that a panic propagated through `resume_unwind` while a guard was
+/// alive on another thread's stack. Either way the data is consistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Jobs: type-erased pointers to stack-allocated closures.
+// ---------------------------------------------------------------------------
+
+/// A type-erased pointer to a [`StackJob`] living on some blocked caller's
+/// stack. Identity is the data pointer (unique per live job).
+#[derive(Copy, Clone)]
+struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only created for StackJobs whose owner blocks until
+// the job's latch is set, so the pointee outlives every access; the
+// closure and result it carries are `Send`.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    #[inline]
+    fn same(&self, other: &JobRef) -> bool {
+        std::ptr::eq(self.data, other.data)
+    }
+
+    /// # Safety
+    /// The underlying StackJob must still be live and not yet executed.
+    unsafe fn execute(self) {
+        (self.execute_fn)(self.data)
+    }
+}
+
+/// A job allocated on the joining thread's stack. The owner guarantees it
+/// stays alive (by blocking or helping) until the latch is set.
+struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(f: F) -> Self {
+        StackJob { f: UnsafeCell::new(Some(f)), result: UnsafeCell::new(None), latch: Latch::new() }
+    }
+
+    /// # Safety
+    /// The caller must keep `self` alive until `self.latch` is set, and
+    /// must ensure the job is executed at most once.
+    unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef { data: self as *const Self as *const (), execute_fn: Self::execute_erased }
+    }
+
+    /// # Safety
+    /// `ptr` must point to a live, not-yet-executed `StackJob<F, R>`.
+    unsafe fn execute_erased(ptr: *const ()) {
+        let this = &*(ptr as *const Self);
+        let f = (*this.f.get()).take().expect("rayon-shim: job executed twice");
+        let result = catch_unwind(AssertUnwindSafe(f));
+        *this.result.get() = Some(result);
+        this.latch.set();
+    }
+
+    /// Retrieves the result after the latch has been set.
+    fn take_result(&self) -> std::thread::Result<R> {
+        debug_assert!(self.latch.probe());
+        // SAFETY: observing the latch set (under its mutex) orders this
+        // read after the executor's result write, and the executor never
+        // touches the job again after `Latch::set`'s unlock.
+        unsafe { (*self.result.get()).take().expect("rayon-shim: job result missing") }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry: the worker pool and its deques.
+// ---------------------------------------------------------------------------
+
+struct Registry {
+    /// One deque per worker. Owners push/pop at the back (LIFO), thieves
+    /// steal from the front (FIFO — the oldest job is the biggest
+    /// remaining subtree).
+    queues: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Root jobs submitted by external (non-worker) threads.
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Number of workers currently parked on `sleep_cond`.
+    sleepers: AtomicUsize,
+    sleep_mutex: Mutex<()>,
+    sleep_cond: Condvar,
+    /// Rotates steal victims so thieves don't all hammer worker 0.
+    steal_rotor: AtomicUsize,
+}
 
 thread_local! {
-    /// `true` on pool worker threads; nested collects run inline there.
-    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// `Some(index)` on pool worker threads.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Depth of enclosing `run_sequential` scopes on this thread.
+    static SEQ_DEPTH: Cell<usize> = const { Cell::new(0) };
 }
 
-fn pool() -> &'static SharedPool {
-    static POOL: OnceLock<SharedPool> = OnceLock::new();
-    POOL.get_or_init(|| {
-        let workers = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
-        let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
-        for i in 0..workers {
-            let rx = Arc::clone(&rx);
+#[inline]
+fn sequential_mode() -> bool {
+    SEQ_DEPTH.with(|d| d.get()) > 0
+}
+
+#[inline]
+fn current_worker_index() -> Option<usize> {
+    WORKER_INDEX.with(|w| w.get())
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<&'static Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let threads = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+            });
+        let reg: &'static Registry = Box::leak(Box::new(Registry {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleepers: AtomicUsize::new(0),
+            sleep_mutex: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+            steal_rotor: AtomicUsize::new(0),
+        }));
+        for index in 0..threads {
             std::thread::Builder::new()
-                .name(format!("rayon-shim-{i}"))
-                .spawn(move || {
-                    IS_POOL_WORKER.with(|f| f.set(true));
-                    loop {
-                        // Take one job at a time off the shared queue.
-                        let job = { rx.lock().expect("rayon-shim queue poisoned").recv() };
-                        match job {
-                            Ok(job) => job(),
-                            Err(_) => break, // sender dropped: process exit
-                        }
-                    }
-                })
+                .name(format!("rayon-shim-{index}"))
+                .spawn(move || worker_main(reg, index))
                 .expect("rayon-shim failed to spawn worker");
         }
-        SharedPool(Mutex::new(Pool { sender: tx, workers }))
+        reg
     })
 }
 
 /// Number of worker threads in the global pool (spawning it if needed).
+/// Honors `RAYON_NUM_THREADS` at first use, like real rayon.
 pub fn current_num_threads() -> usize {
-    pool().0.lock().expect("rayon-shim pool poisoned").workers
+    registry().queues.len()
+}
+
+fn worker_main(reg: &'static Registry, index: usize) {
+    WORKER_INDEX.with(|w| w.set(Some(index)));
+    loop {
+        if let Some(job) = reg.find_work(index) {
+            // SAFETY: the job's owner is blocked/helping until our
+            // `execute` sets its latch, so the pointee is live.
+            unsafe { job.execute() };
+        } else {
+            reg.sleep(index);
+        }
+    }
+}
+
+impl Registry {
+    fn push_local(&self, index: usize, job: JobRef) {
+        lock(&self.queues[index]).push_back(job);
+        self.wake();
+    }
+
+    fn inject(&self, job: JobRef) {
+        lock(&self.injector).push_back(job);
+        self.wake();
+    }
+
+    fn pop_own(&self, index: usize) -> Option<JobRef> {
+        lock(&self.queues[index]).pop_back()
+    }
+
+    /// Removes a *specific* job from this worker's own deque, if it has
+    /// not been stolen. Joins use this to reclaim the half they pushed.
+    fn pop_specific(&self, index: usize, job: &JobRef) -> bool {
+        let mut q = lock(&self.queues[index]);
+        if let Some(pos) = q.iter().rposition(|j| j.same(job)) {
+            q.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn steal(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = lock(&self.injector).pop_front() {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        let start = self.steal_rotor.fetch_add(1, Ordering::Relaxed);
+        for offset in 0..n {
+            let victim = (start + offset) % n;
+            if victim == index {
+                continue;
+            }
+            if let Some(job) = lock(&self.queues[victim]).pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        self.pop_own(index).or_else(|| self.steal(index))
+    }
+
+    fn has_work(&self) -> bool {
+        !lock(&self.injector).is_empty() || self.queues.iter().any(|q| !lock(q).is_empty())
+    }
+
+    /// Parks until new work is pushed. The sleepers counter is bumped
+    /// *before* the re-check under `sleep_mutex`, and pushers re-read it
+    /// (SeqCst on both sides) *after* pushing — so either the sleeper
+    /// sees the job or the pusher sees the sleeper and rings the condvar.
+    fn sleep(&self, _index: usize) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let guard = lock(&self.sleep_mutex);
+        if !self.has_work() {
+            drop(self.sleep_cond.wait(guard).unwrap_or_else(|e| e.into_inner()));
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn wake(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = lock(&self.sleep_mutex);
+            self.sleep_cond.notify_all();
+        }
+    }
+
+    /// Waits on a worker thread until `latch` is set, executing any other
+    /// available jobs in the meantime ("helping"). This is what keeps a
+    /// bounded pool deadlock-free under arbitrary join nesting.
+    ///
+    /// After a bounded spin with no work found, the worker parks on the
+    /// latch's condvar instead of burning a core — only *stolen* jobs are
+    /// ever waited on, so another worker is actively executing the awaited
+    /// job and will ring the latch; jobs in this worker's own deque stay
+    /// stealable while it sleeps. (Matters most on an oversubscribed
+    /// host, where a spinner would timeslice against the thief.)
+    fn wait_until(&self, index: usize, latch: &Latch) {
+        let mut idle_spins = 0u32;
+        while !latch.probe() {
+            if let Some(job) = self.find_work(index) {
+                // SAFETY: see worker_main.
+                unsafe { job.execute() };
+                idle_spins = 0;
+            } else if idle_spins < 32 {
+                idle_spins += 1;
+                std::thread::yield_now();
+            } else {
+                latch.wait_blocking();
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join: the fork-join primitive.
+// ---------------------------------------------------------------------------
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+///
+/// Mirrors `rayon::join`: on a pool worker, `b` is pushed onto the
+/// worker's own deque (stealable by idle workers) while `a` runs inline;
+/// if `b` was stolen, the worker helps execute other jobs until it
+/// completes. External threads funnel the whole join into the pool first.
+/// Panics from either closure propagate to the caller (after both halves
+/// have finished). Inside [`run_sequential`], both run inline in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if sequential_mode() {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    match current_worker_index() {
+        Some(index) => join_on_worker(index, a, b),
+        None => in_worker(move || join(a, b)),
+    }
+}
+
+fn join_on_worker<A, B, RA, RB>(index: usize, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let reg = registry();
+    let job_b = StackJob::new(b);
+    // SAFETY: job_b lives on this stack frame, and every path below
+    // blocks until its latch is set (inline execution, or wait_until)
+    // before the frame can unwind or return.
+    let bref = unsafe { job_b.as_job_ref() };
+    reg.push_local(index, bref);
+
+    // Run `a` inline; catch so a panic still waits for `b` (which borrows
+    // this stack frame) before unwinding.
+    let ra = catch_unwind(AssertUnwindSafe(a));
+
+    if reg.pop_specific(index, &bref) {
+        // Not stolen: run it inline.
+        // SAFETY: we just reclaimed the unexecuted job.
+        unsafe { bref.execute() };
+    } else {
+        // Stolen: help with other work until the thief finishes it.
+        reg.wait_until(index, &job_b.latch);
+    }
+    let rb = job_b.take_result();
+
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => resume_unwind(payload),
+        (_, Err(payload)) => resume_unwind(payload),
+    }
+}
+
+/// Runs `op` on a pool worker (inline if already on one), blocking the
+/// calling external thread until it completes.
+fn in_worker<R: Send>(op: impl FnOnce() -> R + Send) -> R {
+    if current_worker_index().is_some() {
+        return op();
+    }
+    let reg = registry();
+    let job = StackJob::new(op);
+    // SAFETY: we block on the latch right below; the job outlives its
+    // execution on the worker.
+    let jref = unsafe { job.as_job_ref() };
+    reg.inject(jref);
+    job.latch.wait_blocking();
+    match job.take_result() {
+        Ok(r) => r,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// run_sequential: the shim's determinism oracle.
+// ---------------------------------------------------------------------------
+
+/// Executes `f` with every parallel operation on this thread forced
+/// inline, in the same order the parallel path would split the work.
+///
+/// **Shim-only extension** (real rayon: install a one-thread pool). The
+/// workspace's parallel kernels are chunk-deterministic, so running them
+/// under `run_sequential` must produce bit-identical results to running
+/// them on any pool — the differential tests and the "serial" legs of
+/// `benches/tnam.rs` rely on exactly this. Nests; unwinding restores the
+/// previous depth.
+pub fn run_sequential<R>(f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            SEQ_DEPTH.with(|d| d.set(d.get() - 1));
+        }
+    }
+    SEQ_DEPTH.with(|d| d.set(d.get() + 1));
+    let _guard = Guard;
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterator facade.
+// ---------------------------------------------------------------------------
+
+/// Leaf size for splitting `total` items across the pool.
+fn leaf_len(total: usize) -> usize {
+    (total / (current_num_threads() * SPLIT_FACTOR)).max(1)
 }
 
 /// `.par_iter()` entry point, mirroring rayon's trait of the same name.
@@ -97,6 +512,60 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+/// `.par_iter_mut()` entry point, mirroring rayon.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Mutably borrowed item type.
+    type Item: Send + 'a;
+
+    /// Starts a parallel iterator over `&mut self`.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { data: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { data: self }
+    }
+}
+
+/// `.par_chunks(n)` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous chunks of `chunk_size` elements
+    /// (last chunk may be shorter). Chunk boundaries depend only on
+    /// `chunk_size`, never on the thread count.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size != 0, "par_chunks: chunk size must be non-zero");
+        ParChunks { data: self, chunk_size }
+    }
+}
+
+/// `.par_chunks_mut(n)` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over contiguous mutable chunks of `chunk_size`
+    /// elements (last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size != 0, "par_chunks_mut: chunk size must be non-zero");
+        ParChunksMut { data: self, chunk_size }
+    }
+}
+
 /// Borrowing parallel iterator over a slice.
 pub struct ParIter<'a, T> {
     data: &'a [T],
@@ -110,6 +579,15 @@ impl<'a, T: Sync> ParIter<'a, T> {
         R: Send,
     {
         ParMap { data: self.data, f }
+    }
+
+    /// Applies `f` to every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let leaf = leaf_len(self.data.len());
+        run_par(|| for_each_rec(self.data, &f, leaf));
     }
 }
 
@@ -125,76 +603,345 @@ where
     R: Send,
     F: Fn(&'a T) -> R + Sync,
 {
-    /// Applies the map on the global pool and collects results in input
+    /// Applies the map across the pool and collects results in input
     /// order.
     pub fn collect<C: FromIterator<R>>(self) -> C {
-        let n = self.data.len();
-        let threads = current_num_threads().min(n.max(1));
-        // Run inline when parallelism can't help, and on pool workers
-        // (a worker blocking on its own pool could deadlock).
-        if threads <= 1 || n <= 1 || IS_POOL_WORKER.with(|f| f.get()) {
-            return self.data.iter().map(&self.f).collect();
-        }
-        let chunk = n.div_ceil(threads);
+        let leaf = leaf_len(self.data.len());
+        let data = self.data;
         let f = &self.f;
-        type PartMsg<R> = (usize, std::thread::Result<Vec<R>>);
-        let (tx, rx): (Sender<PartMsg<R>>, Receiver<PartMsg<R>>) = channel();
-        let mut jobs = 0usize;
-        {
-            let pool = pool().0.lock().expect("rayon-shim pool poisoned");
-            for (idx, piece) in self.data.chunks(chunk).enumerate() {
-                let tx = tx.clone();
-                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                    let out =
-                        catch_unwind(AssertUnwindSafe(|| piece.iter().map(f).collect::<Vec<R>>()));
-                    // The receiver outlives the job (collect blocks until
-                    // every job has reported), so a failed send means the
-                    // calling thread itself died — nothing left to notify.
-                    let _ = tx.send((idx, out));
-                });
-                // SAFETY: the job borrows `self.data` and `self.f`, which
-                // live until this function returns — and the function only
-                // returns after receiving one message per job below, each
-                // sent *after* its job finished using the borrows. Erasing
-                // the lifetime to 'static is therefore sound: no borrow
-                // outlives the blocking collect. The two failure paths
-                // below (send/recv on a torn-down pool) must not unwind
-                // past the borrows while jobs are outstanding, so they
-                // abort instead of panicking.
-                let job: Job =
-                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
-                if pool.sender.send(job).is_err() {
-                    // Unreachable while workers are immortal; unwinding
-                    // here would free the borrows under live jobs (UB).
-                    eprintln!("rayon-shim: worker pool is gone; aborting");
-                    std::process::abort();
-                }
-                jobs += 1;
-            }
-        }
-        drop(tx);
-        let mut parts: Vec<Option<Vec<R>>> = (0..jobs).map(|_| None).collect();
-        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for _ in 0..jobs {
-            let Ok((idx, out)) = rx.recv() else {
-                eprintln!("rayon-shim: worker lost mid-collect; aborting");
-                std::process::abort();
-            };
-            match out {
-                Ok(part) => parts[idx] = Some(part),
-                Err(payload) => panic = Some(payload),
-            }
-        }
-        if let Some(payload) = panic {
-            resume_unwind(payload);
-        }
-        parts.into_iter().flatten().flatten().collect()
+        let vec = run_par(|| map_collect_vec(data, f, leaf));
+        vec.into_iter().collect()
     }
+}
+
+/// Mutably borrowing parallel iterator over a slice.
+pub struct ParIterMut<'a, T> {
+    data: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Applies `f` to every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut T) + Sync,
+    {
+        self.enumerate().for_each(|(_, item)| f(item));
+    }
+
+    /// Pairs each element with its index, like rayon's `enumerate`.
+    pub fn enumerate(self) -> ParIterMutEnumerate<'a, T> {
+        ParIterMutEnumerate { data: self.data }
+    }
+}
+
+/// Index-carrying variant of [`ParIterMut`].
+pub struct ParIterMutEnumerate<'a, T> {
+    data: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMutEnumerate<'a, T> {
+    /// Applies `f` to every `(index, element)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut T)) + Sync,
+    {
+        let leaf = leaf_len(self.data.len());
+        let data = self.data;
+        run_par(|| for_each_mut_rec(0, data, &f, leaf));
+    }
+}
+
+/// Parallel iterator over shared chunks of a slice.
+pub struct ParChunks<'a, T> {
+    data: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Applies `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+
+    /// Pairs each chunk with its chunk index.
+    pub fn enumerate(self) -> ParChunksEnumerate<'a, T> {
+        ParChunksEnumerate { data: self.data, chunk_size: self.chunk_size }
+    }
+
+    /// Maps each chunk through `f`, collecting in chunk order.
+    pub fn map<R, F>(self, f: F) -> ParChunksMap<'a, T, F>
+    where
+        F: Fn(&'a [T]) -> R + Sync,
+        R: Send,
+    {
+        ParChunksMap { data: self.data, chunk_size: self.chunk_size, f }
+    }
+}
+
+/// Index-carrying variant of [`ParChunks`].
+pub struct ParChunksEnumerate<'a, T> {
+    data: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunksEnumerate<'a, T> {
+    /// Applies `f` to every `(chunk_index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a [T])) + Sync,
+    {
+        let n_chunks = self.data.len().div_ceil(self.chunk_size);
+        let leaf = leaf_len(n_chunks);
+        let (data, chunk_size) = (self.data, self.chunk_size);
+        run_par(|| chunks_rec(0, chunk_size, data, &f, leaf));
+    }
+}
+
+/// The result of [`ParChunks::map`]; terminal `collect` runs the work.
+pub struct ParChunksMap<'a, T, F> {
+    data: &'a [T],
+    chunk_size: usize,
+    f: F,
+}
+
+impl<'a, T, R, F> ParChunksMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> R + Sync,
+{
+    /// Applies the map across the pool and collects results in chunk
+    /// order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n_chunks = self.data.len().div_ceil(self.chunk_size);
+        let leaf = leaf_len(n_chunks);
+        let (data, chunk_size) = (self.data, self.chunk_size);
+        let f = &self.f;
+        let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n_chunks);
+        // SAFETY: MaybeUninit requires no initialization; len <= capacity.
+        unsafe { out.set_len(n_chunks) };
+        run_par(|| chunks_map_rec(chunk_size, data, &mut out, f, leaf));
+        // SAFETY: chunks_map_rec initialized every element (it returned
+        // without panicking); MaybeUninit<R> and R share layout.
+        let vec = unsafe { assume_init_vec(out) };
+        vec.into_iter().collect()
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    data: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Applies `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+
+    /// Pairs each chunk with its chunk index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { data: self.data, chunk_size: self.chunk_size }
+    }
+}
+
+/// Index-carrying variant of [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    data: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Applies `f` to every `(chunk_index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let n_chunks = self.data.len().div_ceil(self.chunk_size);
+        let leaf = leaf_len(n_chunks);
+        let (data, chunk_size) = (self.data, self.chunk_size);
+        run_par(|| chunks_mut_rec(0, chunk_size, data, &f, leaf));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recursive split engines (all built on `join`).
+// ---------------------------------------------------------------------------
+
+/// Funnels a parallel operation into the pool exactly once (joins inside
+/// then stay on workers), or runs it inline under `run_sequential`.
+fn run_par<R: Send>(op: impl FnOnce() -> R + Send) -> R {
+    if sequential_mode() {
+        op()
+    } else {
+        in_worker(op)
+    }
+}
+
+fn for_each_rec<'a, T, F>(data: &'a [T], f: &F, leaf: usize)
+where
+    T: Sync,
+    F: Fn(&'a T) + Sync,
+{
+    if data.len() <= leaf {
+        for item in data {
+            f(item);
+        }
+        return;
+    }
+    let mid = data.len() / 2;
+    let (left, right) = data.split_at(mid);
+    join(|| for_each_rec(left, f, leaf), || for_each_rec(right, f, leaf));
+}
+
+fn map_collect_vec<'a, T, R, F>(data: &'a [T], f: &F, leaf: usize) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = data.len();
+    let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit requires no initialization; len <= capacity.
+    unsafe { out.set_len(n) };
+    map_collect_rec(data, &mut out, f, leaf);
+    // SAFETY: map_collect_rec initialized every element (we only get
+    // here if no leaf panicked). If a leaf *does* panic, the unwound
+    // Vec<MaybeUninit<R>> frees its buffer without dropping the
+    // already-written elements — a leak, never a double free.
+    unsafe { assume_init_vec(out) }
+}
+
+fn map_collect_rec<'a, T, R, F>(data: &'a [T], out: &mut [MaybeUninit<R>], f: &F, leaf: usize)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    debug_assert_eq!(data.len(), out.len());
+    if data.len() <= leaf {
+        for (slot, item) in out.iter_mut().zip(data) {
+            *slot = MaybeUninit::new(f(item));
+        }
+        return;
+    }
+    let mid = data.len() / 2;
+    let (dl, dr) = data.split_at(mid);
+    let (ol, or) = out.split_at_mut(mid);
+    join(|| map_collect_rec(dl, ol, f, leaf), || map_collect_rec(dr, or, f, leaf));
+}
+
+/// # Safety
+/// Every element of `v` must be initialized.
+unsafe fn assume_init_vec<R>(v: Vec<MaybeUninit<R>>) -> Vec<R> {
+    let mut v = ManuallyDrop::new(v);
+    let (ptr, len, cap) = (v.as_mut_ptr(), v.len(), v.capacity());
+    Vec::from_raw_parts(ptr as *mut R, len, cap)
+}
+
+fn for_each_mut_rec<'a, T, F>(offset: usize, data: &'a mut [T], f: &F, leaf: usize)
+where
+    T: Send,
+    F: Fn((usize, &'a mut T)) + Sync,
+{
+    if data.len() <= leaf {
+        for (i, item) in data.iter_mut().enumerate() {
+            f((offset + i, item));
+        }
+        return;
+    }
+    let mid = data.len() / 2;
+    let (left, right) = data.split_at_mut(mid);
+    join(
+        || for_each_mut_rec(offset, left, f, leaf),
+        || for_each_mut_rec(offset + mid, right, f, leaf),
+    );
+}
+
+fn chunks_rec<'a, T, F>(chunk_offset: usize, chunk_size: usize, data: &'a [T], f: &F, leaf: usize)
+where
+    T: Sync,
+    F: Fn((usize, &'a [T])) + Sync,
+{
+    let n_chunks = data.len().div_ceil(chunk_size);
+    if n_chunks <= leaf {
+        for (ci, chunk) in data.chunks(chunk_size).enumerate() {
+            f((chunk_offset + ci, chunk));
+        }
+        return;
+    }
+    let mid_chunks = n_chunks / 2;
+    let (left, right) = data.split_at(mid_chunks * chunk_size);
+    join(
+        || chunks_rec(chunk_offset, chunk_size, left, f, leaf),
+        || chunks_rec(chunk_offset + mid_chunks, chunk_size, right, f, leaf),
+    );
+}
+
+fn chunks_map_rec<'a, T, R, F>(
+    chunk_size: usize,
+    data: &'a [T],
+    out: &mut [MaybeUninit<R>],
+    f: &F,
+    leaf: usize,
+) where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> R + Sync,
+{
+    let n_chunks = data.len().div_ceil(chunk_size);
+    debug_assert_eq!(n_chunks, out.len());
+    if n_chunks <= leaf {
+        for (slot, chunk) in out.iter_mut().zip(data.chunks(chunk_size)) {
+            *slot = MaybeUninit::new(f(chunk));
+        }
+        return;
+    }
+    let mid_chunks = n_chunks / 2;
+    let (dl, dr) = data.split_at(mid_chunks * chunk_size);
+    let (ol, or) = out.split_at_mut(mid_chunks);
+    join(
+        || chunks_map_rec(chunk_size, dl, ol, f, leaf),
+        || chunks_map_rec(chunk_size, dr, or, f, leaf),
+    );
+}
+
+fn chunks_mut_rec<'a, T, F>(
+    chunk_offset: usize,
+    chunk_size: usize,
+    data: &'a mut [T],
+    f: &F,
+    leaf: usize,
+) where
+    T: Send,
+    F: Fn((usize, &'a mut [T])) + Sync,
+{
+    let n_chunks = data.len().div_ceil(chunk_size);
+    if n_chunks <= leaf {
+        for (ci, chunk) in data.chunks_mut(chunk_size).enumerate() {
+            f((chunk_offset + ci, chunk));
+        }
+        return;
+    }
+    let mid_chunks = n_chunks / 2;
+    let (left, right) = data.split_at_mut(mid_chunks * chunk_size);
+    join(
+        || chunks_mut_rec(chunk_offset, chunk_size, left, f, leaf),
+        || chunks_mut_rec(chunk_offset + mid_chunks, chunk_size, right, f, leaf),
+    );
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{join, run_sequential};
 
     #[test]
     fn map_collect_preserves_order() {
@@ -215,17 +962,37 @@ mod tests {
 
     #[test]
     fn pool_is_reused_across_collects() {
-        // Worker thread ids must repeat across calls — the pool persists.
+        // The pool is persistent and bounded: many collects must all land
+        // on the same fixed set of ≤ num_threads worker threads (any one
+        // collect may be executed entirely by a single worker, so two
+        // collects' id sets are allowed to be disjoint), and never on the
+        // submitting thread.
+        let caller = std::thread::current().id();
         let xs: Vec<u32> = (0..64).collect();
-        let ids1: std::collections::HashSet<std::thread::ThreadId> =
-            xs.par_iter().map(|_| std::thread::current().id()).collect();
-        let ids2: std::collections::HashSet<std::thread::ThreadId> =
-            xs.par_iter().map(|_| std::thread::current().id()).collect();
-        assert!(!ids1.is_disjoint(&ids2), "no worker survived between collects");
+        let mut all_ids = std::collections::HashSet::new();
+        for _ in 0..20 {
+            let ids: Vec<std::thread::ThreadId> =
+                xs.par_iter().map(|_| std::thread::current().id()).collect();
+            all_ids.extend(ids);
+        }
+        assert!(!all_ids.contains(&caller), "work ran on the external caller");
+        assert!(
+            all_ids.len() <= super::current_num_threads(),
+            "{} distinct workers across 20 collects exceeds the pool size {}",
+            all_ids.len(),
+            super::current_num_threads()
+        );
     }
 
     #[test]
-    fn nested_collect_runs_inline() {
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn nested_collects_work() {
         let xs: Vec<u32> = (0..8).collect();
         let out: Vec<u32> = xs
             .par_iter()
@@ -235,6 +1002,33 @@ mod tests {
             })
             .collect();
         assert_eq!(out, (1..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_writes_in_place() {
+        let mut xs = vec![0u64; 500];
+        xs.par_iter_mut().enumerate().for_each(|(i, x)| *x = i as u64 * 3);
+        assert!(xs.iter().enumerate().all(|(i, &x)| x == i as u64 * 3));
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_covers_all_chunks() {
+        let mut xs = vec![0u32; 103]; // deliberately not a multiple of 10
+        xs.par_chunks_mut(10).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = ci as u32;
+            }
+        });
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(x, (i / 10) as u32);
+        }
+    }
+
+    #[test]
+    fn par_chunks_map_collects_in_chunk_order() {
+        let xs: Vec<u32> = (0..25).collect();
+        let sums: Vec<u32> = xs.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![45, 145, 110]);
     }
 
     #[test]
@@ -248,5 +1042,38 @@ mod tests {
         // The pool must still work afterwards.
         let ok: Vec<u32> = xs.par_iter().map(|&x| x).collect();
         assert_eq!(ok.len(), 32);
+    }
+
+    #[test]
+    fn run_sequential_matches_parallel() {
+        let xs: Vec<u64> = (0..777).collect();
+        let par: Vec<u64> = xs.par_iter().map(|&x| x * x).collect();
+        let seq: Vec<u64> = run_sequential(|| xs.par_iter().map(|&x| x * x).collect());
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn run_sequential_stays_on_caller_thread() {
+        let caller = std::thread::current().id();
+        run_sequential(|| {
+            let xs: Vec<u32> = (0..64).collect();
+            let ids: Vec<std::thread::ThreadId> =
+                xs.par_iter().map(|_| std::thread::current().id()).collect();
+            assert!(ids.iter().all(|&id| id == caller));
+            let (ia, ib) = join(|| std::thread::current().id(), || std::thread::current().id());
+            assert_eq!(ia, caller);
+            assert_eq!(ib, caller);
+        });
+    }
+
+    #[test]
+    fn run_sequential_depth_restored_on_panic() {
+        let _ = std::panic::catch_unwind(|| run_sequential(|| panic!("boom")));
+        // If the depth leaked, this collect would run inline forever after;
+        // assert the parallel path still reaches pool workers.
+        let xs: Vec<u32> = (0..256).collect();
+        let ids: std::collections::HashSet<std::thread::ThreadId> =
+            xs.par_iter().map(|_| std::thread::current().id()).collect();
+        assert!(!ids.is_empty());
     }
 }

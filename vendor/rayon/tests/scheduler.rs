@@ -1,0 +1,184 @@
+//! Scheduler tests for the work-stealing shim, run on a **bounded pool**
+//! (2 workers, set via `RAYON_NUM_THREADS` before first pool use) so that
+//! stealing, helping, and queue hand-off interleavings actually occur:
+//! with many workers most joins are popped back un-stolen and the
+//! interesting paths never execute.
+//!
+//! This binary is separate from the crate's unit tests (different
+//! process) precisely so it can pin the pool size.
+
+use rayon::prelude::*;
+use rayon::{current_num_threads, join, run_sequential};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+
+/// Pins the pool to 2 workers. Every test calls this before any parallel
+/// operation, so whichever test runs first still initializes the pool at
+/// the bounded size.
+fn bounded_pool() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| std::env::set_var("RAYON_NUM_THREADS", "2"));
+}
+
+#[test]
+fn pool_is_bounded() {
+    bounded_pool();
+    assert_eq!(current_num_threads(), 2);
+}
+
+/// Recursive fibonacci by nested joins: the classic fork-join shape. At
+/// depth 18 this creates thousands of tasks on a 2-worker pool, so many
+/// are stolen and many joins take the help-while-waiting path.
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+#[test]
+fn nested_joins_under_contention() {
+    bounded_pool();
+    assert_eq!(fib(18), 2584);
+}
+
+#[test]
+fn nested_collects_under_contention() {
+    bounded_pool();
+    // Outer collect over 64 items, each spawning an inner collect: inner
+    // splits land on both workers' deques while outer leaves are still
+    // pending, exercising steal-from-sibling.
+    let xs: Vec<u64> = (0..64).collect();
+    let out: Vec<u64> = xs
+        .par_iter()
+        .map(|&x| {
+            let inner: Vec<u64> =
+                (0..32u64).collect::<Vec<_>>().par_iter().map(|&y| x * 100 + y).collect();
+            inner.iter().sum()
+        })
+        .collect();
+    let expect: Vec<u64> = (0..64u64).map(|x| (0..32).map(|y| x * 100 + y).sum()).collect();
+    assert_eq!(out, expect);
+}
+
+#[test]
+fn concurrent_external_submitters() {
+    bounded_pool();
+    // 8 external threads hammer the 2-worker pool simultaneously; every
+    // root op funnels through the injector and must complete with
+    // order-preserved results.
+    let handles: Vec<_> = (0..8u64)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for round in 0..20 {
+                    let xs: Vec<u64> = (0..50).map(|i| t * 1000 + round * 50 + i).collect();
+                    let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+                    assert_eq!(doubled, xs.iter().map(|&x| x * 2).collect::<Vec<_>>());
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn panic_propagates_from_stolen_task() {
+    bounded_pool();
+    // The panicking closure sleeps first so the sibling join pushes it
+    // and an idle worker steals it before it blows up; the panic must
+    // cross the steal back to the joining caller.
+    for _ in 0..20 {
+        let result = std::panic::catch_unwind(|| {
+            join(
+                || {
+                    // Busy the left half so the right is stolen.
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    fib(10)
+                },
+                || -> u64 { panic!("stolen boom") },
+            )
+        });
+        let err = result.expect_err("panic was swallowed");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "stolen boom");
+    }
+    // Pool must survive the unwinds.
+    assert_eq!(fib(10), 55);
+}
+
+#[test]
+fn panic_in_first_half_still_completes_second() {
+    bounded_pool();
+    // `join` must wait for b (which borrows the caller's frame) even when
+    // a panics; the AtomicUsize write proves b ran to completion.
+    static RAN: AtomicUsize = AtomicUsize::new(0);
+    for _ in 0..10 {
+        let result = std::panic::catch_unwind(|| {
+            join(
+                || -> u64 { panic!("left boom") },
+                || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    RAN.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+        });
+        assert!(result.is_err());
+    }
+    assert_eq!(RAN.load(Ordering::SeqCst), 10);
+}
+
+/// Bounded-thread interleaving smoke in the spirit of a loom test: a
+/// small state space (2 workers, 4 submitters, tiny workloads) iterated
+/// many times so the scheduler visits many interleavings of push, steal,
+/// pop-specific, and sleep/wake. Invariants checked every iteration:
+/// results are complete, in order, and every element was produced
+/// exactly once.
+#[test]
+fn interleaving_smoke_stress_loop() {
+    bounded_pool();
+    let produced = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let produced = &produced;
+            scope.spawn(move || {
+                for round in 0..200usize {
+                    let n = 1 + (t * 7 + round * 3) % 23; // vary sizes incl. 1
+                    let xs: Vec<usize> = (0..n).collect();
+                    let out: Vec<usize> = xs
+                        .par_iter()
+                        .map(|&x| {
+                            produced.fetch_add(1, Ordering::Relaxed);
+                            x + 1
+                        })
+                        .collect();
+                    assert_eq!(out, (1..=n).collect::<Vec<_>>(), "t={t} round={round}");
+                }
+            });
+        }
+    });
+    // Each of 4 threads × 200 rounds produced exactly n elements; the
+    // map closure ran once per element (no double execution of jobs).
+    let expect: usize =
+        (0..4).map(|t| (0..200).map(|r| 1 + (t * 7 + r * 3) % 23).sum::<usize>()).sum();
+    assert_eq!(produced.load(Ordering::Relaxed), expect);
+}
+
+#[test]
+fn sequential_mode_is_bit_path_identical_and_scoped() {
+    bounded_pool();
+    let xs: Vec<f64> = (0..501).map(|i| i as f64 * 0.37).collect();
+    let work = |xs: &[f64]| -> Vec<f64> { xs.par_iter().map(|&x| (x.sin() + 1.0).ln()).collect() };
+    let par = work(&xs);
+    let seq = run_sequential(|| work(&xs));
+    // Exact bit equality, not approximate: same per-element operations.
+    for (a, b) in par.iter().zip(&seq) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    // The scope must not leak into subsequent parallel calls.
+    let ids: std::collections::HashSet<std::thread::ThreadId> =
+        (0..256).collect::<Vec<u32>>().par_iter().map(|_| std::thread::current().id()).collect();
+    assert!(!ids.is_empty());
+}
