@@ -15,7 +15,7 @@ fn bench_baselines(c: &mut Criterion) {
     let ds = cora_like().generate("cora").unwrap();
     let size = 200usize;
     let mut group = c.benchmark_group("baseline_query");
-    group.sample_size(10);
+    group.sample_size(20);
 
     let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(32, MetricFn::Cosine)).unwrap();
     let engine = Laca::new(&ds.graph, Some(&tnam), LacaParams::new(1e-6)).unwrap();

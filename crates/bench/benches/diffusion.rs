@@ -169,8 +169,8 @@ criterion_group!(benches, bench_diffusion);
 fn main() {
     benches();
     let results = criterion::take_results();
-    // Derived old/new ratios, computed from the noise-robust min times.
-    let min_of = |label: &str| results.iter().find(|r| r.label == label).map(|r| r.min_ns as f64);
+    // Derived old/new ratios, computed from the noise-tolerant trimmed-min times.
+    let min_of = |label: &str| results.iter().find(|r| r.label == label).map(|r| r.tmin_ns as f64);
     let mut derived: Vec<(String, f64)> = Vec::new();
     for solver in ["greedy", "adaptive", "nongreedy"] {
         for eps in ["1e-3", "1e-4", "1e-5", "1e-6"] {

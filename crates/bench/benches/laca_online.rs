@@ -8,7 +8,7 @@ use laca_graph::datasets::{cora_like, pubmed_like};
 
 fn bench_online(c: &mut Criterion) {
     let mut group = c.benchmark_group("laca_online");
-    group.sample_size(10);
+    group.sample_size(20);
     for (name, spec) in [("cora", cora_like()), ("pubmed", pubmed_like())] {
         let ds = spec.generate(name).unwrap();
         let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(32, MetricFn::Cosine)).unwrap();

@@ -50,7 +50,7 @@ fn assert_serial_parallel_bits_match(attrs: &AttributeMatrix, cfg: &TnamConfig) 
 
 fn bench_dataset(c: &mut Criterion, name: &str, attrs: &AttributeMatrix) {
     let mut group = c.benchmark_group("tnam_build");
-    group.sample_size(5);
+    group.sample_size(20);
     for (metric, cfg) in build_cfgs() {
         assert_serial_parallel_bits_match(attrs, &cfg);
         group.bench_function(format!("serial/{name}/{metric}"), |b| {
@@ -74,7 +74,8 @@ fn main() {
     bench_dataset(&mut criterion, "amazon2m", &amazon.attributes);
 
     let results = criterion::take_results();
-    let min_of = |label: String| results.iter().find(|r| r.label == label).map(|r| r.min_ns as f64);
+    let min_of =
+        |label: String| results.iter().find(|r| r.label == label).map(|r| r.tmin_ns as f64);
     let mut derived: Vec<(String, f64)> = Vec::new();
     for ds in ["pubmed", "amazon2m"] {
         for (metric, _) in build_cfgs() {

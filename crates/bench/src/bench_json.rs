@@ -13,10 +13,16 @@ pub struct BenchEntry {
     pub label: String,
     /// Mean per-iteration time in nanoseconds.
     pub mean_ns: u128,
-    /// Fastest sample (the noise-robust comparison metric).
+    /// Fastest sample.
     pub min_ns: u128,
     /// Slowest sample.
     pub max_ns: u128,
+    /// Trimmed minimum — the 10th-percentile order statistic, immune to a
+    /// single lucky sample; the CI gate's comparison metric. Files written
+    /// before the field existed parse as `tmin_ns = min_ns`.
+    pub tmin_ns: u128,
+    /// Median sample. Pre-field files parse as `median_ns = mean_ns`.
+    pub median_ns: u128,
     /// Number of timed samples.
     pub samples: usize,
 }
@@ -91,7 +97,19 @@ pub fn parse(text: &str) -> Result<BenchFile, String> {
             };
             let (mean_ns, min_ns, max_ns, samples) =
                 (num("mean_ns")?, num("min_ns")?, num("max_ns")?, num("samples")? as usize);
-            out.results.push(BenchEntry { label, mean_ns, min_ns, max_ns, samples });
+            // The statistical fields postdate the format: old baselines
+            // degrade to the raw min / mean rather than failing to parse.
+            let tmin_ns = extract_num(trimmed, "tmin_ns").unwrap_or(min_ns);
+            let median_ns = extract_num(trimmed, "median_ns").unwrap_or(mean_ns);
+            out.results.push(BenchEntry {
+                label,
+                mean_ns,
+                min_ns,
+                max_ns,
+                tmin_ns,
+                median_ns,
+                samples,
+            });
         } else if in_derived {
             if let Some(entry) = parse_derived_line(trimmed) {
                 out.derived.push(entry);
@@ -127,10 +145,17 @@ pub struct Comparison {
 /// Which timing field a comparison uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
-    /// Fastest sample — robust to scheduler noise; the default.
+    /// Fastest sample.
     Min,
     /// Mean over samples.
     Mean,
+    /// Trimmed minimum (10th-percentile order statistic) — robust on both
+    /// sides: background load cannot inflate it the way it inflates the
+    /// mean, and one lucky sample cannot deflate it the way it deflates
+    /// the raw min. The default, and what the blocking CI gate compares.
+    TrimmedMin,
+    /// Median sample.
+    Median,
 }
 
 /// Compares every label present in both files; returns the comparisons
@@ -143,6 +168,8 @@ pub fn compare(
     let pick = |e: &BenchEntry| match metric {
         Metric::Min => e.min_ns,
         Metric::Mean => e.mean_ns,
+        Metric::TrimmedMin => e.tmin_ns,
+        Metric::Median => e.median_ns,
     };
     let mut common = Vec::new();
     let mut only_old = Vec::new();
@@ -181,14 +208,18 @@ mod tests {
                 mean_ns: 1_000_000,
                 min_ns: 900_000,
                 max_ns: 1_200_000,
-                samples: 5,
+                tmin_ns: 950_000,
+                median_ns: 1_010_000,
+                samples: 20,
             },
             criterion::BenchResult {
                 label: "serving/warm/w4".to_string(),
                 mean_ns: 10_000,
                 min_ns: 9_000,
                 max_ns: 12_000,
-                samples: 5,
+                tmin_ns: 9_200,
+                median_ns: 9_900,
+                samples: 20,
             },
         ];
         let derived =
@@ -200,7 +231,9 @@ mod tests {
         let parsed = parse_file(&path).unwrap();
         assert_eq!(parsed.results.len(), 2);
         assert_eq!(parsed.result("serving/cold/w1").unwrap().min_ns, 900_000);
-        assert_eq!(parsed.result("serving/warm/w4").unwrap().samples, 5);
+        assert_eq!(parsed.result("serving/cold/w1").unwrap().tmin_ns, 950_000);
+        assert_eq!(parsed.result("serving/cold/w1").unwrap().median_ns, 1_010_000);
+        assert_eq!(parsed.result("serving/warm/w4").unwrap().samples, 20);
         // NaN is serialized as null and skipped on read.
         assert_eq!(parsed.derived.len(), 1);
         assert!((parsed.derived("qps/warm/w4").unwrap() - 98765.4321).abs() < 1e-3);
@@ -218,7 +251,12 @@ mod tests {
 }
 "#;
         let parsed = parse(text).unwrap();
-        assert_eq!(parsed.result("diffusion/greedy/1e-3").unwrap().min_ns, 3913);
+        let entry = parsed.result("diffusion/greedy/1e-3").unwrap();
+        assert_eq!(entry.min_ns, 3913);
+        // Pre-statistics baselines fall back to min/mean for the new
+        // order-statistic fields instead of failing to parse.
+        assert_eq!(entry.tmin_ns, 3913);
+        assert_eq!(entry.median_ns, 4466);
         assert_eq!(parsed.derived("speedup/greedy/1e-3"), Some(2.2556));
     }
 
@@ -233,7 +271,7 @@ mod tests {
         .unwrap();
         let new = parse(
             r#"{"results": [
-  {"label": "a", "mean_ns": 150, "min_ns": 140, "max_ns": 160, "samples": 3},
+  {"label": "a", "mean_ns": 150, "min_ns": 140, "max_ns": 160, "tmin_ns": 145, "median_ns": 152, "samples": 20},
   {"label": "fresh", "mean_ns": 7, "min_ns": 7, "max_ns": 7, "samples": 3}
 ], "derived": {}}"#,
         )
@@ -245,6 +283,13 @@ mod tests {
         assert_eq!(only_new, vec!["fresh".to_string()]);
         let (by_mean, _, _) = compare(&old, &new, Metric::Mean);
         assert!((by_mean[0].ratio - 1.5).abs() < 1e-12);
+        // TrimmedMin/Median read the order-statistic fields (the old side
+        // falls back to min/mean, so the comparison stays well-defined
+        // against pre-statistics baselines).
+        let (by_tmin, _, _) = compare(&old, &new, Metric::TrimmedMin);
+        assert!((by_tmin[0].ratio - 1.45).abs() < 1e-12);
+        let (by_median, _, _) = compare(&old, &new, Metric::Median);
+        assert!((by_median[0].ratio - 1.52).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! **Multi-index routing scenario**: one [`ServiceRouter`] front door
+//! over several param-distinct indices of the same dataset — per-route
+//! throughput and isolation, plus a single-flight coalescing
+//! demonstration (N identical concurrent misses, one compute). This is
+//! the ROADMAP's "multi-graph routing + request coalescing" serving
+//! follow-up as a first-class experiment; `benches/routing.rs` is its
+//! committed-baseline twin.
+//!
+//! ```sh
+//! cargo run --release -p laca-bench --bin exp_routing -- --seeds 48
+//! ```
+
+use laca_bench::{banner, load_dataset, ExpArgs};
+use laca_core::tnam::TnamConfig;
+use laca_core::{LacaParams, MetricFn};
+use laca_eval::harness::sample_seeds;
+use laca_eval::table::Table;
+use laca_graph::NodeId;
+use laca_service::{ClusterIndex, RouteKey, ServiceConfig, ServiceRouter};
+use std::time::Instant;
+
+/// Handles submitted per seed in the coalescing burst.
+const FAN: usize = 6;
+
+/// The param grid registered per dataset: the "many parameterizations of
+/// one graph, served side by side" shape.
+fn param_grid() -> Vec<(&'static str, LacaParams)> {
+    vec![
+        ("eps=1e-4", LacaParams::new(1e-4)),
+        ("eps=1e-3", LacaParams::new(1e-3)),
+        ("eps=1e-4, w/o SNAS", LacaParams::new(1e-4).without_snas()),
+    ]
+}
+
+fn main() {
+    let args = ExpArgs::parse(48);
+    let names = args.dataset_names(&["cora", "pubmed"]);
+    let tnam_config = TnamConfig::new(16, MetricFn::Cosine);
+    let config = ServiceConfig::default().with_workers(2).with_queue_capacity(256);
+
+    for name in &names {
+        let ds = load_dataset(name, args.scale);
+        let pool = sample_seeds(&ds, args.seeds.max(2), 0x407E);
+
+        // Hot registration: the router serves route k while route k+1 is
+        // still building its index.
+        let router = ServiceRouter::new();
+        let mut routes: Vec<(String, RouteKey)> = Vec::new();
+        for (label, params) in param_grid() {
+            let t0 = Instant::now();
+            let index =
+                ClusterIndex::from_dataset(&ds, &tnam_config, params).expect("index construction");
+            let key = router
+                .register(index, config.clone().with_cache_per_worker(pool.len()))
+                .expect("duplicate route in param grid");
+            eprintln!("[{name}] registered {key} ({label}) in {:?}", t0.elapsed());
+            routes.push((label.to_string(), key));
+        }
+
+        let mut table =
+            Table::new(&["route", "cold q/s", "warm q/s", "hit%", "computed", "coalesced"]);
+        for (label, key) in &routes {
+            // Cold pass: every pool seed is a miss on this route.
+            let t0 = Instant::now();
+            for r in router.query_batch(key, &pool).expect("route vanished") {
+                r.expect("cold query");
+            }
+            let cold_qps = pool.len() as f64 / t0.elapsed().as_secs_f64();
+
+            // Warm pass over the now-cached pool.
+            let t0 = Instant::now();
+            for r in router.query_batch(key, &pool).expect("route vanished") {
+                r.expect("warm query");
+            }
+            let warm_qps = pool.len() as f64 / t0.elapsed().as_secs_f64();
+
+            // Coalescing burst: FAN concurrent handles per fresh seed
+            // (fresh = beyond the cached pool) — computes must stay ~1
+            // per seed, not FAN per seed.
+            let service = router.route(key).expect("route vanished");
+            service.reset_stats();
+            let fresh: Vec<NodeId> = {
+                let cached: std::collections::HashSet<NodeId> = pool.iter().copied().collect();
+                (0..ds.graph.n() as NodeId).filter(|s| !cached.contains(s)).take(8).collect()
+            };
+            let handles: Vec<_> = fresh
+                .iter()
+                .flat_map(|&s| (0..FAN).map(move |_| s))
+                .map(|s| service.submit(s))
+                .collect();
+            for h in handles {
+                h.wait().expect("burst query");
+            }
+            let stats = service.stats();
+            table.add_row(vec![
+                label.clone(),
+                format!("{cold_qps:.0}"),
+                format!("{warm_qps:.0}"),
+                format!("{:.0}%", stats.hit_rate() * 100.0),
+                stats.completed.to_string(),
+                stats.coalesced.to_string(),
+            ]);
+            eprintln!(
+                "[{name}] {label}: burst of {}x{FAN} identical misses -> {} computes, \
+                 {} coalesced, {} hits",
+                fresh.len(),
+                stats.completed,
+                stats.coalesced,
+                stats.cache_hits,
+            );
+        }
+
+        // Retirement under traffic: drop the middle route, the others
+        // keep serving.
+        let retired = &routes[1].1;
+        assert!(router.retire(retired), "retire must find the live route");
+        assert!(router.query(retired, pool[0]).is_err(), "retired route must 404");
+        router.query(&routes[0].1, pool[0]).expect("surviving route must keep serving");
+
+        let agg = router.aggregate_stats();
+        banner(&format!(
+            "Routing on {name} ({} routes registered, 1 retired, pool = {})",
+            routes.len(),
+            pool.len()
+        ));
+        println!("{}", table.render());
+        println!(
+            "aggregate: {} computed | {} hits | {} coalesced | workers {}",
+            agg.completed, agg.cache_hits, agg.coalesced, agg.workers
+        );
+        table.write_csv(&args.out_dir.join(format!("routing_{name}.csv"))).expect("write csv");
+    }
+}

@@ -85,6 +85,29 @@ impl LacaParams {
         self.use_snas = false;
         self
     }
+
+    /// Stable digest of every field that affects query results. Float
+    /// params are hashed by bit pattern, so any observable change — even
+    /// in the last ulp — changes the fingerprint. This is the *identity*
+    /// of a parameterization: serving layers key result caches and
+    /// routing tables on it (`laca-service` pairs it with a dataset name
+    /// to form a route key), guaranteeing a params change can never serve
+    /// stale answers.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = rustc_hash::FxHasher::default();
+        self.alpha.to_bits().hash(&mut h);
+        self.epsilon.to_bits().hash(&mut h);
+        self.sigma.to_bits().hash(&mut h);
+        let backend: u8 = match self.backend {
+            DiffusionBackend::Adaptive => 0,
+            DiffusionBackend::Greedy => 1,
+            DiffusionBackend::NonGreedy => 2,
+        };
+        backend.hash(&mut h);
+        self.use_snas.hash(&mut h);
+        h.finish()
+    }
 }
 
 /// Telemetry from one LACA query.

@@ -58,6 +58,30 @@ impl TnamConfig {
         self.use_svd = false;
         self
     }
+
+    /// Stable digest of every field that affects the built TNAM's rows
+    /// (floats hashed by bit pattern). Together with
+    /// [`crate::LacaParams::fingerprint`] this forms an index's identity:
+    /// serving layers fold it into cache/routing keys so two TNAMs built
+    /// with different `k`, metric, seed or ablation flags can never be
+    /// conflated.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = rustc_hash::FxHasher::default();
+        self.k.hash(&mut h);
+        match self.metric {
+            MetricFn::Cosine => 0u8.hash(&mut h),
+            MetricFn::ExpCosine { delta } => {
+                1u8.hash(&mut h);
+                delta.to_bits().hash(&mut h);
+            }
+        }
+        self.use_svd.hash(&mut h);
+        self.oversample.hash(&mut h);
+        self.power_iters.hash(&mut h);
+        self.seed.hash(&mut h);
+        h.finish()
+    }
 }
 
 /// Row storage of `Z`.
@@ -77,6 +101,8 @@ pub struct Tnam {
     width: usize,
     n: usize,
     metric: MetricFn,
+    /// [`TnamConfig::fingerprint`] of the config this TNAM was built with.
+    fingerprint: u64,
 }
 
 impl Tnam {
@@ -160,12 +186,18 @@ impl Tnam {
             Rows::Dense(z) => z.cols(),
             Rows::SparseScaled { attrs, .. } => attrs.dim(),
         };
-        Ok(Tnam { rows, width, n, metric })
+        Ok(Tnam { rows, width, n, metric, fingerprint: config.fingerprint() })
     }
 
     /// Number of nodes.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// The [`TnamConfig::fingerprint`] this TNAM was built with — its
+    /// identity for cache/routing keys.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Width of the `z` rows (`k` for cosine, `2k` for exp-cosine, `d` for

@@ -1,4 +1,5 @@
-//! Sharded LRU result cache keyed by `(seed, params-fingerprint)`.
+//! Sharded LRU result cache keyed by `(seed, index-fingerprint)`, plus
+//! the single-flight [`InFlightTable`] that coalesces concurrent misses.
 //!
 //! Shape follows the classic serving-cache layout: the key space is
 //! hash-partitioned into independent shards, each a fixed-capacity LRU so
@@ -6,10 +7,18 @@
 //! locks. Each shard's recency list is intrusive — nodes live in a slab
 //! `Vec` and link by index — so a hit costs one hash probe plus two link
 //! splices, with no allocation after the shard fills.
+//!
+//! The in-flight table is the cache's other half on the submit path: a
+//! miss first consults it so that two concurrent misses on one key
+//! compute once (the *leader* enqueues; *followers* park a waiter and
+//! receive the leader's answer when it resolves). Entry lifetime is
+//! independent of the LRU — evicting a cached answer never touches an
+//! in-flight entry, so eviction under churn cannot deadlock a waiter or
+//! force a second compute for the same flight.
 
 use rustc_hash::FxHashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 
 /// Sentinel index for "no node" in the intrusive list.
 const NIL: usize = usize::MAX;
@@ -180,6 +189,134 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
     }
 }
 
+/// Outcome of [`InFlightTable::join_or_lead`] for one submission.
+#[derive(Debug)]
+pub enum Submission<V> {
+    /// A flight for this key already exists; the caller's waiter was
+    /// registered and will receive the leader's result.
+    Joined,
+    /// No flight exists but the re-check closure produced a value: the
+    /// previous flight resolved (cache insert happens-before entry
+    /// removal) between the caller's fast-path miss and this call.
+    Resolved(V),
+    /// The caller leads a new flight (its waiter is registered too). It
+    /// must enqueue the compute and eventually call
+    /// [`InFlightTable::resolve`] for this key — on *every* path,
+    /// including enqueue failure — or waiters hang until service drop.
+    Leading,
+}
+
+/// Hash-sharded single-flight table: at most one in-flight computation
+/// per key, with all interested submitters parked as `mpsc` waiters on
+/// the entry.
+///
+/// The submit-path protocol (see [`crate::QueryService::submit`]):
+///
+/// 1. fast path — probe the result cache; a hit never touches this table;
+/// 2. on a miss, [`Self::join_or_lead`] under the key's shard lock:
+///    an existing entry means a compute is in flight → join it; no entry
+///    → re-check the cache (the flight may have resolved in between) and
+///    otherwise insert a new entry and lead;
+/// 3. whoever computed calls [`Self::resolve`], which removes the entry
+///    and hands every waiter a clone of the result.
+///
+/// The re-check in step 2 runs under the shard lock, and resolvers insert
+/// into the result cache *before* removing the entry, so the
+/// "no entry + cache miss" state is only observable when no flight is in
+/// progress — two concurrent misses on one key can never both lead.
+///
+/// Shard locks recover from poisoning instead of panicking: each map
+/// operation is a single push/insert/remove with no invariant spanning
+/// operations, so the state a panicking thread leaves behind is always
+/// consistent — and the error-path resolves that unblock waiters after a
+/// worker panic (see `worker_loop`) must keep working precisely when
+/// something already panicked.
+#[derive(Debug)]
+pub struct InFlightTable<K, V> {
+    shards: Vec<Mutex<FxHashMap<K, Vec<mpsc::Sender<V>>>>>,
+}
+
+/// In-flight shard count. Entries live for one compute (milliseconds) and
+/// the population is bounded by the submission-queue depth, so a small
+/// fixed fan-out is plenty.
+const INFLIGHT_SHARDS: usize = 8;
+
+impl<K: Hash + Eq, V: Clone> InFlightTable<K, V> {
+    /// An empty table.
+    pub fn new() -> Self {
+        InFlightTable {
+            shards: (0..INFLIGHT_SHARDS).map(|_| Mutex::new(FxHashMap::default())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<FxHashMap<K, Vec<mpsc::Sender<V>>>> {
+        let mut h = rustc_hash::FxHasher::default();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Joins the key's flight if one is in progress, else re-checks the
+    /// cache via `recheck`, else registers `waiter` on a fresh entry and
+    /// makes the caller the leader. `recheck` runs under the shard lock —
+    /// it must only take locks that are never held while calling into
+    /// this table (the result cache qualifies: resolvers insert into it
+    /// *before* locking the shard here).
+    pub fn join_or_lead(
+        &self,
+        key: K,
+        waiter: mpsc::Sender<V>,
+        recheck: impl FnOnce() -> Option<V>,
+    ) -> Submission<V> {
+        let mut shard = self.shard(&key).lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(waiters) = shard.get_mut(&key) {
+            waiters.push(waiter);
+            return Submission::Joined;
+        }
+        if let Some(value) = recheck() {
+            return Submission::Resolved(value);
+        }
+        shard.insert(key, vec![waiter]);
+        Submission::Leading
+    }
+
+    /// Ends the key's flight: removes the entry and sends `value` to every
+    /// registered waiter (waiters that dropped their receiver are
+    /// skipped). A no-op when the key has no flight.
+    pub fn resolve(&self, key: &K, value: V) {
+        let waiters = {
+            let mut shard =
+                self.shard(key).lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            shard.remove(key)
+        };
+        // Send outside the lock: new submissions for this key can lead a
+        // fresh flight while the old one's waiters drain.
+        for w in waiters.into_iter().flatten() {
+            let _ = w.send(value.clone());
+        }
+    }
+
+    /// Number of keys currently in flight (telemetry; racy by nature).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// `true` when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner).is_empty())
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> Default for InFlightTable<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +383,72 @@ mod tests {
         for i in 0..8 {
             assert_eq!(cache.get(&i), Some(i), "entry {i} was evicted below capacity");
         }
+    }
+
+    #[test]
+    fn inflight_leader_then_joiners_all_receive_one_resolve() {
+        let table: InFlightTable<u32, u32> = InFlightTable::new();
+        let (lead_tx, lead_rx) = std::sync::mpsc::channel();
+        assert!(matches!(table.join_or_lead(7, lead_tx, || None), Submission::Leading));
+        assert_eq!(table.len(), 1);
+        let followers: Vec<_> = (0..3)
+            .map(|_| {
+                let (tx, rx) = std::sync::mpsc::channel();
+                assert!(matches!(
+                    table.join_or_lead(7, tx, || panic!("recheck must not run for joiners")),
+                    Submission::Joined
+                ));
+                rx
+            })
+            .collect();
+        table.resolve(&7, 42);
+        assert!(table.is_empty());
+        assert_eq!(lead_rx.recv(), Ok(42));
+        for rx in followers {
+            assert_eq!(rx.recv(), Ok(42));
+        }
+    }
+
+    #[test]
+    fn inflight_recheck_resolves_the_leader_race() {
+        // A flight that resolved between the fast-path miss and
+        // join_or_lead must surface as Resolved, not a second Leading.
+        let table: InFlightTable<u32, u32> = InFlightTable::new();
+        let (tx, _rx) = std::sync::mpsc::channel();
+        match table.join_or_lead(7, tx, || Some(99)) {
+            Submission::Resolved(v) => assert_eq!(v, 99),
+            other => panic!("expected Resolved, got {other:?}"),
+        }
+        assert!(table.is_empty(), "Resolved must not insert an entry");
+    }
+
+    #[test]
+    fn inflight_resolve_ignores_dropped_waiters_and_missing_keys() {
+        let table: InFlightTable<u32, u32> = InFlightTable::new();
+        let (tx, rx) = std::sync::mpsc::channel();
+        assert!(matches!(table.join_or_lead(1, tx, || None), Submission::Leading));
+        drop(rx);
+        table.resolve(&1, 5); // dropped receiver: send error swallowed
+        table.resolve(&2, 6); // never-led key: no-op
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn inflight_keys_are_independent_flights() {
+        let table: InFlightTable<u32, u32> = InFlightTable::new();
+        let rxs: Vec<_> = (0..INFLIGHT_SHARDS as u32 * 2)
+            .map(|k| {
+                let (tx, rx) = std::sync::mpsc::channel();
+                assert!(matches!(table.join_or_lead(k, tx, || None), Submission::Leading));
+                (k, rx)
+            })
+            .collect();
+        assert_eq!(table.len(), INFLIGHT_SHARDS * 2);
+        for (k, rx) in rxs {
+            table.resolve(&k, k * 10);
+            assert_eq!(rx.recv(), Ok(k * 10));
+        }
+        assert!(table.is_empty());
     }
 
     proptest! {

@@ -1,10 +1,8 @@
 //! The immutable, shareable preprocessing artifact behind a service.
 
-use laca_core::laca::DiffusionBackend;
 use laca_core::tnam::TnamConfig;
 use laca_core::{CoreError, Laca, LacaParams, Tnam};
 use laca_graph::{AttributedDataset, CsrGraph};
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Everything a worker needs to answer seed queries, behind `Arc`s:
@@ -13,40 +11,44 @@ use std::sync::Arc;
 /// underlying graph/TNAM, so handing an index to a [`crate::QueryService`]
 /// or to N worker threads copies two pointers, not the data.
 ///
-/// The index also carries a **params fingerprint** (stable across clones)
-/// that keys the service's result cache: two indices over the same data
-/// with different `ε`/`α`/backend produce different cache keys, so a
-/// params change can never serve stale answers.
+/// The index also carries an **identity fingerprint** (stable across
+/// clones) combining [`LacaParams::fingerprint`] with the TNAM's
+/// [`laca_core::tnam::TnamConfig::fingerprint`]. It keys the service's
+/// result cache and the router's [`crate::RouteKey`]: two indices over
+/// the same data with different `ε`/`α`/backend — or the same params
+/// over TNAMs built with different `k`/metric/seed — produce different
+/// keys, so neither a params change nor a TNAM rebuild can ever serve
+/// stale or mixed answers.
 #[derive(Debug, Clone)]
 pub struct ClusterIndex {
     graph: Arc<CsrGraph>,
     tnam: Option<Arc<Tnam>>,
     params: LacaParams,
     fingerprint: u64,
+    /// Dataset label this index was built over (`""` when unknown) —
+    /// together with the identity fingerprint it forms the index's
+    /// [`RouteKey`](crate::RouteKey).
+    dataset: Arc<str>,
 }
 
 /// Stable digest of every field of [`LacaParams`] that affects query
-/// results. Float params are hashed by bit pattern: any observable change
-/// (even in the last ulp) changes the fingerprint.
+/// results; identical to [`LacaParams::fingerprint`] (kept as a free
+/// function for source compatibility).
 pub fn params_fingerprint(params: &LacaParams) -> u64 {
-    let mut h = rustc_hash::FxHasher::default();
-    params.alpha.to_bits().hash(&mut h);
-    params.epsilon.to_bits().hash(&mut h);
-    params.sigma.to_bits().hash(&mut h);
-    let backend: u8 = match params.backend {
-        DiffusionBackend::Adaptive => 0,
-        DiffusionBackend::Greedy => 1,
-        DiffusionBackend::NonGreedy => 2,
-    };
-    backend.hash(&mut h);
-    params.use_snas.hash(&mut h);
-    h.finish()
+    params.fingerprint()
 }
 
 impl ClusterIndex {
     /// Assembles an index from already-shared parts, with the same
     /// validation as [`Laca::new`] (SNAS params require a TNAM whose size
     /// matches the graph).
+    ///
+    /// The dataset label starts out `""` — chain [`Self::with_dataset`]
+    /// before registering such an index with a
+    /// [`crate::ServiceRouter`], or two part-assembled indices over
+    /// *different* graphs but equal params will collide on the same
+    /// [`crate::RouteKey`] (rejected as a duplicate, never silently
+    /// mixed). [`Self::from_dataset`] labels automatically.
     pub fn new(
         graph: Arc<CsrGraph>,
         tnam: Option<Arc<Tnam>>,
@@ -55,8 +57,14 @@ impl ClusterIndex {
         // Engine construction is the validation path; the engine itself is
         // rebuilt per worker (it is two pointers + params).
         Laca::new_shared(Arc::clone(&graph), tnam.clone(), params.clone())?;
-        let fingerprint = params_fingerprint(&params);
-        Ok(ClusterIndex { graph, tnam, params, fingerprint })
+        let fingerprint = {
+            use std::hash::{Hash, Hasher};
+            let mut h = rustc_hash::FxHasher::default();
+            params.fingerprint().hash(&mut h);
+            tnam.as_ref().map(|t| t.fingerprint()).hash(&mut h);
+            h.finish()
+        };
+        Ok(ClusterIndex { graph, tnam, params, fingerprint, dataset: Arc::from("") })
     }
 
     /// Builds an index from a dataset: runs TNAM preprocessing (Algo. 3)
@@ -74,7 +82,16 @@ impl ClusterIndex {
         } else {
             None
         };
-        Self::new(Arc::new(ds.graph.clone()), tnam, params)
+        Ok(Self::new(Arc::new(ds.graph.clone()), tnam, params)?.with_dataset(&ds.name))
+    }
+
+    /// Relabels the index's dataset (the routing-key half that the
+    /// identity fingerprint does not cover). [`Self::from_dataset`] sets
+    /// it from the dataset's name automatically; use this when assembling
+    /// an index from parts via [`Self::new`].
+    pub fn with_dataset(mut self, dataset: &str) -> Self {
+        self.dataset = Arc::from(dataset);
+        self
     }
 
     /// A query engine over this index. `Laca<'static>` — `Send + Sync`,
@@ -99,15 +116,29 @@ impl ClusterIndex {
         &self.params
     }
 
-    /// The params fingerprint used in cache keys.
+    /// The index identity fingerprint (params + TNAM config) used in
+    /// cache and routing keys.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// The dataset label (`""` when the index was assembled from parts
+    /// without [`Self::with_dataset`]).
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// The `(dataset, index-fingerprint)` pair identifying this index in
+    /// a [`crate::ServiceRouter`]'s routing table.
+    pub fn route_key(&self) -> crate::RouteKey {
+        crate::RouteKey::new(Arc::clone(&self.dataset), self.fingerprint)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use laca_core::laca::DiffusionBackend;
     use laca_core::MetricFn;
     use laca_graph::gen::{AttributeSpec, AttributedGraphSpec};
 

@@ -13,11 +13,18 @@
 //!   [`laca_diffusion::WorkspacePool`]), fed by a bounded submission
 //!   queue, with single ([`QueryService::query`]) and batched
 //!   ([`QueryService::query_batch`]) entry points;
+//! * [`ServiceRouter`] — one front door over many indices, keyed by
+//!   [`RouteKey`] = `(dataset, index-fingerprint)`, with hot
+//!   registration/retirement behind an `Arc`-swapped routing snapshot;
 //! * [`cache::ShardedCache`] — a sharded LRU result cache keyed by
-//!   `(seed, params-fingerprint)`, consulted on the submit path so hits
+//!   `(seed, index-fingerprint)`, consulted on the submit path so hits
 //!   never occupy a worker;
+//! * [`cache::InFlightTable`] — single-flight coalescing: two concurrent
+//!   misses on one key compute once, and both waiters receive the cached
+//!   answer ([`ServiceStats::coalesced`] counts the joins);
 //! * [`ServiceStats`] — a snapshot API over the hit/miss/latency
-//!   counters.
+//!   counters, with [`QueryService::reset_stats`] /
+//!   [`ServiceStats::delta_since`] for windowed measurements.
 //!
 //! Answers are **bit-identical** to serial [`laca_core::Laca::bdd`]; the
 //! integration tests assert it across interleaved multi-threaded loads.
@@ -56,12 +63,14 @@
 
 pub mod cache;
 pub mod index;
+pub mod router;
 pub mod service;
 
 pub use cache::ShardedCache;
 pub use index::{params_fingerprint, ClusterIndex};
+pub use router::{RouteKey, RouterError, ServiceRouter};
 pub use service::{
-    QueryAnswer, QueryHandle, QueryService, ServiceConfig, ServiceError, ServiceStats,
+    QueryAnswer, QueryHandle, QueryResult, QueryService, ServiceConfig, ServiceError, ServiceStats,
 };
 
 // The whole serving surface crosses threads by design; if any layer grows
@@ -72,7 +81,10 @@ const _: fn() = || {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<ClusterIndex>();
     assert_send_sync::<QueryService>();
+    assert_send_sync::<ServiceRouter>();
+    assert_send_sync::<RouteKey>();
     assert_send_sync::<QueryAnswer>();
     assert_send_sync::<ServiceStats>();
     assert_send_sync::<ShardedCache<(laca_graph::NodeId, u64), std::sync::Arc<QueryAnswer>>>();
+    assert_send_sync::<cache::InFlightTable<(laca_graph::NodeId, u64), QueryResult>>();
 };

@@ -1,0 +1,321 @@
+//! Multi-index routing: one serving front door over many
+//! [`ClusterIndex`]es.
+//!
+//! The paper's query model is inherently multi-tenant — every query
+//! carries its own seed *and* parameterization over a fixed preprocessed
+//! index, and user-preference variants imply many param-distinct indices
+//! served side by side. The [`ServiceRouter`] owns one [`QueryService`]
+//! (worker pool + result cache + in-flight table) per registered index,
+//! keyed by [`RouteKey`] = `(dataset, index-fingerprint)`, and routes
+//! each submission to its index's pool.
+//!
+//! Registration and retirement are **hot**: the routing table is an
+//! immutable snapshot behind an `Arc` that writers replace wholesale
+//! (copy-on-write) — readers clone the `Arc` under a briefly-held lock
+//! and then route against the snapshot lock-free, so a registration can
+//! never stall the submit path behind an index build, and retiring an
+//! index lets its in-flight queries drain before the worker pool joins
+//! (whoever drops the last reference joins it).
+
+use crate::service::{QueryHandle, QueryResult, ServiceStats};
+use crate::{ClusterIndex, QueryService, ServiceConfig, ServiceError};
+use laca_graph::NodeId;
+use rustc_hash::FxHashMap;
+use std::sync::{Arc, RwLock};
+
+/// Identity of one served index: the dataset it was built over plus the
+/// index fingerprint ([`ClusterIndex::fingerprint`] —
+/// [`laca_core::LacaParams::fingerprint`] combined with the TNAM
+/// config's fingerprint). Two indices over the same dataset with
+/// different `ε`/`α`/backend — or the same params over TNAMs built with
+/// different `k`/metric/seed — get distinct keys, so routing can never
+/// mix parameterizations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RouteKey {
+    dataset: Arc<str>,
+    fingerprint: u64,
+}
+
+impl RouteKey {
+    /// A key from a dataset label and an index fingerprint (usually via
+    /// [`ClusterIndex::route_key`], which derives both from the index).
+    pub fn new(dataset: impl Into<Arc<str>>, fingerprint: u64) -> Self {
+        RouteKey { dataset: dataset.into(), fingerprint }
+    }
+
+    /// The dataset label.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// The index fingerprint (params + TNAM identity).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+impl std::fmt::Display for RouteKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{:016x}", self.dataset, self.fingerprint)
+    }
+}
+
+/// Errors surfaced by the router API (on top of per-query
+/// [`ServiceError`]s).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouterError {
+    /// No index is registered under the requested key.
+    UnknownRoute(RouteKey),
+    /// [`ServiceRouter::register`] was asked to overwrite a live route;
+    /// retire the old index first (or pick a distinct key) so replacement
+    /// is always an explicit two-step.
+    DuplicateRoute(RouteKey),
+    /// The routed query itself failed.
+    Service(ServiceError),
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::UnknownRoute(key) => write!(f, "no index registered for {key}"),
+            RouterError::DuplicateRoute(key) => {
+                write!(f, "an index is already registered for {key}")
+            }
+            RouterError::Service(e) => write!(f, "routed query failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+impl From<ServiceError> for RouterError {
+    fn from(e: ServiceError) -> Self {
+        RouterError::Service(e)
+    }
+}
+
+/// The immutable routing snapshot writers swap wholesale.
+type RouteTable = FxHashMap<RouteKey, Arc<QueryService>>;
+
+/// A serving front door over many indices: routes each submission to the
+/// [`QueryService`] registered for its [`RouteKey`].
+///
+/// ```text
+/// clients ──▶ ServiceRouter ──(RouteKey)──▶ QueryService (pubmed, ε=1e-4)
+///                          └──(RouteKey)──▶ QueryService (pubmed, ε=1e-3)
+///                          └──(RouteKey)──▶ QueryService (arxiv,  ε=1e-4)
+/// ```
+///
+/// Each route keeps its own worker pool, workspace pool, result cache and
+/// in-flight coalescing table, so tenants are fully isolated: a hot
+/// dataset saturating its workers cannot starve another route's queue,
+/// and cache keys never collide across parameterizations. Registration
+/// and retirement swap an `Arc`'d snapshot of the table, so routing stays
+/// lock-free-in-spirit (readers hold the lock only to clone the `Arc`)
+/// while indices come and go under live traffic.
+pub struct ServiceRouter {
+    routes: RwLock<Arc<RouteTable>>,
+}
+
+impl ServiceRouter {
+    /// An empty router; add indices with [`Self::register`].
+    pub fn new() -> Self {
+        ServiceRouter { routes: RwLock::new(Arc::new(RouteTable::default())) }
+    }
+
+    /// The current routing snapshot (cheap: one `Arc` clone under a read
+    /// lock).
+    fn snapshot(&self) -> Arc<RouteTable> {
+        Arc::clone(&self.routes.read().expect("route table poisoned"))
+    }
+
+    /// Registers `index` under its own [`ClusterIndex::route_key`] and
+    /// starts a [`QueryService`] worker pool for it. Returns the key
+    /// submissions should use. Fails with [`RouterError::DuplicateRoute`]
+    /// when the key is already live — replacement is retire-then-register.
+    pub fn register(
+        &self,
+        index: ClusterIndex,
+        config: ServiceConfig,
+    ) -> Result<RouteKey, RouterError> {
+        let key = index.route_key();
+        // Cheap duplicate probe first, so re-registering a live key does
+        // not pay worker-pool spin-up and teardown just to be rejected...
+        if self.snapshot().contains_key(&key) {
+            return Err(RouterError::DuplicateRoute(key));
+        }
+        // ...then start the pool before taking the write lock: index
+        // spin-up must not stall concurrent registrations behind thread
+        // creation. The under-lock check below settles races the probe
+        // above cannot (two concurrent registers of the same key).
+        let service = Arc::new(QueryService::start(index, config));
+        let mut routes = self.routes.write().expect("route table poisoned");
+        if routes.contains_key(&key) {
+            return Err(RouterError::DuplicateRoute(key));
+        }
+        let mut next: RouteTable = (**routes).clone();
+        next.insert(key.clone(), service);
+        *routes = Arc::new(next);
+        Ok(key)
+    }
+
+    /// Removes the key's route. Returns `false` when the key was not
+    /// registered. In-flight queries on the retired index complete
+    /// normally: submissions that already resolved the old snapshot keep
+    /// the service alive, and its worker pool drains and joins when the
+    /// last reference drops.
+    pub fn retire(&self, key: &RouteKey) -> bool {
+        let removed = {
+            let mut routes = self.routes.write().expect("route table poisoned");
+            if !routes.contains_key(key) {
+                return false;
+            }
+            let mut next: RouteTable = (**routes).clone();
+            let removed = next.remove(key);
+            *routes = Arc::new(next);
+            removed
+        };
+        // If ours was the last reference, the worker pool joins here —
+        // after the write lock is released, so retirement can never block
+        // routing behind a drain.
+        drop(removed);
+        true
+    }
+
+    /// The service behind `key`, if registered. Handy for pinning a route
+    /// across many calls ([`QueryService::query_batch`] etc.) without
+    /// re-resolving per query; the returned service outlives retirement.
+    pub fn route(&self, key: &RouteKey) -> Option<Arc<QueryService>> {
+        self.snapshot().get(key).map(Arc::clone)
+    }
+
+    /// Submits one seed query to the index registered under `key`.
+    /// Identical semantics to [`QueryService::submit`] — cache fast path,
+    /// single-flight coalescing of concurrent identical misses, bounded
+    /// backpressure — plus the routing hop.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use laca_core::tnam::TnamConfig;
+    /// use laca_core::{LacaParams, MetricFn};
+    /// use laca_graph::gen::{AttributeSpec, AttributedGraphSpec};
+    /// use laca_service::{ClusterIndex, ServiceConfig, ServiceRouter};
+    ///
+    /// let ds = AttributedGraphSpec {
+    ///     n: 120, n_clusters: 3, avg_degree: 6.0, p_intra: 0.85,
+    ///     missing_intra: 0.05, degree_exponent: 0.0, cluster_size_skew: 0.0,
+    ///     attributes: Some(AttributeSpec::default_for(24)), seed: 3,
+    /// }
+    /// .generate("demo")
+    /// .unwrap();
+    /// let tnam_config = TnamConfig::new(8, MetricFn::Cosine);
+    ///
+    /// // One router, two parameterizations of the same dataset.
+    /// let router = ServiceRouter::new();
+    /// let fine = router
+    ///     .register(
+    ///         ClusterIndex::from_dataset(&ds, &tnam_config, LacaParams::new(1e-4)).unwrap(),
+    ///         ServiceConfig::default().with_workers(1),
+    ///     )
+    ///     .unwrap();
+    /// let coarse = router
+    ///     .register(
+    ///         ClusterIndex::from_dataset(&ds, &tnam_config, LacaParams::new(1e-2)).unwrap(),
+    ///         ServiceConfig::default().with_workers(1),
+    ///     )
+    ///     .unwrap();
+    /// assert_ne!(fine, coarse, "distinct params, distinct routes");
+    ///
+    /// // Submissions carry the route key; handles wait as usual.
+    /// let handle = router.submit(&fine, 0).unwrap();
+    /// let answer = handle.wait().unwrap();
+    /// assert!(answer.rho.support_size() > 0);
+    ///
+    /// // Retiring a route fails later submissions fast.
+    /// assert!(router.retire(&coarse));
+    /// assert!(router.submit(&coarse, 0).is_err());
+    /// ```
+    pub fn submit(&self, key: &RouteKey, seed: NodeId) -> Result<QueryHandle, RouterError> {
+        match self.snapshot().get(key) {
+            Some(service) => Ok(service.submit(seed)),
+            None => Err(RouterError::UnknownRoute(key.clone())),
+        }
+    }
+
+    /// Routes one seed query and blocks for its answer.
+    pub fn query(
+        &self,
+        key: &RouteKey,
+        seed: NodeId,
+    ) -> Result<Arc<crate::QueryAnswer>, RouterError> {
+        self.submit(key, seed)?.wait().map_err(RouterError::from)
+    }
+
+    /// Submits a batch to one route and waits for every answer in input
+    /// order, resolving the route once for the whole batch.
+    pub fn query_batch(
+        &self,
+        key: &RouteKey,
+        seeds: &[NodeId],
+    ) -> Result<Vec<QueryResult>, RouterError> {
+        match self.snapshot().get(key) {
+            Some(service) => Ok(service.query_batch(seeds)),
+            None => Err(RouterError::UnknownRoute(key.clone())),
+        }
+    }
+
+    /// Keys of every live route, in unspecified order.
+    pub fn keys(&self) -> Vec<RouteKey> {
+        self.snapshot().keys().cloned().collect()
+    }
+
+    /// Number of live routes.
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// `true` when no index is registered.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot().is_empty()
+    }
+
+    /// One route's counter snapshot, if the route is live.
+    pub fn stats(&self, key: &RouteKey) -> Option<ServiceStats> {
+        self.snapshot().get(key).map(|s| s.stats())
+    }
+
+    /// Per-route counter snapshots for every live route.
+    pub fn stats_by_route(&self) -> Vec<(RouteKey, ServiceStats)> {
+        self.snapshot().iter().map(|(k, s)| (k.clone(), s.stats())).collect()
+    }
+
+    /// Counters summed across every live route (gauges — workers, cache
+    /// capacity/entries — sum too: they describe the aggregate fleet).
+    pub fn aggregate_stats(&self) -> ServiceStats {
+        let mut total = ServiceStats::default();
+        for service in self.snapshot().values() {
+            total.merge(&service.stats());
+        }
+        total
+    }
+
+    /// Zeroes every live route's counters ([`QueryService::reset_stats`]).
+    pub fn reset_stats(&self) {
+        for service in self.snapshot().values() {
+            service.reset_stats();
+        }
+    }
+}
+
+impl Default for ServiceRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ServiceRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceRouter").field("routes", &self.keys()).finish()
+    }
+}

@@ -1,7 +1,8 @@
 //! The concurrent query engine: bounded submission queue, fixed worker
-//! pool with persistent diffusion workspaces, and the cache fast path.
+//! pool with persistent diffusion workspaces, the cache fast path, and
+//! single-flight coalescing of concurrent misses.
 
-use crate::cache::ShardedCache;
+use crate::cache::{InFlightTable, ShardedCache, Submission};
 use crate::ClusterIndex;
 use laca_core::laca::LacaQueryStats;
 use laca_core::CoreError;
@@ -117,7 +118,12 @@ pub struct QueryAnswer {
     pub stats: LacaQueryStats,
 }
 
-type QueryResult = Result<Arc<QueryAnswer>, ServiceError>;
+/// What a query ultimately yields: the (possibly cached) answer, or the
+/// error that ended it.
+pub type QueryResult = Result<Arc<QueryAnswer>, ServiceError>;
+
+/// The result-cache / in-flight key: `(seed, index-fingerprint)`.
+type CacheKey = (NodeId, u64);
 
 /// A pending (or already-answered) query returned by
 /// [`QueryService::submit`].
@@ -145,10 +151,20 @@ impl QueryHandle {
     }
 }
 
+/// Where a computed answer goes.
+enum Reply {
+    /// Straight to the submitter (cache — and with it coalescing — is
+    /// disabled, so every submission has exactly one waiter).
+    Direct(mpsc::Sender<QueryResult>),
+    /// Through the in-flight table: the leader and every coalesced
+    /// follower are parked as waiters on the job's key.
+    Flight,
+}
+
 /// One queued unit of work.
 struct Job {
     seed: NodeId,
-    reply: mpsc::Sender<QueryResult>,
+    reply: Reply,
     enqueued: Instant,
 }
 
@@ -226,15 +242,36 @@ impl JobQueue {
 struct Counters {
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
     completed: AtomicU64,
     errors: AtomicU64,
     compute_ns: AtomicU64,
     queue_wait_ns: AtomicU64,
 }
 
+impl Counters {
+    /// Zeroes every counter ([`QueryService::reset_stats`]). Resets racing
+    /// in-flight updates lose those increments — acceptable for the
+    /// advisory telemetry these are; quiesce the service first when exact
+    /// windows matter.
+    fn reset(&self) {
+        for c in [
+            &self.hits,
+            &self.misses,
+            &self.coalesced,
+            &self.completed,
+            &self.errors,
+            &self.compute_ns,
+            &self.queue_wait_ns,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
 /// A point-in-time snapshot of a service's counters
 /// ([`QueryService::stats`]).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServiceStats {
     /// Worker threads serving the queue.
     pub workers: usize,
@@ -244,8 +281,13 @@ pub struct ServiceStats {
     pub cache_entries: usize,
     /// Queries answered from the cache at submit time.
     pub cache_hits: u64,
-    /// Queries that missed the cache and were enqueued.
+    /// Queries that missed the cache and were enqueued (flight leaders
+    /// when coalescing is active).
     pub cache_misses: u64,
+    /// Queries that missed the cache but joined an in-flight computation
+    /// of the same key instead of enqueueing a second compute
+    /// (single-flight coalescing; zero when the cache is disabled).
+    pub coalesced: u64,
     /// Queries computed to completion by workers (success or error).
     pub completed: u64,
     /// Queries that failed in the core algorithm.
@@ -257,13 +299,55 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
-    /// Cache hit rate over all submissions (0 when nothing was submitted).
+    /// Cache hit rate over all submissions (0 when nothing was
+    /// submitted). Coalesced submissions count toward the denominator but
+    /// not the numerator: they missed the cache, they just didn't pay for
+    /// a second compute.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
+        let total = self.cache_hits + self.cache_misses + self.coalesced;
         if total == 0 {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Adds every field of `other` into `self` — counters and gauges
+    /// alike (summed gauges describe the aggregate fleet). This is the
+    /// one place the full field list is enumerated for aggregation;
+    /// [`crate::ServiceRouter::aggregate_stats`] folds per-route
+    /// snapshots through it.
+    pub fn merge(&mut self, other: &ServiceStats) {
+        self.workers += other.workers;
+        self.cache_capacity += other.cache_capacity;
+        self.cache_entries += other.cache_entries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.coalesced += other.coalesced;
+        self.completed += other.completed;
+        self.errors += other.errors;
+        self.compute_ns += other.compute_ns;
+        self.queue_wait_ns += other.queue_wait_ns;
+    }
+
+    /// The counter deltas accrued since `earlier` (an older snapshot of
+    /// the *same* service): monotonic counters subtract, gauges
+    /// (`workers`, `cache_capacity`, `cache_entries`) keep `self`'s
+    /// values. This is how benches carve a warm measurement window out of
+    /// counters that aggregate across workers for the service's lifetime
+    /// — snapshot, run the window, snapshot again, diff.
+    pub fn delta_since(&self, earlier: &ServiceStats) -> ServiceStats {
+        ServiceStats {
+            workers: self.workers,
+            cache_capacity: self.cache_capacity,
+            cache_entries: self.cache_entries,
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            coalesced: self.coalesced.saturating_sub(earlier.coalesced),
+            completed: self.completed.saturating_sub(earlier.completed),
+            errors: self.errors.saturating_sub(earlier.errors),
+            compute_ns: self.compute_ns.saturating_sub(earlier.compute_ns),
+            queue_wait_ns: self.queue_wait_ns.saturating_sub(earlier.queue_wait_ns),
         }
     }
 
@@ -278,11 +362,16 @@ impl ServiceStats {
     }
 }
 
-/// State shared between the service handle and its workers.
+/// State shared between the service handle and its workers. `cache` and
+/// `inflight` are both `Some` or both `None`: coalescing rides on the
+/// cache (followers receive "the cached answer"), so disabling the cache
+/// also restores strict compute-per-submission semantics — which the
+/// cold-throughput benches rely on.
 struct Shared {
     index: ClusterIndex,
     queue: JobQueue,
-    cache: Option<ShardedCache<(NodeId, u64), Arc<QueryAnswer>>>,
+    cache: Option<ShardedCache<CacheKey, Arc<QueryAnswer>>>,
+    inflight: Option<InFlightTable<CacheKey, QueryResult>>,
     counters: Counters,
     workspaces: WorkspacePool,
 }
@@ -297,7 +386,7 @@ struct Shared {
 ///   nothing in the push loops).
 /// * **Bounded queue** — `submit` applies backpressure once
 ///   `config.queue_capacity` jobs are in flight.
-/// * **Result cache** — sharded LRU keyed `(seed, params-fingerprint)`,
+/// * **Result cache** — sharded LRU keyed `(seed, index-fingerprint)`,
 ///   consulted on the submit path; hits never touch the queue.
 ///
 /// Results are **bit-identical** to serial [`laca_core::Laca::bdd`]: the
@@ -318,11 +407,13 @@ impl QueryService {
         let cache_capacity = workers * config.cache_per_worker;
         let cache =
             (cache_capacity > 0).then(|| ShardedCache::new(cache_capacity, config.cache_shards));
+        let inflight = cache.as_ref().map(|_| InFlightTable::new());
         let workspaces = WorkspacePool::for_graph(index.graph(), workers);
         let shared = Arc::new(Shared {
             index,
             queue: JobQueue::new(config.queue_capacity.max(1)),
             cache,
+            inflight,
             counters: Counters::default(),
             workspaces,
         });
@@ -346,6 +437,12 @@ impl QueryService {
     /// Submits one seed query. Returns immediately on a cache hit;
     /// otherwise enqueues the query (blocking only when the queue is at
     /// capacity) and returns a handle to wait on.
+    ///
+    /// Misses are **single-flight** (when the cache is enabled): if an
+    /// identical `(seed, params)` computation is already in flight, this
+    /// submission joins it instead of enqueueing a second compute — both
+    /// waiters receive the same shared answer, and the join is counted in
+    /// [`ServiceStats::coalesced`].
     ///
     /// # Example
     ///
@@ -379,18 +476,53 @@ impl QueryService {
     pub fn submit(&self, seed: NodeId) -> QueryHandle {
         let shared = &self.shared;
         let key = (seed, shared.index.fingerprint());
-        if let Some(cache) = &shared.cache {
-            if let Some(answer) = cache.get(&key) {
-                shared.counters.hits.fetch_add(1, Ordering::Relaxed);
-                return QueryHandle { inner: HandleInner::Ready(Ok(answer)) };
+        let counters = &shared.counters;
+        let (cache, inflight) = match (&shared.cache, &shared.inflight) {
+            (Some(cache), Some(inflight)) => {
+                // Fast path: answered straight from the cache.
+                if let Some(answer) = cache.get(&key) {
+                    counters.hits.fetch_add(1, Ordering::Relaxed);
+                    return QueryHandle { inner: HandleInner::Ready(Ok(answer)) };
+                }
+                (cache, inflight)
             }
-        }
-        shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+            // Cache (and with it coalescing) disabled: every submission
+            // computes, with a private reply channel.
+            _ => {
+                counters.misses.fetch_add(1, Ordering::Relaxed);
+                let (tx, rx) = mpsc::channel();
+                let job = Job { seed, reply: Reply::Direct(tx), enqueued: Instant::now() };
+                return match shared.queue.push(job) {
+                    Ok(()) => QueryHandle { inner: HandleInner::Pending(rx) },
+                    Err(e) => QueryHandle { inner: HandleInner::Ready(Err(e)) },
+                };
+            }
+        };
+        // Miss: join the key's in-flight computation if there is one,
+        // else lead a new flight. Leader and followers alike are parked
+        // as waiters on the flight entry.
         let (tx, rx) = mpsc::channel();
-        let job = Job { seed, reply: tx, enqueued: Instant::now() };
-        match shared.queue.push(job) {
-            Ok(()) => QueryHandle { inner: HandleInner::Pending(rx) },
-            Err(e) => QueryHandle { inner: HandleInner::Ready(Err(e)) },
+        match inflight.join_or_lead(key, tx, || cache.get(&key).map(Ok)) {
+            Submission::Joined => {
+                counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                QueryHandle { inner: HandleInner::Pending(rx) }
+            }
+            Submission::Resolved(result) => {
+                // The racing flight resolved between our fast-path probe
+                // and the shard lock; its answer is in the cache now.
+                counters.hits.fetch_add(1, Ordering::Relaxed);
+                QueryHandle { inner: HandleInner::Ready(result) }
+            }
+            Submission::Leading => {
+                counters.misses.fetch_add(1, Ordering::Relaxed);
+                let job = Job { seed, reply: Reply::Flight, enqueued: Instant::now() };
+                if let Err(e) = shared.queue.push(job) {
+                    // The flight must resolve on every leader path;
+                    // this also serves any follower that joined since.
+                    inflight.resolve(&key, Err(e));
+                }
+                QueryHandle { inner: HandleInner::Pending(rx) }
+            }
         }
     }
 
@@ -421,11 +553,23 @@ impl QueryService {
             cache_entries: self.shared.cache.as_ref().map_or(0, ShardedCache::len),
             cache_hits: c.hits.load(Ordering::Relaxed),
             cache_misses: c.misses.load(Ordering::Relaxed),
+            coalesced: c.coalesced.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
             errors: c.errors.load(Ordering::Relaxed),
             compute_ns: c.compute_ns.load(Ordering::Relaxed),
             queue_wait_ns: c.queue_wait_ns.load(Ordering::Relaxed),
         }
+    }
+
+    /// Zeroes the hit/miss/latency counters, so the next [`Self::stats`]
+    /// snapshot covers only work submitted after this call — benches use
+    /// it to measure a warm window without lifetime-aggregate noise (the
+    /// gauges — cache entries/capacity, workers — are unaffected).
+    /// Increments racing with the reset may be lost; quiesce the service
+    /// first when exact counts matter. [`ServiceStats::delta_since`] is
+    /// the non-destructive alternative.
+    pub fn reset_stats(&self) {
+        self.shared.counters.reset();
     }
 }
 
@@ -456,10 +600,36 @@ fn worker_loop(shared: &Shared) {
     }
     let _close_on_panic = CloseOnPanic(shared);
 
+    /// Resolves a flight job's key with an error if processing unwinds
+    /// past the per-query containment (e.g. a poisoned cache shard):
+    /// without this, the coalesced waiters' senders stay parked in the
+    /// in-flight table and every waiter blocks until service drop. On
+    /// the normal path the worker resolves first, so this drop-time
+    /// resolve is a no-op (the entry is already gone).
+    struct ResolveOnUnwind<'a> {
+        shared: &'a Shared,
+        key: CacheKey,
+        armed: bool,
+    }
+    impl Drop for ResolveOnUnwind<'_> {
+        fn drop(&mut self) {
+            if self.armed && std::thread::panicking() {
+                if let Some(inflight) = &self.shared.inflight {
+                    inflight.resolve(&self.key, Err(ServiceError::QueryPanicked));
+                }
+            }
+        }
+    }
+
     let engine = shared.index.engine();
     let fingerprint = shared.index.fingerprint();
     let mut workspace = shared.workspaces.checkout();
     while let Some(job) = shared.queue.pop() {
+        let _resolve_on_unwind = ResolveOnUnwind {
+            shared,
+            key: (job.seed, fingerprint),
+            armed: matches!(job.reply, Reply::Flight),
+        };
         let wait_ns = job.enqueued.elapsed().as_nanos() as u64;
         let started = Instant::now();
         // Contain per-query panics: one poisoned query must not take the
@@ -477,6 +647,10 @@ fn worker_loop(shared: &Shared) {
         let reply: QueryResult = match result {
             Ok(Ok((rho, stats))) => {
                 let answer = Arc::new(QueryAnswer { seed: job.seed, rho, stats });
+                // Cache insert MUST happen before the flight resolves
+                // below: `submit`'s under-lock re-check relies on
+                // "no in-flight entry → a finished flight's answer is
+                // already visible in the cache".
                 if let Some(cache) = &shared.cache {
                     cache.insert((job.seed, fingerprint), Arc::clone(&answer));
                 }
@@ -491,7 +665,14 @@ fn worker_loop(shared: &Shared) {
                 Err(ServiceError::QueryPanicked)
             }
         };
-        // The submitter may have dropped its handle; that's fine.
-        let _ = job.reply.send(reply);
+        match &job.reply {
+            // The submitter may have dropped its handle; that's fine.
+            Reply::Direct(tx) => drop(tx.send(reply)),
+            Reply::Flight => {
+                let inflight =
+                    shared.inflight.as_ref().expect("flight job without an in-flight table");
+                inflight.resolve(&(job.seed, fingerprint), reply);
+            }
+        }
     }
 }

@@ -105,13 +105,14 @@ fn main() {
     // 4. The ServiceStats snapshot exposes the hit/miss/latency counters.
     let stats = service.stats();
     println!(
-        "stats: {} workers | {}/{} cached | {} hits / {} misses (rate {:.2}) | \
+        "stats: {} workers | {}/{} cached | {} hits / {} misses / {} coalesced (rate {:.2}) | \
          avg compute {:?} | avg queue wait {:?}",
         stats.workers,
         stats.cache_entries,
         stats.cache_capacity,
         stats.cache_hits,
         stats.cache_misses,
+        stats.coalesced,
         stats.hit_rate(),
         stats.avg_compute(),
         stats.avg_queue_wait(),

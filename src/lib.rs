@@ -16,7 +16,9 @@
 //! * [`eval`] — metrics, the method registry and the experiment harness;
 //! * [`service`] — the concurrent query-serving engine (shared
 //!   [`ClusterIndex`](service::ClusterIndex), worker pool, sharded result
-//!   cache); see `examples/query_service.rs`.
+//!   cache with single-flight coalescing, and the multi-index
+//!   [`ServiceRouter`](service::ServiceRouter)); see
+//!   `examples/query_service.rs` and `examples/multi_index_router.rs`.
 //!
 //! ## Quickstart
 //!
@@ -65,5 +67,7 @@ pub mod prelude {
         SparseVec,
     };
     pub use laca_graph::{AttributeMatrix, AttributedDataset, CsrGraph, NodeId};
-    pub use laca_service::{ClusterIndex, QueryService, ServiceConfig, ServiceStats};
+    pub use laca_service::{
+        ClusterIndex, QueryService, RouteKey, ServiceConfig, ServiceRouter, ServiceStats,
+    };
 }
