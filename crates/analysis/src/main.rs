@@ -1,0 +1,70 @@
+//! `laca-lint` — runs the workspace lint rules over `crates/` and
+//! `vendor/` and exits non-zero on any finding *or* any suppression
+//! (this workspace is kept at zero of both).
+//!
+//! Usage: `cargo run -p laca-analysis -- [workspace-root]`
+//!
+//! The root defaults to the nearest ancestor of the current directory
+//! (or of `CARGO_MANIFEST_DIR` when run under cargo) whose `Cargo.toml`
+//! declares `[workspace]`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())?;
+    let mut dir: Option<&Path> = Some(&start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => match find_workspace_root() {
+            Some(root) => root,
+            None => {
+                eprintln!("laca-lint: no workspace root found (pass one explicitly)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let report = match laca_analysis::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("laca-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    println!(
+        "laca-lint: {} file(s), {} finding(s), {} suppression(s)",
+        report.files,
+        report.findings.len(),
+        report.suppressed
+    );
+    if report.findings.is_empty() && report.suppressed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        if report.suppressed > 0 {
+            eprintln!(
+                "laca-lint: suppressions are not allowed in this workspace; fix the code instead"
+            );
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -34,6 +34,7 @@ pub fn nongreedy_diffuse(
 }
 
 /// [`nongreedy_diffuse`] on a caller-managed workspace.
+// lint: hot-path
 pub fn nongreedy_diffuse_in(
     graph: &CsrGraph,
     f: &SparseVec,
@@ -75,6 +76,7 @@ pub fn adaptive_diffuse(
 }
 
 /// [`adaptive_diffuse`] on a caller-managed workspace.
+// lint: hot-path
 pub fn adaptive_diffuse_in(
     graph: &CsrGraph,
     f: &SparseVec,

@@ -8,6 +8,7 @@ use crate::SparseVec;
 use laca_graph::{CsrGraph, NodeId};
 
 /// One step of `x ← x · P` (row-vector times transition matrix).
+// lint: hot-path
 fn step(graph: &CsrGraph, x: &[f64], out: &mut [f64]) {
     out.iter_mut().for_each(|v| *v = 0.0);
     for (i, &xi) in x.iter().enumerate() {

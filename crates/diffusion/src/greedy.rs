@@ -31,6 +31,7 @@ pub fn greedy_diffuse(
 
 /// [`greedy_diffuse`] on a caller-managed workspace (zero allocation in
 /// the push loop once `ws` is warm).
+// lint: hot-path
 pub fn greedy_diffuse_in(
     graph: &CsrGraph,
     f: &SparseVec,

@@ -178,6 +178,7 @@ impl DiffusionWorkspace {
     /// `TRACK` selects whether the adaptive aggregates (`supp_r`, `vol_r`,
     /// `above`) are maintained; GreedyDiffuse never reads them, so its
     /// instantiation skips that work throughout the query.
+    // lint: hot-path
     pub(crate) fn seed<const TRACK: bool>(
         &mut self,
         graph: &CsrGraph,
@@ -208,6 +209,7 @@ impl DiffusionWorkspace {
     /// `γ`, zeroing those residual entries and crediting `(1−α)` of each
     /// to the reserve — the slot is hot, so the reserve update is free.
     /// `O(|γ|)`, no rescan of `r`.
+    // lint: hot-path
     pub(crate) fn extract_frontier<const TRACK: bool>(&mut self, graph: &CsrGraph, alpha: f64) {
         self.gamma.clear();
         let mut frontier = std::mem::take(&mut self.frontier);
@@ -235,6 +237,7 @@ impl DiffusionWorkspace {
     /// Non-greedy extraction (Eq. 17): takes the *entire* residual support
     /// into `γ`, crediting reserves as it goes. `O(touched)` over the
     /// query's touched set.
+    // lint: hot-path
     pub(crate) fn extract_all(&mut self, _graph: &CsrGraph, alpha: f64) {
         self.gamma.clear();
         let touched = std::mem::take(&mut self.touched);
@@ -269,6 +272,7 @@ impl DiffusionWorkspace {
     /// through `&mut self`: each borrow is `noalias`, so the aggregates
     /// live in registers across pushes instead of being reloaded around
     /// every slot write.
+    // lint: hot-path
     pub(crate) fn push_gamma<const TRACK: bool>(
         &mut self,
         graph: &CsrGraph,
@@ -453,6 +457,8 @@ impl WorkspacePool {
             let mut idle = pool.idle.lock().expect("workspace pool poisoned");
             idle.extend((0..count).map(|_| DiffusionWorkspace::for_graph(graph)));
         }
+        // ordering: nothing else can observe the pool before this
+        // constructor returns, so the store needs no synchronization.
         pool.created.store(count, std::sync::atomic::Ordering::Relaxed);
         pool
     }
@@ -475,6 +481,9 @@ impl WorkspacePool {
     /// checkout misses). `created() > initial count` means concurrent
     /// demand exceeded the pre-populated size at some point.
     pub fn created(&self) -> usize {
+        // ordering: advisory gauge — the counter is monotonic and only
+        // bumped by `fetch_add`, so a relaxed load can lag but never
+        // observe a torn or decreasing value.
         self.created.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
@@ -655,6 +664,51 @@ mod tests {
             assert!(h.join().unwrap() > 0);
         }
         assert!(pool.idle_count() >= 2);
+    }
+
+    #[test]
+    fn pool_checkin_survives_worker_panic_and_created_stays_consistent() {
+        let g = graph();
+        let pool = std::sync::Arc::new(WorkspacePool::for_graph(&g, 2));
+        assert_eq!((pool.created(), pool.idle_count()), (2, 2));
+        // Half the workers panic while holding a checked-out workspace:
+        // `PooledWorkspace::drop` runs during their unwind and must still
+        // check the workspace back in.
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let pool = std::sync::Arc::clone(&pool);
+                let g = g.clone();
+                std::thread::spawn(move || {
+                    let mut ws = pool.checkout();
+                    greedy_diffuse_in(
+                        &g,
+                        &SparseVec::unit(i % 8),
+                        &DiffusionParams::new(0.8, 1e-4),
+                        &mut ws,
+                    )
+                    .expect("diffusion failed");
+                    if i % 2 == 0 {
+                        panic!("worker dies holding a pooled workspace");
+                    }
+                })
+            })
+            .collect();
+        let panicked = handles.into_iter().map(|h| h.join()).filter(Result::is_err).count();
+        assert_eq!(panicked, 2, "exactly the seeded panics");
+        // Every workspace came back — none leaked to the unwind — and the
+        // `created` counter reflects only real creations (the 4 concurrent
+        // checkouts can have grown the pool past the 2 pre-populated, but
+        // never past the peak concurrency, and never shrunk it).
+        let created = pool.created();
+        assert!((2..=4).contains(&created), "created drifted: {created}");
+        assert_eq!(pool.idle_count(), created, "a panic leaked a workspace");
+        // Steady state after the storm: checkouts reuse, never create.
+        for _ in 0..8 {
+            let mut ws = pool.checkout();
+            greedy_diffuse_in(&g, &SparseVec::unit(0), &DiffusionParams::new(0.8, 1e-4), &mut ws)
+                .expect("diffusion failed");
+        }
+        assert_eq!(pool.created(), created, "sequential reuse must not create");
     }
 
     #[test]

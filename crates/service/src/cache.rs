@@ -16,9 +16,9 @@
 //! in-flight entry, so eviction under churn cannot deadlock a waiter or
 //! force a second compute for the same flight.
 
+use crate::sync::{mpsc, Mutex, PoisonError};
 use rustc_hash::FxHashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{mpsc, Mutex};
 
 /// Sentinel index for "no node" in the intrusive list.
 const NIL: usize = usize::MAX;
@@ -134,6 +134,14 @@ impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
 
 /// A hash-sharded LRU cache: `shards` independent [`LruShard`]s behind
 /// their own locks, splitting `capacity` evenly (rounded up).
+///
+/// Shard locks recover from poisoning instead of panicking. The
+/// critical sections run no user code for the service's key/value
+/// shapes (keys are `(NodeId, u64)`, values are `Arc`s — their
+/// `Hash`/`Eq`/`Clone` cannot panic), so a poisoned shard can only be
+/// left behind by a panic *outside* the LRU mutation itself; recovering
+/// keeps one crashed worker from cascading `Closed`-style failures into
+/// every submitter's cache fast path.
 #[derive(Debug)]
 pub struct ShardedCache<K, V> {
     shards: Vec<Mutex<LruShard<K, V>>>,
@@ -165,27 +173,27 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
 
     /// Looks up `key` in its shard, refreshing recency on a hit.
     pub fn get(&self, key: &K) -> Option<V> {
-        self.shard(key).lock().expect("cache shard poisoned").get(key)
+        self.shard(key).lock().unwrap_or_else(PoisonError::into_inner).get(key)
     }
 
     /// Inserts `key → value` into its shard.
     pub fn insert(&self, key: K, value: V) {
-        self.shard(&key).lock().expect("cache shard poisoned").insert(key, value);
+        self.shard(&key).lock().unwrap_or_else(PoisonError::into_inner).insert(key, value);
     }
 
     /// Total entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").len()).sum()
+        self.shards.iter().map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len()).sum()
     }
 
     /// `true` when every shard is empty.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.lock().expect("cache shard poisoned").is_empty())
+        self.shards.iter().all(|s| s.lock().unwrap_or_else(PoisonError::into_inner).is_empty())
     }
 
     /// Total capacity (sum of shard capacities).
     pub fn capacity(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").capacity).sum()
+        self.shards.iter().map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).capacity).sum()
     }
 }
 
@@ -267,7 +275,7 @@ impl<K: Hash + Eq, V: Clone> InFlightTable<K, V> {
         waiter: mpsc::Sender<V>,
         recheck: impl FnOnce() -> Option<V>,
     ) -> Submission<V> {
-        let mut shard = self.shard(&key).lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut shard = self.shard(&key).lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(waiters) = shard.get_mut(&key) {
             waiters.push(waiter);
             return Submission::Joined;
@@ -284,8 +292,7 @@ impl<K: Hash + Eq, V: Clone> InFlightTable<K, V> {
     /// skipped). A no-op when the key has no flight.
     pub fn resolve(&self, key: &K, value: V) {
         let waiters = {
-            let mut shard =
-                self.shard(key).lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut shard = self.shard(key).lock().unwrap_or_else(PoisonError::into_inner);
             shard.remove(key)
         };
         // Send outside the lock: new submissions for this key can lead a
@@ -297,17 +304,12 @@ impl<K: Hash + Eq, V: Clone> InFlightTable<K, V> {
 
     /// Number of keys currently in flight (telemetry; racy by nature).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len())
-            .sum()
+        self.shards.iter().map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len()).sum()
     }
 
     /// `true` when nothing is in flight.
     pub fn is_empty(&self) -> bool {
-        self.shards
-            .iter()
-            .all(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner).is_empty())
+        self.shards.iter().all(|s| s.lock().unwrap_or_else(PoisonError::into_inner).is_empty())
     }
 }
 
@@ -388,12 +390,12 @@ mod tests {
     #[test]
     fn inflight_leader_then_joiners_all_receive_one_resolve() {
         let table: InFlightTable<u32, u32> = InFlightTable::new();
-        let (lead_tx, lead_rx) = std::sync::mpsc::channel();
+        let (lead_tx, lead_rx) = mpsc::channel();
         assert!(matches!(table.join_or_lead(7, lead_tx, || None), Submission::Leading));
         assert_eq!(table.len(), 1);
         let followers: Vec<_> = (0..3)
             .map(|_| {
-                let (tx, rx) = std::sync::mpsc::channel();
+                let (tx, rx) = mpsc::channel();
                 assert!(matches!(
                     table.join_or_lead(7, tx, || panic!("recheck must not run for joiners")),
                     Submission::Joined
@@ -414,7 +416,7 @@ mod tests {
         // A flight that resolved between the fast-path miss and
         // join_or_lead must surface as Resolved, not a second Leading.
         let table: InFlightTable<u32, u32> = InFlightTable::new();
-        let (tx, _rx) = std::sync::mpsc::channel();
+        let (tx, _rx) = mpsc::channel();
         match table.join_or_lead(7, tx, || Some(99)) {
             Submission::Resolved(v) => assert_eq!(v, 99),
             other => panic!("expected Resolved, got {other:?}"),
@@ -425,7 +427,7 @@ mod tests {
     #[test]
     fn inflight_resolve_ignores_dropped_waiters_and_missing_keys() {
         let table: InFlightTable<u32, u32> = InFlightTable::new();
-        let (tx, rx) = std::sync::mpsc::channel();
+        let (tx, rx) = mpsc::channel();
         assert!(matches!(table.join_or_lead(1, tx, || None), Submission::Leading));
         drop(rx);
         table.resolve(&1, 5); // dropped receiver: send error swallowed
@@ -438,7 +440,7 @@ mod tests {
         let table: InFlightTable<u32, u32> = InFlightTable::new();
         let rxs: Vec<_> = (0..INFLIGHT_SHARDS as u32 * 2)
             .map(|k| {
-                let (tx, rx) = std::sync::mpsc::channel();
+                let (tx, rx) = mpsc::channel();
                 assert!(matches!(table.join_or_lead(k, tx, || None), Submission::Leading));
                 (k, rx)
             })

@@ -65,6 +65,11 @@ pub mod cache;
 pub mod index;
 pub mod router;
 pub mod service;
+pub mod snapshot;
+pub mod sync;
+
+#[cfg(all(test, laca_model_check))]
+mod model_tests;
 
 pub use cache::ShardedCache;
 pub use index::{params_fingerprint, ClusterIndex};
@@ -87,4 +92,5 @@ const _: fn() = || {
     assert_send_sync::<ServiceStats>();
     assert_send_sync::<ShardedCache<(laca_graph::NodeId, u64), std::sync::Arc<QueryAnswer>>>();
     assert_send_sync::<cache::InFlightTable<(laca_graph::NodeId, u64), QueryResult>>();
+    assert_send_sync::<snapshot::CowMap<RouteKey, std::sync::Arc<QueryService>>>();
 };

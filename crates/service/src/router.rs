@@ -18,10 +18,11 @@
 //! (whoever drops the last reference joins it).
 
 use crate::service::{QueryHandle, QueryResult, ServiceStats};
+use crate::snapshot::CowMap;
+use crate::sync::Arc;
 use crate::{ClusterIndex, QueryService, ServiceConfig, ServiceError};
 use laca_graph::NodeId;
 use rustc_hash::FxHashMap;
-use std::sync::{Arc, RwLock};
 
 /// Identity of one served index: the dataset it was built over plus the
 /// index fingerprint ([`ClusterIndex::fingerprint`] —
@@ -94,7 +95,8 @@ impl From<ServiceError> for RouterError {
     }
 }
 
-/// The immutable routing snapshot writers swap wholesale.
+/// The immutable routing snapshot writers swap wholesale (the map
+/// behind [`crate::snapshot::CowMap::snapshot`]).
 type RouteTable = FxHashMap<RouteKey, Arc<QueryService>>;
 
 /// A serving front door over many indices: routes each submission to the
@@ -110,23 +112,25 @@ type RouteTable = FxHashMap<RouteKey, Arc<QueryService>>;
 /// in-flight coalescing table, so tenants are fully isolated: a hot
 /// dataset saturating its workers cannot starve another route's queue,
 /// and cache keys never collide across parameterizations. Registration
-/// and retirement swap an `Arc`'d snapshot of the table, so routing stays
-/// lock-free-in-spirit (readers hold the lock only to clone the `Arc`)
-/// while indices come and go under live traffic.
+/// and retirement swap an `Arc`'d snapshot of the table (the
+/// [`CowMap`] copy-on-write protocol, model-checked in
+/// `model_tests`), so routing stays lock-free-in-spirit — readers hold
+/// the lock only to clone the `Arc` — while indices come and go under
+/// live traffic.
 pub struct ServiceRouter {
-    routes: RwLock<Arc<RouteTable>>,
+    routes: CowMap<RouteKey, Arc<QueryService>>,
 }
 
 impl ServiceRouter {
     /// An empty router; add indices with [`Self::register`].
     pub fn new() -> Self {
-        ServiceRouter { routes: RwLock::new(Arc::new(RouteTable::default())) }
+        ServiceRouter { routes: CowMap::new() }
     }
 
     /// The current routing snapshot (cheap: one `Arc` clone under a read
     /// lock).
     fn snapshot(&self) -> Arc<RouteTable> {
-        Arc::clone(&self.routes.read().expect("route table poisoned"))
+        self.routes.snapshot()
     }
 
     /// Registers `index` under its own [`ClusterIndex::route_key`] and
@@ -146,17 +150,18 @@ impl ServiceRouter {
         }
         // ...then start the pool before taking the write lock: index
         // spin-up must not stall concurrent registrations behind thread
-        // creation. The under-lock check below settles races the probe
-        // above cannot (two concurrent registers of the same key).
+        // creation. `insert_if_absent` re-checks under the write lock,
+        // settling races the probe above cannot (two concurrent
+        // registers of the same key); the loser's freshly started pool
+        // is handed back and joins here, outside the lock.
         let service = Arc::new(QueryService::start(index, config));
-        let mut routes = self.routes.write().expect("route table poisoned");
-        if routes.contains_key(&key) {
-            return Err(RouterError::DuplicateRoute(key));
+        match self.routes.insert_if_absent(key.clone(), service) {
+            Ok(()) => Ok(key),
+            Err(rejected) => {
+                drop(rejected);
+                Err(RouterError::DuplicateRoute(key))
+            }
         }
-        let mut next: RouteTable = (**routes).clone();
-        next.insert(key.clone(), service);
-        *routes = Arc::new(next);
-        Ok(key)
     }
 
     /// Removes the key's route. Returns `false` when the key was not
@@ -165,21 +170,10 @@ impl ServiceRouter {
     /// the service alive, and its worker pool drains and joins when the
     /// last reference drops.
     pub fn retire(&self, key: &RouteKey) -> bool {
-        let removed = {
-            let mut routes = self.routes.write().expect("route table poisoned");
-            if !routes.contains_key(key) {
-                return false;
-            }
-            let mut next: RouteTable = (**routes).clone();
-            let removed = next.remove(key);
-            *routes = Arc::new(next);
-            removed
-        };
-        // If ours was the last reference, the worker pool joins here —
-        // after the write lock is released, so retirement can never block
-        // routing behind a drain.
-        drop(removed);
-        true
+        // If ours was the last reference, the worker pool joins on this
+        // drop — `CowMap::remove` returns the value after releasing the
+        // write lock, so retirement can never block routing on a drain.
+        self.routes.remove(key).is_some()
     }
 
     /// The service behind `key`, if registered. Handy for pinning a route

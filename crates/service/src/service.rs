@@ -3,15 +3,14 @@
 //! single-flight coalescing of concurrent misses.
 
 use crate::cache::{InFlightTable, ShardedCache, Submission};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use crate::ClusterIndex;
 use laca_core::laca::LacaQueryStats;
 use laca_core::CoreError;
 use laca_diffusion::{SparseVec, WorkspacePool};
 use laca_graph::NodeId;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -170,20 +169,31 @@ struct Job {
 
 /// The bounded MPMC submission queue (mutex + two condvars; jobs are
 /// milliseconds of work, so queue-lock contention is noise).
-struct JobQueue {
-    state: Mutex<QueueState>,
+///
+/// Generic over the item so the model-checking tests (`model_tests`)
+/// can schedule-explore the push/pop/close protocol with plain payloads;
+/// the service instantiates it as `JobQueue<Job>`.
+///
+/// Lock poisoning is recovered, not propagated: every critical section
+/// is a single `VecDeque` operation or flag write, so the state a
+/// panicking thread leaves behind is always consistent — and a worker
+/// dying mid-`pop` must degrade (other workers and submitters keep
+/// going, `close` still drains) rather than cascade the panic into
+/// every thread that touches the queue.
+pub(crate) struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
 }
 
-struct QueueState {
-    jobs: VecDeque<Job>,
+struct QueueState<T> {
+    jobs: VecDeque<T>,
     closed: bool,
 }
 
-impl JobQueue {
-    fn new(capacity: usize) -> Self {
+impl<T> JobQueue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
         JobQueue {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::with_capacity(capacity),
@@ -197,8 +207,8 @@ impl JobQueue {
 
     /// Enqueues `job`, blocking while the queue is full. Fails only after
     /// shutdown.
-    fn push(&self, job: Job) -> Result<(), ServiceError> {
-        let mut state = self.state.lock().expect("job queue poisoned");
+    pub(crate) fn push(&self, job: T) -> Result<(), ServiceError> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if state.closed {
                 return Err(ServiceError::Closed);
@@ -208,15 +218,15 @@ impl JobQueue {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            state = self.not_full.wait(state).expect("job queue poisoned");
+            state = self.not_full.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Dequeues the next job, blocking while empty. `None` once the queue
     /// is closed *and* drained — workers finish in-flight work before
     /// exiting.
-    fn pop(&self) -> Option<Job> {
-        let mut state = self.state.lock().expect("job queue poisoned");
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(job) = state.jobs.pop_front() {
                 self.not_full.notify_one();
@@ -225,12 +235,12 @@ impl JobQueue {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("job queue poisoned");
+            state = self.not_empty.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
-    fn close(&self) {
-        self.state.lock().expect("job queue poisoned").closed = true;
+    pub(crate) fn close(&self) {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
@@ -264,6 +274,10 @@ impl Counters {
             &self.compute_ns,
             &self.queue_wait_ns,
         ] {
+            // ordering: Relaxed store is deliberate — each counter is
+            // independent advisory telemetry; a reset needs no ordering
+            // against concurrent bumps (racing increments may be lost,
+            // as documented on `reset_stats`).
             c.store(0, Ordering::Relaxed);
         }
     }
@@ -369,7 +383,7 @@ impl ServiceStats {
 /// cold-throughput benches rely on.
 struct Shared {
     index: ClusterIndex,
-    queue: JobQueue,
+    queue: JobQueue<Job>,
     cache: Option<ShardedCache<CacheKey, Arc<QueryAnswer>>>,
     inflight: Option<InFlightTable<CacheKey, QueryResult>>,
     counters: Counters,
@@ -547,6 +561,10 @@ impl QueryService {
     /// A point-in-time snapshot of the hit/miss/latency counters.
     pub fn stats(&self) -> ServiceStats {
         let c = &self.shared.counters;
+        // ordering: Relaxed loads are deliberate — the snapshot is
+        // advisory telemetry, not a synchronization point; each field is
+        // independently monotonic and `ServiceStats::delta_since`
+        // saturates, so cross-counter skew is benign.
         ServiceStats {
             workers: self.workers.len(),
             cache_capacity: self.shared.cache.as_ref().map_or(0, ShardedCache::capacity),

@@ -1,0 +1,122 @@
+//! Copy-on-write snapshot map: the routing-table mechanism behind
+//! [`crate::ServiceRouter`], factored out so the read/replace protocol
+//! is reusable — and small enough to model-check on its own (the
+//! `laca_model_check` tests explore register/retire races against
+//! concurrent readers over exactly this type).
+
+use crate::sync::{Arc, RwLock};
+use rustc_hash::FxHashMap;
+use std::hash::Hash;
+
+/// A map read through immutable `Arc`'d snapshots and mutated by
+/// copy-on-write replacement.
+///
+/// * **Readers** clone the current `Arc` under a briefly-held read lock
+///   ([`Self::snapshot`]) and then work against the frozen snapshot with
+///   no lock at all — a snapshot taken before a mutation stays valid and
+///   self-consistent forever.
+/// * **Writers** clone the map, apply their change, and swap the `Arc`
+///   wholesale under the write lock ([`Self::insert_if_absent`],
+///   [`Self::remove`]) — O(n) per mutation, the right trade when reads
+///   outnumber writes by orders of magnitude (routing lookups vs. index
+///   registrations).
+///
+/// Values removed from the map are returned to the caller *after* the
+/// write lock is released, so dropping a removed value (which may join
+/// worker pools, close sockets, ...) never stalls readers.
+#[derive(Debug)]
+pub struct CowMap<K, V> {
+    inner: RwLock<Arc<FxHashMap<K, V>>>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> CowMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        CowMap { inner: RwLock::new(Arc::new(FxHashMap::default())) }
+    }
+
+    /// The current snapshot: one `Arc` clone under a read lock, then
+    /// lock-free reads against an immutable map.
+    ///
+    /// A poisoned lock is recovered, not propagated: the `Arc` swap is a
+    /// single atomic replacement, so the table a panicking writer leaves
+    /// behind is always one of the two consistent snapshots.
+    pub fn snapshot(&self) -> Arc<FxHashMap<K, V>> {
+        Arc::clone(&self.inner.read().unwrap_or_else(crate::sync::PoisonError::into_inner))
+    }
+
+    /// Inserts `key → value` iff `key` is absent, atomically against
+    /// concurrent writers (the presence re-check runs under the write
+    /// lock). Returns the rejected `value` when the key is already
+    /// present, so callers can tear it down outside the lock.
+    pub fn insert_if_absent(&self, key: K, value: V) -> Result<(), V> {
+        let mut table = self.inner.write().unwrap_or_else(crate::sync::PoisonError::into_inner);
+        if table.contains_key(&key) {
+            return Err(value);
+        }
+        let mut next: FxHashMap<K, V> = (**table).clone();
+        next.insert(key, value);
+        *table = Arc::new(next);
+        Ok(())
+    }
+
+    /// Removes `key`, returning its value (after the write lock is
+    /// released — see the type docs) or `None` when absent. Snapshots
+    /// taken before the removal still contain the entry.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let removed = {
+            let mut table = self.inner.write().unwrap_or_else(crate::sync::PoisonError::into_inner);
+            if !table.contains_key(key) {
+                return None;
+            }
+            let mut next: FxHashMap<K, V> = (**table).clone();
+            let removed = next.remove(key);
+            *table = Arc::new(next);
+            removed
+        };
+        removed
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for CowMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_are_immutable_under_mutation() {
+        let map: CowMap<u32, &str> = CowMap::new();
+        assert!(map.insert_if_absent(1, "one").is_ok());
+        let before = map.snapshot();
+        assert!(map.insert_if_absent(2, "two").is_ok());
+        assert_eq!(map.remove(&1), Some("one"));
+        // The old snapshot still sees the world as it was.
+        assert_eq!(before.get(&1), Some(&"one"));
+        assert_eq!(before.get(&2), None);
+        let after = map.snapshot();
+        assert_eq!(after.get(&1), None);
+        assert_eq!(after.get(&2), Some(&"two"));
+    }
+
+    #[test]
+    fn insert_if_absent_rejects_duplicates_and_returns_the_value() {
+        let map: CowMap<u32, String> = CowMap::new();
+        assert!(map.insert_if_absent(7, "first".into()).is_ok());
+        match map.insert_if_absent(7, "second".into()) {
+            Err(rejected) => assert_eq!(rejected, "second"),
+            Ok(()) => panic!("duplicate insert must be rejected"),
+        }
+        assert_eq!(map.snapshot().get(&7).map(String::as_str), Some("first"));
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let map: CowMap<u32, u32> = CowMap::new();
+        assert_eq!(map.remove(&5), None);
+    }
+}

@@ -1,0 +1,31 @@
+//! Synchronization facade: `std::sync` in normal builds, `loom`'s
+//! instrumented primitives under `--cfg laca_model_check`.
+//!
+//! Every concurrency-bearing module in this crate (`service`, `cache`,
+//! `snapshot`) imports its primitives from here instead of `std::sync`,
+//! so the *same* production code paths — the bounded job queue's
+//! mutex+condvar protocol, the in-flight table's shard locks, the
+//! router's copy-on-write snapshot — can be compiled against the model
+//! checker and exhaustively schedule-explored:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg laca_model_check" cargo test -p laca-service
+//! ```
+//!
+//! Under the cfg, the loom stand-in primitives delegate straight to
+//! `std` whenever no model is active, so the crate's ordinary unit and
+//! integration tests keep real `std` semantics in the same build; only
+//! tests that wrap their body in `loom::model` pay for instrumentation
+//! (see `model_tests.rs` for those).
+//!
+//! `PoisonError`/`LockResult` are `std`'s in both configurations — the
+//! loom stand-in surfaces the real poison state of its inner `std`
+//! primitives, so poison-recovery paths behave identically.
+
+pub use std::sync::{LockResult, PoisonError};
+
+#[cfg(not(laca_model_check))]
+pub use std::sync::{atomic, mpsc, Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+#[cfg(laca_model_check)]
+pub use loom::sync::{atomic, mpsc, Arc, Condvar, Mutex, MutexGuard, RwLock};

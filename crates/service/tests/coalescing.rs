@@ -246,3 +246,47 @@ fn delta_since_subtracts_the_earlier_snapshot() {
     assert_eq!(window.cache_entries, 8);
     assert!((window.hit_rate() - 1.0).abs() < 1e-12);
 }
+
+/// A measurement window that straddles a `reset_stats` must degrade to
+/// zeros (saturating subtraction), never wrap to astronomically large
+/// u64 deltas — exactly what a dashboard differencing snapshots around a
+/// counter reset would otherwise render.
+#[test]
+fn delta_since_saturates_across_a_reset_race() {
+    let ds = dataset();
+    let service = QueryService::start(
+        index(&ds, LacaParams::new(1e-3)),
+        ServiceConfig::default().with_workers(1).with_cache_per_worker(64),
+    );
+    let seeds: Vec<NodeId> = (0..8).collect();
+    for r in service.query_batch(&seeds) {
+        r.expect("cold query failed");
+    }
+    let before = service.stats();
+    assert_eq!(before.completed, 8);
+
+    // The reset lands between the window's two snapshots.
+    service.reset_stats();
+    for r in service.query_batch(&seeds) {
+        r.expect("warm query failed");
+    }
+    let after = service.stats();
+    let window = after.delta_since(&before);
+
+    // Post-reset counters are below the pre-reset snapshot: every
+    // monotonic field saturates at zero instead of wrapping...
+    assert_eq!(window.completed, 0);
+    assert_eq!(window.cache_misses, 0);
+    assert_eq!(window.compute_ns, 0);
+    assert_eq!(window.queue_wait_ns, 0);
+    // ...fields that genuinely grew in the window still show their
+    // growth (8 warm hits against a hit-free `before`)...
+    assert_eq!(window.cache_hits, 8);
+    // ...and no delta can exceed the later snapshot itself — the "read
+    // consistency" bound that makes a raced window safe to display.
+    assert!(window.completed <= after.completed);
+    assert!(window.cache_hits <= after.cache_hits);
+    // Gauges pass through from the later snapshot untouched.
+    assert_eq!(window.workers, 1);
+    assert_eq!(window.cache_entries, after.cache_entries);
+}

@@ -1,0 +1,1335 @@
+//! Vendored stand-in for the `loom` model checker (crates.io `loom`),
+//! following the `vendor/README.md` policy: API-compatible for the slice
+//! the workspace uses, so swapping to the real crate is a one-line
+//! `Cargo.toml` change.
+//!
+//! # What this is
+//!
+//! A deterministic, schedule-exploring model checker for small concurrent
+//! programs. Code under test is written against [`sync`] / [`thread`]
+//! (instrumented drop-ins for their `std` counterparts) and run inside
+//! [`model`] or [`Builder::check`]. The checker serializes the model's
+//! threads onto real OS threads — exactly one runs at a time, handing a
+//! scheduling token around — and every synchronization operation is a
+//! *scheduling point* where the explorer may switch threads. A bounded
+//! depth-first search over those decisions (with *preemption bounding*,
+//! after CHESS) then replays the closure under every distinct
+//! interleaving up to the bound, catching:
+//!
+//! * **deadlocks** — no runnable thread while some are unfinished, which
+//!   is also how *lost wakeups* surface: a `notify_one` with no parked
+//!   waiter is a no-op here (never buffered), so check-then-wait races
+//!   leave the waiter blocked forever on some explored schedule;
+//! * **panics** — assertion failures in the model under any explored
+//!   schedule, reported with the offending schedule trace.
+//!
+//! # Fallback behavior
+//!
+//! Outside a model (`ctx() == None`) every primitive delegates directly
+//! to its `std` counterpart. This lets a whole crate be compiled against
+//! these types (via a `sync` facade) while only the tests that call
+//! [`model`] pay for instrumentation — ordinary tests in the same build
+//! keep real `std` semantics.
+//!
+//! # Divergences from the real `loom`
+//!
+//! * Threads are serialized, so *all* atomic orderings behave as `SeqCst`
+//!   — weak-memory reorderings are **not** explored, only interleavings.
+//! * `Condvar` has no spurious wakeups, and wakes waiters FIFO.
+//! * `Arc` is a plain re-export of `std::sync::Arc` (no leak checking).
+//! * Exploration is bounded by `preemption_bound` / `max_iterations` /
+//!   `max_branches` rather than loom's completion estimates.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Resource ids are assigned lazily on first use inside a model run.
+const UNASSIGNED: usize = usize::MAX;
+
+/// Sentinel panic payload used to unwind parked model threads when an
+/// execution aborts (failure found, or teardown). Never user-visible.
+struct AbortUnwind;
+
+/// Why a model thread cannot currently run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Block {
+    /// Waiting to acquire lock (mutex or rwlock) `id`.
+    Lock(usize),
+    /// Parked on condvar `id` (registered in its wait queue).
+    Cond(usize),
+    /// Waiting for thread `id` to finish.
+    Join(usize),
+    /// Waiting for data (or disconnect) on channel `id`.
+    Recv(usize),
+}
+
+/// Scheduler-visible state of one model thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+/// One scheduling decision: which thread got the token at one
+/// scheduling point, plus everything needed to enumerate the untried
+/// alternatives on a later execution.
+struct Decision {
+    /// Sorted ids of the threads that were runnable here.
+    runnable: Vec<usize>,
+    /// Candidate order (indices into `runnable`): the non-preempting
+    /// choice (stay on the yielding thread) first, then the rest
+    /// ascending. Exploration walks this order left to right.
+    order: Vec<usize>,
+    /// Position in `order` taken on the execution that recorded this.
+    pos: usize,
+    /// The thread that reached this scheduling point.
+    from: usize,
+    /// Whether `from` was still runnable (choosing another thread then
+    /// counts as a preemption).
+    from_runnable: bool,
+    /// Preemptions consumed on the path *before* this decision.
+    preempt_before: usize,
+}
+
+/// Per-execution scheduler state.
+struct Exec {
+    threads: Vec<Run>,
+    current: usize,
+    /// Unfinished thread count (deadlock = no runnable, `active > 0`).
+    active: usize,
+    abort: bool,
+    done: bool,
+    failure: Option<String>,
+    path: Vec<Decision>,
+    depth: usize,
+    /// Prefix of `order` positions to replay from the previous execution.
+    replay: Vec<usize>,
+    preemptions: usize,
+    next_resource: usize,
+    /// Thread id granted the token at each scheduling point (the trace
+    /// printed on failure).
+    schedule: Vec<usize>,
+}
+
+impl Exec {
+    fn fresh(replay: Vec<usize>) -> Self {
+        Exec {
+            threads: vec![Run::Runnable],
+            current: 0,
+            active: 1,
+            abort: false,
+            done: false,
+            failure: None,
+            path: Vec::new(),
+            depth: 0,
+            replay,
+            preemptions: 0,
+            next_resource: 0,
+            schedule: Vec::new(),
+        }
+    }
+}
+
+/// Shared scheduler: exploration state plus the token-passing machinery.
+struct Controller {
+    exec: StdMutex<Exec>,
+    cv: StdCondvar,
+    bound: Option<usize>,
+    max_branches: usize,
+    /// OS-thread handles of the current execution, joined at its end.
+    raw: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Handle a model thread carries to the controller.
+#[derive(Clone)]
+struct Ctx {
+    ctrl: Arc<Controller>,
+    id: usize,
+}
+
+fn ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn abort_unwind() -> ! {
+    std::panic::panic_any(AbortUnwind)
+}
+
+fn payload_str(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Installs (once, chaining any previous hook) a panic hook that stays
+/// silent for the internal [`AbortUnwind`] teardown payload.
+fn install_hook_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<AbortUnwind>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl Ctx {
+    /// A plain scheduling point: the explorer may hand the token to any
+    /// runnable thread here.
+    fn yield_point(&self) {
+        self.ctrl.switch(self.id, Run::Runnable);
+    }
+
+    /// A scheduling point that is skipped while unwinding — guard drops
+    /// run during panics, and re-entering the scheduler there would turn
+    /// the failure into a double panic.
+    fn maybe_yield(&self) {
+        if !std::thread::panicking() {
+            self.yield_point();
+        }
+    }
+
+    /// Parks the calling thread as blocked on `b` until another thread
+    /// makes it runnable *and* the scheduler picks it.
+    fn block(&self, b: Block) {
+        self.ctrl.switch(self.id, Run::Blocked(b));
+    }
+
+    fn alloc_resource(&self) -> usize {
+        let mut g = self.ctrl.exec.lock().unwrap();
+        let id = g.next_resource;
+        g.next_resource += 1;
+        id
+    }
+}
+
+impl Controller {
+    fn new(bound: Option<usize>, max_branches: usize) -> Self {
+        Controller {
+            exec: StdMutex::new(Exec::fresh(Vec::new())),
+            cv: StdCondvar::new(),
+            bound,
+            max_branches,
+            raw: StdMutex::new(Vec::new()),
+        }
+    }
+
+    /// Resets per-execution state, keeping the exploration inputs.
+    fn begin(&self, replay: Vec<usize>) {
+        *self.exec.lock().unwrap() = Exec::fresh(replay);
+    }
+
+    /// Registers a freshly spawned model thread; returns its id.
+    fn register_thread(&self) -> usize {
+        let mut g = self.exec.lock().unwrap();
+        g.threads.push(Run::Runnable);
+        g.active += 1;
+        g.threads.len() - 1
+    }
+
+    /// Picks the next thread to run. Called with the exec lock held, by
+    /// the thread that just reached a scheduling point (or finished).
+    fn pick_next(&self, g: &mut Exec, from: usize) {
+        if g.abort || g.done {
+            self.cv.notify_all();
+            return;
+        }
+        let runnable: Vec<usize> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Run::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if g.active == 0 {
+                g.done = true;
+            } else {
+                let states: Vec<String> =
+                    g.threads.iter().enumerate().map(|(i, s)| format!("t{i}={s:?}")).collect();
+                g.failure = Some(format!(
+                    "deadlock: every unfinished thread is blocked [{}]; schedule so far: {:?}",
+                    states.join(", "),
+                    g.schedule
+                ));
+                g.abort = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        if g.path.len() >= self.max_branches {
+            g.failure = Some(format!(
+                "execution exceeded {} scheduling points (livelock or unbounded loop?)",
+                self.max_branches
+            ));
+            g.abort = true;
+            self.cv.notify_all();
+            return;
+        }
+        let from_runnable = runnable.contains(&from);
+        let mut order: Vec<usize> = (0..runnable.len()).collect();
+        if from_runnable {
+            let fi = runnable.iter().position(|&t| t == from).unwrap();
+            order.retain(|&p| p != fi);
+            order.insert(0, fi);
+        }
+        let pos = if g.depth < g.replay.len() {
+            debug_assert!(g.replay[g.depth] < order.len(), "replay diverged from recorded path");
+            g.replay[g.depth].min(order.len() - 1)
+        } else {
+            0
+        };
+        let chosen = runnable[order[pos]];
+        let preempt_before = g.preemptions;
+        if from_runnable && chosen != from {
+            g.preemptions += 1;
+        }
+        g.path.push(Decision { runnable, order, pos, from, from_runnable, preempt_before });
+        g.depth += 1;
+        g.current = chosen;
+        g.schedule.push(chosen);
+        self.cv.notify_all();
+    }
+
+    /// The heart of token passing: record `me`'s new state, let the
+    /// explorer pick who runs next, park until it is `me` again.
+    fn switch(&self, me: usize, state: Run) {
+        let mut g = self.exec.lock().unwrap();
+        if g.abort || g.done {
+            drop(g);
+            abort_unwind();
+        }
+        g.threads[me] = state;
+        self.pick_next(&mut g, me);
+        loop {
+            if g.abort || g.done {
+                drop(g);
+                abort_unwind();
+            }
+            if g.current == me && matches!(g.threads[me], Run::Runnable) {
+                return;
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    /// Parks a new thread until the scheduler first grants it the token.
+    fn wait_for_turn(&self, me: usize) {
+        let mut g = self.exec.lock().unwrap();
+        loop {
+            if g.abort || g.done {
+                drop(g);
+                abort_unwind();
+            }
+            if g.current == me && matches!(g.threads[me], Run::Runnable) {
+                return;
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    /// Marks `me` finished, wakes its joiners, and hands the token on.
+    fn finish(&self, me: usize) {
+        let mut g = self.exec.lock().unwrap();
+        g.threads[me] = Run::Finished;
+        g.active -= 1;
+        for s in g.threads.iter_mut() {
+            if *s == Run::Blocked(Block::Join(me)) {
+                *s = Run::Runnable;
+            }
+        }
+        self.pick_next(&mut g, me);
+    }
+
+    /// Records a model failure and tears the execution down.
+    fn fail(&self, msg: String) {
+        let mut g = self.exec.lock().unwrap();
+        if g.failure.is_none() {
+            g.failure = Some(format!("{msg}; schedule so far: {:?}", g.schedule));
+        }
+        g.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Makes every thread blocked on exactly `b` runnable (they still
+    /// wait to be *scheduled*; this only makes them eligible).
+    fn wake_blocked(&self, b: Block) {
+        let mut g = self.exec.lock().unwrap();
+        for s in g.threads.iter_mut() {
+            if *s == Run::Blocked(b) {
+                *s = Run::Runnable;
+            }
+        }
+    }
+
+    /// Makes one specific thread runnable (condvar notify pops it from
+    /// the wait queue first, so the FIFO order lives in the condvar).
+    fn make_runnable(&self, t: usize) {
+        let mut g = self.exec.lock().unwrap();
+        debug_assert!(
+            matches!(g.threads[t], Run::Blocked(Block::Cond(_))),
+            "notified thread t{t} was not parked on a condvar (state {:?})",
+            g.threads[t]
+        );
+        g.threads[t] = Run::Runnable;
+    }
+
+    fn is_finished(&self, t: usize) -> bool {
+        matches!(self.exec.lock().unwrap().threads[t], Run::Finished)
+    }
+
+    /// Joins every OS thread of the current execution. Handles appear in
+    /// `raw` synchronously at spawn time, so draining in waves until the
+    /// list is empty *and* the execution is over covers them all.
+    fn join_all_raw(&self) {
+        loop {
+            let hs: Vec<_> = self.raw.lock().unwrap().drain(..).collect();
+            if hs.is_empty() {
+                let g = self.exec.lock().unwrap();
+                if g.done || g.abort {
+                    return;
+                }
+                drop(g);
+                std::thread::yield_now();
+                continue;
+            }
+            for h in hs {
+                let _ = h.join();
+            }
+        }
+    }
+
+    fn take_failure(&self) -> Option<String> {
+        self.exec.lock().unwrap().failure.take()
+    }
+
+    /// Depth-first backtracking: advance the deepest decision that still
+    /// has an untried candidate within the preemption bound; `None` when
+    /// the (bounded) space is exhausted.
+    fn next_replay(&self) -> Option<Vec<usize>> {
+        let mut g = self.exec.lock().unwrap();
+        loop {
+            let d = g.path.last_mut()?;
+            let mut advanced = false;
+            while d.pos + 1 < d.order.len() {
+                d.pos += 1;
+                let cand = d.runnable[d.order[d.pos]];
+                let cost = usize::from(d.from_runnable && cand != d.from);
+                if self.bound.is_none_or(|b| d.preempt_before + cost <= b) {
+                    advanced = true;
+                    break;
+                }
+            }
+            if advanced {
+                return Some(g.path.iter().map(|d| d.pos).collect());
+            }
+            g.path.pop();
+        }
+    }
+}
+
+/// Outcome of [`Builder::check`]: how much of the schedule space was
+/// explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelReport {
+    /// Distinct schedules executed.
+    pub iterations: usize,
+    /// `true` when every schedule within the preemption bound was
+    /// explored (`false`: `max_iterations` cut exploration short).
+    pub complete: bool,
+}
+
+/// Exploration configuration. The defaults (preemption bound 2, 50 000
+/// schedules) follow the CHESS observation that almost all concurrency
+/// bugs manifest within two preemptions.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum forced preemptions per schedule (`None` = unbounded, full
+    /// DFS — exponential; keep models tiny).
+    pub preemption_bound: Option<usize>,
+    /// Maximum schedules to execute before giving up incomplete.
+    pub max_iterations: usize,
+    /// Maximum scheduling points in one schedule (livelock guard).
+    pub max_branches: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder { preemption_bound: Some(2), max_iterations: 50_000, max_branches: 10_000 }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` under every schedule within the bounds, panicking with
+    /// the failing schedule on the first deadlock or model panic.
+    ///
+    /// `f` runs once per schedule and must create every model resource
+    /// (mutexes, channels, threads) inside itself, so each schedule
+    /// starts from identical state.
+    pub fn check<F>(&self, f: F) -> ModelReport
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_hook_once();
+        let f = Arc::new(f);
+        let ctrl = Arc::new(Controller::new(self.preemption_bound, self.max_branches));
+        let mut replay: Vec<usize> = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            ctrl.begin(std::mem::take(&mut replay));
+            let fr = Arc::clone(&f);
+            let c2 = Arc::clone(&ctrl);
+            let root = std::thread::spawn(move || {
+                CTX.with(|c| *c.borrow_mut() = Some(Ctx { ctrl: Arc::clone(&c2), id: 0 }));
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    c2.wait_for_turn(0);
+                    fr()
+                }));
+                match out {
+                    Ok(()) => c2.finish(0),
+                    Err(p) => {
+                        if p.downcast_ref::<AbortUnwind>().is_none() {
+                            c2.fail(format!("thread 0 panicked: {}", payload_str(&*p)));
+                        }
+                    }
+                }
+            });
+            ctrl.raw.lock().unwrap().push(root);
+            ctrl.join_all_raw();
+            if let Some(failure) = ctrl.take_failure() {
+                panic!("loom: model check failed on iteration {iterations}: {failure}");
+            }
+            match ctrl.next_replay() {
+                None => return ModelReport { iterations, complete: true },
+                Some(r) => {
+                    if iterations >= self.max_iterations {
+                        return ModelReport { iterations, complete: false };
+                    }
+                    replay = r;
+                }
+            }
+        }
+    }
+}
+
+/// Checks `f` under the default [`Builder`] bounds, panicking on the
+/// first schedule that deadlocks or panics.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f);
+}
+
+pub mod thread {
+    //! Instrumented `std::thread` subset: inside a model, spawned
+    //! threads join the schedule exploration; outside, plain `std`.
+
+    use super::*;
+
+    enum HandleImpl<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model {
+            ctrl: Arc<Controller>,
+            id: usize,
+            slot: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+        },
+    }
+
+    /// Owned permission to join a (model or real) thread.
+    pub struct JoinHandle<T>(HandleImpl<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Blocks until the thread finishes; `Err` carries its panic
+        /// payload (in a model, a panicking thread fails the whole
+        /// schedule first).
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                HandleImpl::Std(h) => h.join(),
+                HandleImpl::Model { ctrl, id, slot } => {
+                    let cx = ctx().expect("model JoinHandle joined outside its model");
+                    loop {
+                        cx.yield_point();
+                        if ctrl.is_finished(id) {
+                            return slot
+                                .lock()
+                                .unwrap()
+                                .take()
+                                .expect("finished model thread left no result");
+                        }
+                        cx.block(Block::Join(id));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spawns a thread. Inside a model it becomes a model thread whose
+    /// every sync operation is a scheduling point.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match ctx() {
+            None => JoinHandle(HandleImpl::Std(std::thread::spawn(f))),
+            Some(cx) => {
+                let id = cx.ctrl.register_thread();
+                let slot: Arc<StdMutex<Option<std::thread::Result<T>>>> =
+                    Arc::new(StdMutex::new(None));
+                let slot2 = Arc::clone(&slot);
+                let ctrl = Arc::clone(&cx.ctrl);
+                let raw = std::thread::spawn(move || {
+                    CTX.with(|c| *c.borrow_mut() = Some(Ctx { ctrl: Arc::clone(&ctrl), id }));
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        ctrl.wait_for_turn(id);
+                        f()
+                    }));
+                    match out {
+                        Ok(v) => {
+                            *slot2.lock().unwrap() = Some(Ok(v));
+                            ctrl.finish(id);
+                        }
+                        Err(p) => {
+                            if p.downcast_ref::<AbortUnwind>().is_none() {
+                                let msg = payload_str(&*p);
+                                *slot2.lock().unwrap() = Some(Err(p));
+                                ctrl.fail(format!("thread {id} panicked: {msg}"));
+                            }
+                        }
+                    }
+                });
+                cx.ctrl.raw.lock().unwrap().push(raw);
+                JoinHandle(HandleImpl::Model { ctrl: Arc::clone(&cx.ctrl), id, slot })
+            }
+        }
+    }
+
+    /// A bare scheduling point (no state change).
+    pub fn yield_now() {
+        if let Some(cx) = ctx() {
+            cx.yield_point();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+pub mod sync {
+    //! Instrumented `std::sync` subset. Every type delegates straight to
+    //! `std` when used outside a model.
+
+    use super::*;
+    use std::ops::{Deref, DerefMut};
+
+    pub use std::sync::Arc;
+    pub use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+
+    /// Model bookkeeping of one exclusive lock.
+    struct LockState {
+        id: usize,
+        held: bool,
+    }
+
+    /// Mutual exclusion with schedule exploration. Data lives in an
+    /// inner `std::sync::Mutex` (which also carries poisoning); the
+    /// model gates acquisition so the inner lock is never contended.
+    pub struct Mutex<T: ?Sized> {
+        st: StdMutex<LockState>,
+        data: StdMutex<T>,
+    }
+
+    /// RAII guard for [`Mutex`]; releasing it is a scheduling point.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        lock: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        /// A new unlocked mutex holding `t`.
+        pub fn new(t: T) -> Self {
+            Mutex {
+                st: StdMutex::new(LockState { id: UNASSIGNED, held: false }),
+                data: StdMutex::new(t),
+            }
+        }
+    }
+
+    fn wrap_mutex<'a, T: ?Sized>(
+        lock: &'a Mutex<T>,
+        r: LockResult<std::sync::MutexGuard<'a, T>>,
+    ) -> LockResult<MutexGuard<'a, T>> {
+        match r {
+            Ok(g) => Ok(MutexGuard { lock, inner: Some(g) }),
+            Err(e) => Err(PoisonError::new(MutexGuard { lock, inner: Some(e.into_inner()) })),
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the lock, parking (as a model block / OS block) while
+        /// another thread holds it. Poisoning passes through from the
+        /// inner `std` mutex.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            match ctx() {
+                None => wrap_mutex(self, self.data.lock()),
+                Some(cx) => self.lock_model(&cx),
+            }
+        }
+
+        fn lock_model(&self, cx: &Ctx) -> LockResult<MutexGuard<'_, T>> {
+            loop {
+                cx.yield_point();
+                let mut st = self.st.lock().unwrap();
+                if st.id == UNASSIGNED {
+                    st.id = cx.alloc_resource();
+                }
+                if !st.held {
+                    st.held = true;
+                    drop(st);
+                    // Never contended: the model admits one holder.
+                    return wrap_mutex(self, self.data.lock());
+                }
+                let id = st.id;
+                drop(st);
+                cx.block(Block::Lock(id));
+            }
+        }
+
+        /// Marks the lock released in the model and wakes its waiters.
+        fn release_model(&self) {
+            if let Some(cx) = ctx() {
+                let id = {
+                    let mut st = self.st.lock().unwrap();
+                    st.held = false;
+                    st.id
+                };
+                if id != UNASSIGNED {
+                    cx.ctrl.wake_blocked(Block::Lock(id));
+                }
+                cx.maybe_yield();
+            }
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Mutex").field("data", &self.data).finish()
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard already released")
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard already released")
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Drop the inner std guard first (releasing data + recording
+            // poison), then tell the model.
+            if self.inner.take().is_some() {
+                self.lock.release_model();
+            }
+        }
+    }
+
+    /// Model bookkeeping of one condition variable: FIFO queue of parked
+    /// thread ids. A notify with an empty queue is a no-op — never
+    /// buffered — which is what makes lost wakeups observable.
+    struct CvState {
+        id: usize,
+        queue: VecDeque<usize>,
+    }
+
+    /// Condition variable with schedule exploration. No spurious
+    /// wakeups; waiters wake FIFO.
+    pub struct Condvar {
+        inner: StdCondvar,
+        st: StdMutex<CvState>,
+    }
+
+    impl Condvar {
+        /// A new condvar with no waiters.
+        pub fn new() -> Self {
+            Condvar {
+                inner: StdCondvar::new(),
+                st: StdMutex::new(CvState { id: UNASSIGNED, queue: VecDeque::new() }),
+            }
+        }
+
+        /// Atomically releases `guard`'s mutex and parks until notified,
+        /// then reacquires. Registration happens before the release, so
+        /// no notification between release and park can be missed.
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let lock = guard.lock;
+            match ctx() {
+                None => {
+                    let inner = guard.inner.take().expect("guard already released");
+                    match self.inner.wait(inner) {
+                        Ok(g) => Ok(MutexGuard { lock, inner: Some(g) }),
+                        Err(e) => {
+                            Err(PoisonError::new(MutexGuard { lock, inner: Some(e.into_inner()) }))
+                        }
+                    }
+                }
+                Some(cx) => {
+                    let cv_id = {
+                        let mut st = self.st.lock().unwrap();
+                        if st.id == UNASSIGNED {
+                            st.id = cx.alloc_resource();
+                        }
+                        st.queue.push_back(cx.id);
+                        st.id
+                    };
+                    // Release the mutex without a scheduling point in
+                    // between: we are already registered, so a notify on
+                    // any other thread's next turn finds us.
+                    drop(guard.inner.take());
+                    let lock_id = {
+                        let mut lst = lock.st.lock().unwrap();
+                        lst.held = false;
+                        lst.id
+                    };
+                    if lock_id != UNASSIGNED {
+                        cx.ctrl.wake_blocked(Block::Lock(lock_id));
+                    }
+                    cx.block(Block::Cond(cv_id));
+                    lock.lock_model(&cx)
+                }
+            }
+        }
+
+        /// Wakes the longest-parked waiter, if any (a no-op otherwise —
+        /// notifications are not buffered).
+        pub fn notify_one(&self) {
+            match ctx() {
+                None => self.inner.notify_one(),
+                Some(cx) => {
+                    let woken = self.st.lock().unwrap().queue.pop_front();
+                    if let Some(t) = woken {
+                        cx.ctrl.make_runnable(t);
+                    }
+                    cx.maybe_yield();
+                }
+            }
+        }
+
+        /// Wakes every parked waiter.
+        pub fn notify_all(&self) {
+            match ctx() {
+                None => self.inner.notify_all(),
+                Some(cx) => {
+                    let woken: Vec<usize> = self.st.lock().unwrap().queue.drain(..).collect();
+                    for t in woken {
+                        cx.ctrl.make_runnable(t);
+                    }
+                    cx.maybe_yield();
+                }
+            }
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Condvar").finish_non_exhaustive()
+        }
+    }
+
+    /// Model bookkeeping of one reader-writer lock.
+    struct RwState {
+        id: usize,
+        readers: usize,
+        writer: bool,
+    }
+
+    /// Reader-writer lock with schedule exploration: concurrent model
+    /// readers are admitted; a writer waits for exclusivity.
+    pub struct RwLock<T: ?Sized> {
+        st: StdMutex<RwState>,
+        data: std::sync::RwLock<T>,
+    }
+
+    /// Shared-access RAII guard for [`RwLock`].
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        lock: &'a RwLock<T>,
+        inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    }
+
+    /// Exclusive-access RAII guard for [`RwLock`].
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        lock: &'a RwLock<T>,
+        inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    }
+
+    impl<T> RwLock<T> {
+        /// A new unlocked lock holding `t`.
+        pub fn new(t: T) -> Self {
+            RwLock {
+                st: StdMutex::new(RwState { id: UNASSIGNED, readers: 0, writer: false }),
+                data: std::sync::RwLock::new(t),
+            }
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquires shared access (blocks while a writer holds the lock).
+        pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+            match ctx() {
+                None => match self.data.read() {
+                    Ok(g) => Ok(RwLockReadGuard { lock: self, inner: Some(g) }),
+                    Err(e) => Err(PoisonError::new(RwLockReadGuard {
+                        lock: self,
+                        inner: Some(e.into_inner()),
+                    })),
+                },
+                Some(cx) => loop {
+                    cx.yield_point();
+                    let mut st = self.st.lock().unwrap();
+                    if st.id == UNASSIGNED {
+                        st.id = cx.alloc_resource();
+                    }
+                    if !st.writer {
+                        st.readers += 1;
+                        drop(st);
+                        // The model admits readers only while no writer
+                        // holds the inner lock, so this cannot block.
+                        return match self.data.try_read() {
+                            Ok(g) => Ok(RwLockReadGuard { lock: self, inner: Some(g) }),
+                            Err(TryLockError::Poisoned(e)) => {
+                                Err(PoisonError::new(RwLockReadGuard {
+                                    lock: self,
+                                    inner: Some(e.into_inner()),
+                                }))
+                            }
+                            Err(TryLockError::WouldBlock) => {
+                                unreachable!("model admitted a reader while the lock was held")
+                            }
+                        };
+                    }
+                    let id = st.id;
+                    drop(st);
+                    cx.block(Block::Lock(id));
+                },
+            }
+        }
+
+        /// Acquires exclusive access (blocks while any guard is live).
+        pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+            match ctx() {
+                None => match self.data.write() {
+                    Ok(g) => Ok(RwLockWriteGuard { lock: self, inner: Some(g) }),
+                    Err(e) => Err(PoisonError::new(RwLockWriteGuard {
+                        lock: self,
+                        inner: Some(e.into_inner()),
+                    })),
+                },
+                Some(cx) => loop {
+                    cx.yield_point();
+                    let mut st = self.st.lock().unwrap();
+                    if st.id == UNASSIGNED {
+                        st.id = cx.alloc_resource();
+                    }
+                    if !st.writer && st.readers == 0 {
+                        st.writer = true;
+                        drop(st);
+                        return match self.data.try_write() {
+                            Ok(g) => Ok(RwLockWriteGuard { lock: self, inner: Some(g) }),
+                            Err(TryLockError::Poisoned(e)) => {
+                                Err(PoisonError::new(RwLockWriteGuard {
+                                    lock: self,
+                                    inner: Some(e.into_inner()),
+                                }))
+                            }
+                            Err(TryLockError::WouldBlock) => {
+                                unreachable!("model admitted a writer while the lock was held")
+                            }
+                        };
+                    }
+                    let id = st.id;
+                    drop(st);
+                    cx.block(Block::Lock(id));
+                },
+            }
+        }
+
+        fn release_model(&self, was_writer: bool) {
+            if let Some(cx) = ctx() {
+                let id = {
+                    let mut st = self.st.lock().unwrap();
+                    if was_writer {
+                        st.writer = false;
+                    } else {
+                        st.readers -= 1;
+                    }
+                    st.id
+                };
+                if id != UNASSIGNED {
+                    cx.ctrl.wake_blocked(Block::Lock(id));
+                }
+                cx.maybe_yield();
+            }
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("RwLock").field("data", &self.data).finish()
+        }
+    }
+
+    impl<T: Default> Default for RwLock<T> {
+        fn default() -> Self {
+            RwLock::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard already released")
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            if self.inner.take().is_some() {
+                self.lock.release_model(false);
+            }
+        }
+    }
+
+    impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard already released")
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard already released")
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            if self.inner.take().is_some() {
+                self.lock.release_model(true);
+            }
+        }
+    }
+
+    pub mod atomic {
+        //! Instrumented atomics. Inside a model every operation is a
+        //! scheduling point; because model threads are serialized, all
+        //! orderings behave as `SeqCst` (interleavings are explored,
+        //! weak-memory reorderings are not).
+
+        use super::super::ctx;
+        pub use std::sync::atomic::Ordering;
+        use std::sync::atomic::Ordering::SeqCst;
+
+        macro_rules! atomic_stand_in {
+            ($name:ident, $std:ty, $prim:ty) => {
+                /// Instrumented drop-in for the `std` atomic of the same
+                /// name (see module docs for model semantics).
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    /// A new atomic holding `v`.
+                    pub fn new(v: $prim) -> Self {
+                        Self { inner: <$std>::new(v) }
+                    }
+
+                    fn touch(&self) {
+                        if let Some(cx) = ctx() {
+                            cx.yield_point();
+                        }
+                    }
+
+                    /// Loads the value (scheduling point in a model).
+                    pub fn load(&self, _order: Ordering) -> $prim {
+                        self.touch();
+                        self.inner.load(SeqCst)
+                    }
+
+                    /// Stores `v` (scheduling point in a model).
+                    pub fn store(&self, v: $prim, _order: Ordering) {
+                        self.touch();
+                        self.inner.store(v, SeqCst)
+                    }
+
+                    /// Adds `v`, returning the previous value.
+                    pub fn fetch_add(&self, v: $prim, _order: Ordering) -> $prim {
+                        self.touch();
+                        self.inner.fetch_add(v, SeqCst)
+                    }
+
+                    /// Subtracts `v`, returning the previous value.
+                    pub fn fetch_sub(&self, v: $prim, _order: Ordering) -> $prim {
+                        self.touch();
+                        self.inner.fetch_sub(v, SeqCst)
+                    }
+
+                    /// Compare-and-swap with the `std` signature.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        self.touch();
+                        self.inner.compare_exchange(current, new, SeqCst, SeqCst)
+                    }
+
+                    /// Consumes the atomic, returning the value.
+                    pub fn into_inner(self) -> $prim {
+                        self.inner.into_inner()
+                    }
+                }
+            };
+        }
+
+        atomic_stand_in!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        atomic_stand_in!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        atomic_stand_in!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    }
+
+    pub mod mpsc {
+        //! Instrumented multi-producer single-consumer channel. The
+        //! implementation is picked at creation time: channels created
+        //! inside a model are model resources; channels created outside
+        //! delegate to `std::sync::mpsc`.
+
+        use super::super::{ctx, Block, UNASSIGNED};
+        use std::collections::VecDeque;
+        use std::marker::PhantomData;
+        use std::sync::{Arc, Mutex as StdMutex};
+
+        pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+        struct ChanState<T> {
+            id: usize,
+            buf: VecDeque<T>,
+            senders: usize,
+            receiver_alive: bool,
+        }
+
+        struct Chan<T> {
+            st: StdMutex<ChanState<T>>,
+        }
+
+        enum SenderImpl<T> {
+            Std(std::sync::mpsc::Sender<T>),
+            Model(Arc<Chan<T>>),
+        }
+
+        enum ReceiverImpl<T> {
+            Std(std::sync::mpsc::Receiver<T>),
+            Model(Arc<Chan<T>>),
+        }
+
+        /// Sending half; clonable, usable from many threads.
+        pub struct Sender<T>(SenderImpl<T>);
+
+        /// Receiving half; single-consumer (`!Sync`, like `std`'s).
+        pub struct Receiver<T> {
+            imp: ReceiverImpl<T>,
+            /// Keeps the receiver `Send + !Sync`, mirroring `std`.
+            _not_sync: PhantomData<std::cell::Cell<()>>,
+        }
+
+        impl<T> std::fmt::Debug for Sender<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.pad("Sender { .. }")
+            }
+        }
+
+        impl<T> std::fmt::Debug for Receiver<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.pad("Receiver { .. }")
+            }
+        }
+
+        /// An asynchronous (unbounded) channel.
+        pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+            match ctx() {
+                None => {
+                    let (tx, rx) = std::sync::mpsc::channel();
+                    (
+                        Sender(SenderImpl::Std(tx)),
+                        Receiver { imp: ReceiverImpl::Std(rx), _not_sync: PhantomData },
+                    )
+                }
+                Some(_) => {
+                    let chan = Arc::new(Chan {
+                        st: StdMutex::new(ChanState {
+                            id: UNASSIGNED,
+                            buf: VecDeque::new(),
+                            senders: 1,
+                            receiver_alive: true,
+                        }),
+                    });
+                    (
+                        Sender(SenderImpl::Model(Arc::clone(&chan))),
+                        Receiver { imp: ReceiverImpl::Model(chan), _not_sync: PhantomData },
+                    )
+                }
+            }
+        }
+
+        impl<T> Sender<T> {
+            /// Sends `t`; fails iff the receiver was dropped.
+            pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+                match &self.0 {
+                    SenderImpl::Std(tx) => tx.send(t),
+                    SenderImpl::Model(chan) => {
+                        let cx = ctx().expect("model channel used outside its model");
+                        cx.yield_point();
+                        let id = {
+                            let mut st = chan.st.lock().unwrap();
+                            if st.id == UNASSIGNED {
+                                st.id = cx.alloc_resource();
+                            }
+                            if !st.receiver_alive {
+                                return Err(SendError(t));
+                            }
+                            st.buf.push_back(t);
+                            st.id
+                        };
+                        cx.ctrl.wake_blocked(Block::Recv(id));
+                        Ok(())
+                    }
+                }
+            }
+        }
+
+        impl<T> Clone for Sender<T> {
+            fn clone(&self) -> Self {
+                match &self.0 {
+                    SenderImpl::Std(tx) => Sender(SenderImpl::Std(tx.clone())),
+                    SenderImpl::Model(chan) => {
+                        chan.st.lock().unwrap().senders += 1;
+                        Sender(SenderImpl::Model(Arc::clone(chan)))
+                    }
+                }
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                if let SenderImpl::Model(chan) = &self.0 {
+                    let (id, last) = {
+                        let mut st = chan.st.lock().unwrap();
+                        st.senders -= 1;
+                        (st.id, st.senders == 0)
+                    };
+                    // The last sender going away must unpark a blocked
+                    // receiver so it can observe the disconnect.
+                    if last && id != UNASSIGNED {
+                        if let Some(cx) = ctx() {
+                            cx.ctrl.wake_blocked(Block::Recv(id));
+                        }
+                    }
+                }
+            }
+        }
+
+        impl<T> Receiver<T> {
+            /// Blocks until a value arrives; fails once every sender is
+            /// gone and the buffer is drained.
+            pub fn recv(&self) -> Result<T, RecvError> {
+                match &self.imp {
+                    ReceiverImpl::Std(rx) => rx.recv(),
+                    ReceiverImpl::Model(chan) => {
+                        let cx = ctx().expect("model channel used outside its model");
+                        loop {
+                            cx.yield_point();
+                            let id = {
+                                let mut st = chan.st.lock().unwrap();
+                                if st.id == UNASSIGNED {
+                                    st.id = cx.alloc_resource();
+                                }
+                                if let Some(v) = st.buf.pop_front() {
+                                    return Ok(v);
+                                }
+                                if st.senders == 0 {
+                                    return Err(RecvError);
+                                }
+                                st.id
+                            };
+                            cx.block(Block::Recv(id));
+                        }
+                    }
+                }
+            }
+
+            /// Non-blocking receive.
+            pub fn try_recv(&self) -> Result<T, TryRecvError> {
+                match &self.imp {
+                    ReceiverImpl::Std(rx) => rx.try_recv(),
+                    ReceiverImpl::Model(chan) => {
+                        let cx = ctx().expect("model channel used outside its model");
+                        cx.yield_point();
+                        let mut st = chan.st.lock().unwrap();
+                        match st.buf.pop_front() {
+                            Some(v) => Ok(v),
+                            None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                            None => Err(TryRecvError::Empty),
+                        }
+                    }
+                }
+            }
+        }
+
+        impl<T> Drop for Receiver<T> {
+            fn drop(&mut self) {
+                if let ReceiverImpl::Model(chan) = &self.imp {
+                    chan.st.lock().unwrap().receiver_alive = false;
+                }
+            }
+        }
+    }
+}

@@ -119,6 +119,8 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 #[derive(Copy, Clone)]
 struct JobRef {
     data: *const (),
+    // SAFETY: callers of this fn pointer must uphold `JobRef::execute`'s
+    // contract — the pointee StackJob is live and not yet executed.
     execute_fn: unsafe fn(*const ()),
 }
 
