@@ -262,6 +262,34 @@ fn bare_unwrap_is_flagged_in_service_sources_only() {
 }
 
 #[test]
+fn overload_modules_are_inside_the_strict_scope() {
+    // The overload-hardening modules (PR 7) must stay under the serving
+    // crate's strictest rules. Pinned per-path so a future move out of
+    // `crates/service/src/` cannot silently drop them from scope.
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    for path in ["crates/service/src/admission.rs", "crates/service/src/fault.rs"] {
+        let report = lint_source(path, src);
+        assert_eq!(rules_of(&report), vec![RULE_UNWRAP], "{path} fell out of lint scope");
+    }
+}
+
+#[test]
+fn cfg_gated_fault_code_is_still_scanned() {
+    // The lint is textual: `#[cfg(laca_fault_inject)]` bodies are scanned
+    // even though default builds compile them out — fault hooks get no
+    // free pass on unwraps.
+    let report = lint_source(
+        "crates/service/src/fault.rs",
+        "#[cfg(laca_fault_inject)]\n\
+         fn inject(x: Option<u32>) -> u32 {\n\
+             x.unwrap()\n\
+         }\n",
+    );
+    assert_eq!(rules_of(&report), vec![RULE_UNWRAP]);
+    assert_eq!(report.findings[0].line, 3);
+}
+
+#[test]
 fn unwrap_variants_and_test_code_pass() {
     let report = lint_service(
         "fn f(m: &Mutex<u32>) -> u32 {\n\

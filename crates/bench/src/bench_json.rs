@@ -23,6 +23,17 @@ pub struct BenchEntry {
     pub tmin_ns: u128,
     /// Median sample. Pre-field files parse as `median_ns = mean_ns`.
     pub median_ns: u128,
+    /// Nearest-rank 50th percentile. Pre-percentile files parse as
+    /// `p50_ns = median_ns` (after that field's own fallback).
+    pub p50_ns: u128,
+    /// Nearest-rank 99th percentile — the overload suite's gate metric.
+    /// Pre-percentile files parse as `p99_ns = max_ns` (the conservative
+    /// direction: an old baseline's tail can only look worse, so a new
+    /// run is never held to a standard the old data can't support).
+    pub p99_ns: u128,
+    /// Nearest-rank 99.9th percentile. Pre-percentile files parse as
+    /// `p999_ns = max_ns`.
+    pub p999_ns: u128,
     /// Number of timed samples.
     pub samples: usize,
 }
@@ -101,6 +112,9 @@ pub fn parse(text: &str) -> Result<BenchFile, String> {
             // degrade to the raw min / mean rather than failing to parse.
             let tmin_ns = extract_num(trimmed, "tmin_ns").unwrap_or(min_ns);
             let median_ns = extract_num(trimmed, "median_ns").unwrap_or(mean_ns);
+            let p50_ns = extract_num(trimmed, "p50_ns").unwrap_or(median_ns);
+            let p99_ns = extract_num(trimmed, "p99_ns").unwrap_or(max_ns);
+            let p999_ns = extract_num(trimmed, "p999_ns").unwrap_or(max_ns);
             out.results.push(BenchEntry {
                 label,
                 mean_ns,
@@ -108,6 +122,9 @@ pub fn parse(text: &str) -> Result<BenchFile, String> {
                 max_ns,
                 tmin_ns,
                 median_ns,
+                p50_ns,
+                p99_ns,
+                p999_ns,
                 samples,
             });
         } else if in_derived {
@@ -156,6 +173,30 @@ pub enum Metric {
     TrimmedMin,
     /// Median sample.
     Median,
+    /// Nearest-rank 50th percentile.
+    P50,
+    /// Nearest-rank 99th percentile — the tail-latency gate metric for
+    /// open-loop suites (overload), where central tendency hides exactly
+    /// the degradation the suite exists to measure.
+    P99,
+    /// Nearest-rank 99.9th percentile.
+    P999,
+}
+
+impl Metric {
+    /// Parses a CLI metric name (`bench_compare --metric ...`).
+    pub fn from_name(name: &str) -> Option<Metric> {
+        match name {
+            "min" => Some(Metric::Min),
+            "mean" => Some(Metric::Mean),
+            "tmin" => Some(Metric::TrimmedMin),
+            "median" => Some(Metric::Median),
+            "p50" => Some(Metric::P50),
+            "p99" => Some(Metric::P99),
+            "p999" => Some(Metric::P999),
+            _ => None,
+        }
+    }
 }
 
 /// Compares every label present in both files; returns the comparisons
@@ -170,6 +211,9 @@ pub fn compare(
         Metric::Mean => e.mean_ns,
         Metric::TrimmedMin => e.tmin_ns,
         Metric::Median => e.median_ns,
+        Metric::P50 => e.p50_ns,
+        Metric::P99 => e.p99_ns,
+        Metric::P999 => e.p999_ns,
     };
     let mut common = Vec::new();
     let mut only_old = Vec::new();
@@ -210,6 +254,9 @@ mod tests {
                 max_ns: 1_200_000,
                 tmin_ns: 950_000,
                 median_ns: 1_010_000,
+                p50_ns: 1_005_000,
+                p99_ns: 1_190_000,
+                p999_ns: 1_200_000,
                 samples: 20,
             },
             criterion::BenchResult {
@@ -219,6 +266,9 @@ mod tests {
                 max_ns: 12_000,
                 tmin_ns: 9_200,
                 median_ns: 9_900,
+                p50_ns: 9_850,
+                p99_ns: 11_800,
+                p999_ns: 12_000,
                 samples: 20,
             },
         ];
@@ -233,6 +283,8 @@ mod tests {
         assert_eq!(parsed.result("serving/cold/w1").unwrap().min_ns, 900_000);
         assert_eq!(parsed.result("serving/cold/w1").unwrap().tmin_ns, 950_000);
         assert_eq!(parsed.result("serving/cold/w1").unwrap().median_ns, 1_010_000);
+        assert_eq!(parsed.result("serving/cold/w1").unwrap().p99_ns, 1_190_000);
+        assert_eq!(parsed.result("serving/warm/w4").unwrap().p999_ns, 12_000);
         assert_eq!(parsed.result("serving/warm/w4").unwrap().samples, 20);
         // NaN is serialized as null and skipped on read.
         assert_eq!(parsed.derived.len(), 1);
@@ -257,6 +309,11 @@ mod tests {
         // order-statistic fields instead of failing to parse.
         assert_eq!(entry.tmin_ns, 3913);
         assert_eq!(entry.median_ns, 4466);
+        // Percentiles fall back too: p50 follows the median, the tail
+        // percentiles follow the (pessimistic) max.
+        assert_eq!(entry.p50_ns, 4466);
+        assert_eq!(entry.p99_ns, 7151);
+        assert_eq!(entry.p999_ns, 7151);
         assert_eq!(parsed.derived("speedup/greedy/1e-3"), Some(2.2556));
     }
 
@@ -290,6 +347,18 @@ mod tests {
         assert!((by_tmin[0].ratio - 1.45).abs() < 1e-12);
         let (by_median, _, _) = compare(&old, &new, Metric::Median);
         assert!((by_median[0].ratio - 1.52).abs() < 1e-12);
+        // Percentile metrics: the old side falls back to mean/max, the
+        // new side (no explicit percentiles either) does the same.
+        let (by_p99, _, _) = compare(&old, &new, Metric::P99);
+        assert!((by_p99[0].ratio - 1.6).abs() < 1e-12, "p99 falls back to max on both sides");
+    }
+
+    #[test]
+    fn metric_names_parse() {
+        assert_eq!(Metric::from_name("tmin"), Some(Metric::TrimmedMin));
+        assert_eq!(Metric::from_name("p99"), Some(Metric::P99));
+        assert_eq!(Metric::from_name("p999"), Some(Metric::P999));
+        assert_eq!(Metric::from_name("p95"), None);
     }
 
     #[test]

@@ -27,12 +27,15 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_compare OLD.json NEW.json [--threshold R] [--metric tmin|median|min|mean]\n\
+        "usage: bench_compare OLD.json NEW.json [--threshold R]\n\
+         \x20                  [--metric tmin|median|min|mean|p50|p99|p999]\n\
          \n\
          Flags labels whose NEW/OLD time ratio exceeds R (default 2.0;\n\
          improvements beyond 1/R are reported too, informationally).\n\
          Default metric: tmin, the 10th-percentile order statistic\n\
-         (baselines without it fall back to the raw min)."
+         (baselines without it fall back to the raw min). The percentile\n\
+         metrics gate tail latency — the overload suite compares p99\n\
+         (pre-percentile baselines fall back to median/max)."
     );
     std::process::exit(2);
 }
@@ -51,13 +54,8 @@ fn parse_args() -> Args {
             }
             "--metric" => {
                 i += 1;
-                metric = match args.get(i).map(String::as_str) {
-                    Some("min") => Metric::Min,
-                    Some("mean") => Metric::Mean,
-                    Some("tmin") => Metric::TrimmedMin,
-                    Some("median") => Metric::Median,
-                    _ => usage(),
-                };
+                metric =
+                    args.get(i).and_then(|name| Metric::from_name(name)).unwrap_or_else(|| usage());
             }
             "--help" | "-h" => usage(),
             other => positional.push(other.to_string()),
@@ -101,6 +99,9 @@ fn main() -> ExitCode {
         Metric::Mean => "mean",
         Metric::TrimmedMin => "tmin",
         Metric::Median => "median",
+        Metric::P50 => "p50",
+        Metric::P99 => "p99",
+        Metric::P999 => "p999",
     };
     println!(
         "comparing {} (baseline) vs {} ({} times, threshold {:.2}x)\n",

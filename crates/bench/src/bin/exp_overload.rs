@@ -1,0 +1,222 @@
+//! **Overload scenario**: behaviour of the serving layer past saturation —
+//! the three [`AdmissionPolicy`] variants under an open burst, deadline
+//! expiry under a slow queue, and a graceful [`ServiceRouter::drain`] with
+//! a live backlog. This is the robustness twin of `exp_serving`: instead
+//! of asking "how fast when healthy", it asks "what degrades, and does
+//! the accounting still balance". `benches/overload.rs` is its
+//! committed-baseline twin (`BENCH_overload.json`).
+//!
+//! ```sh
+//! cargo run --release -p laca-bench --bin exp_overload -- --seeds 24
+//! ```
+
+use laca_bench::{banner, load_dataset, ExpArgs};
+use laca_core::tnam::TnamConfig;
+use laca_core::{LacaParams, MetricFn};
+use laca_eval::harness::sample_seeds;
+use laca_eval::table::Table;
+use laca_graph::NodeId;
+use laca_service::{
+    AdmissionPolicy, ClusterIndex, QueryHandle, QueryOptions, QueryService, ServiceConfig,
+    ServiceError, ServiceRouter,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Keeps every policy leg contended: one worker, a queue much shorter
+/// than the burst, so admission — not compute — decides each query's fate.
+const QUEUE_DEPTH: usize = 4;
+
+/// Nearest-rank percentile over an unsorted latency sample (the bench
+/// harness's `percentile_ns` lives in a dev-dependency, out of reach of
+/// a bin target).
+fn p99_ms(latencies_ns: &mut [u128]) -> f64 {
+    if latencies_ns.is_empty() {
+        return 0.0;
+    }
+    latencies_ns.sort_unstable();
+    let rank = (latencies_ns.len() * 99).div_ceil(100).max(1);
+    latencies_ns[rank - 1] as f64 / 1e6
+}
+
+/// Skewed workload over the seed pool: `min` of two uniform draws leans
+/// toward the front of the pool, giving SmartShed hot keys to coalesce
+/// without hand-placing duplicates.
+fn skewed_workload(pool: &[NodeId], len: usize, rng_seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    (0..len)
+        .map(|_| {
+            let a = rng.gen_range(0..pool.len());
+            let b = rng.gen_range(0..pool.len());
+            pool[a.min(b)]
+        })
+        .collect()
+}
+
+struct LegOutcome {
+    served: u64,
+    shed: u64,
+    hits_coalesced: u64,
+    p99_ms: f64,
+    wall: Duration,
+}
+
+/// Fires the whole workload as fast as admission allows (Block parks the
+/// submitter; shedding policies reject instead), then resolves every
+/// handle. Per-query latency is submit-call start to resolution.
+fn run_policy_leg(service: &QueryService, workload: &[NodeId]) -> LegOutcome {
+    let t0 = Instant::now();
+    let mut handles: Vec<(Instant, QueryHandle)> = Vec::with_capacity(workload.len());
+    for &seed in workload {
+        handles.push((Instant::now(), service.submit(seed)));
+    }
+    let mut latencies_ns = Vec::with_capacity(handles.len());
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    for (submitted, handle) in handles {
+        match handle.wait() {
+            Ok(_) => {
+                served += 1;
+                latencies_ns.push(submitted.elapsed().as_nanos());
+            }
+            Err(ServiceError::Overloaded) => shed += 1,
+            Err(e) => panic!("overload leg: unexpected outcome {e}"),
+        }
+    }
+    let stats = service.stats();
+    LegOutcome {
+        served,
+        shed,
+        hits_coalesced: stats.cache_hits + stats.coalesced,
+        p99_ms: p99_ms(&mut latencies_ns),
+        wall: t0.elapsed(),
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse(24);
+    let names = args.dataset_names(&["pubmed"]);
+    let params = LacaParams::new(1e-4);
+    let tnam_config = TnamConfig::new(32, MetricFn::Cosine);
+
+    for name in &names {
+        let ds = load_dataset(name, args.scale);
+        let pool = sample_seeds(&ds, args.seeds.max(4), 0x0E4D);
+        let t0 = Instant::now();
+        let index = ClusterIndex::from_dataset(&ds, &tnam_config, params.clone())
+            .expect("index construction");
+        eprintln!("[{name}] index built in {:?}", t0.elapsed());
+        let workload = skewed_workload(&pool, 4 * pool.len(), 0x10AD);
+
+        // --- Admission policies under an identical burst -------------
+        let mut table = Table::new(&["policy", "served", "shed", "hit+coal", "p99 ms", "wall ms"]);
+        for (label, policy) in [
+            ("block", AdmissionPolicy::Block),
+            ("shed", AdmissionPolicy::Shed),
+            ("smart-shed", AdmissionPolicy::SmartShed),
+        ] {
+            let service = QueryService::start(
+                index.clone(),
+                ServiceConfig::default()
+                    .with_workers(1)
+                    .with_queue_capacity(QUEUE_DEPTH)
+                    .with_cache_per_worker(pool.len())
+                    .with_admission(policy),
+            );
+            let leg = run_policy_leg(&service, &workload);
+            let stats = service.shutdown();
+            // The robustness claim, re-checked on every run: each of the
+            // burst's submissions is accounted for exactly once.
+            assert_eq!(
+                stats.cache_hits + stats.coalesced + stats.cache_misses + stats.shed,
+                workload.len() as u64,
+                "{label}: admission ledger out of balance"
+            );
+            eprintln!(
+                "[{name}] {label}: served {}, shed {}, p99 {:.2}ms, wall {:?}",
+                leg.served, leg.shed, leg.p99_ms, leg.wall
+            );
+            table.add_row(vec![
+                label.to_string(),
+                leg.served.to_string(),
+                leg.shed.to_string(),
+                leg.hits_coalesced.to_string(),
+                format!("{:.2}", leg.p99_ms),
+                format!("{:.1}", leg.wall.as_secs_f64() * 1e3),
+            ]);
+        }
+        banner(&format!("Admission under a {}-query burst on {name}", workload.len()));
+        println!("{}", table.render());
+        table.write_csv(&args.out_dir.join(format!("overload_{name}.csv"))).expect("write csv");
+
+        // --- Deadlines: tight budgets expire queued work --------------
+        let mut deadline_table = Table::new(&["deadline", "completed", "expired"]);
+        for (label, deadline) in
+            [("none", None), ("0ms", Some(Duration::ZERO)), ("30s", Some(Duration::from_secs(30)))]
+        {
+            let service = QueryService::start(
+                index.clone(),
+                ServiceConfig::default()
+                    .with_workers(1)
+                    .with_queue_capacity(workload.len().max(1))
+                    .with_cache_per_worker(0),
+            );
+            let opts = match deadline {
+                Some(d) => QueryOptions::new().with_deadline(d),
+                None => QueryOptions::new(),
+            };
+            let handles: Vec<QueryHandle> =
+                workload.iter().map(|&s| service.submit_with(s, &opts)).collect();
+            for handle in handles {
+                match handle.wait() {
+                    Ok(_) | Err(ServiceError::Expired) => {}
+                    Err(e) => panic!("deadline leg: unexpected outcome {e}"),
+                }
+            }
+            let stats = service.shutdown();
+            assert_eq!(
+                stats.completed + stats.expired,
+                workload.len() as u64,
+                "{label}: every enqueued job must complete or expire"
+            );
+            deadline_table.add_row(vec![
+                label.to_string(),
+                stats.completed.to_string(),
+                stats.expired.to_string(),
+            ]);
+        }
+        banner(&format!("Deadline expiry on {name} (1 worker, unbounded queue)"));
+        println!("{}", deadline_table.render());
+
+        // --- Graceful drain with a live backlog -----------------------
+        let router = ServiceRouter::new();
+        let key = router
+            .register(
+                index.clone(),
+                ServiceConfig::default()
+                    .with_workers(1)
+                    .with_queue_capacity(workload.len().max(1))
+                    .with_cache_per_worker(0),
+            )
+            .expect("register route");
+        let backlog: Vec<QueryHandle> =
+            workload.iter().map(|&s| router.submit(&key, s).expect("backlog submit")).collect();
+        let t0 = Instant::now();
+        let report = router.drain();
+        let drain_wall = t0.elapsed();
+        for handle in backlog {
+            handle.wait().expect("drained job must still answer");
+        }
+        assert_eq!(report.totals.completed, workload.len() as u64, "drain lost backlog work");
+        assert!(router.submit(&key, pool[0]).is_err(), "post-drain submissions must fail fast");
+        banner(&format!("Graceful drain on {name}"));
+        println!(
+            "flushed {} queued jobs ({} after the fence) in {:.1}ms; {} route(s) pinned",
+            report.totals.completed,
+            report.totals.drained,
+            drain_wall.as_secs_f64() * 1e3,
+            report.pinned
+        );
+    }
+}

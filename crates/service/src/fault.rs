@@ -1,0 +1,179 @@
+//! Deterministic fault injection for the serving stack, compiled only
+//! under `--cfg laca_fault_inject` (a sibling of the `laca_model_check`
+//! cfg that swaps in the loom `sync` facade): release builds carry zero
+//! fault-injection code or branches.
+//!
+//! A [`FaultPlan`] is a seeded schedule of faults over **event indices**
+//! rather than wall-clock time. Each injection site in the worker loop
+//! draws a monotonically increasing sequence number from the plan, and
+//! the `(seed, site, period)` triple decides which draws fire: site `s`
+//! with period `p` fires on every draw `n` with `n ≡ phase(seed, s)
+//! (mod p)`. Two runs of the same plan over the same workload therefore
+//! inject the same *number* of faults at the same event offsets no
+//! matter how threads interleave — which is what `tests/faults.rs`
+//! needs to assert exact outcome accounting on top of the
+//! resolve-everything invariant.
+//!
+//! The four sites, in worker-loop order:
+//!
+//! 1. **queue stall** — the worker sleeps after dequeue, before anything
+//!    else: queued jobs age toward their deadlines and the queue backs
+//!    up toward the admission policy.
+//! 2. **worker kill** — a panic *outside* the per-job containment: the
+//!    worker dies, its exit guard closes the queue, and (if it was the
+//!    last worker) strands nothing — every queued job is failed with
+//!    [`crate::ServiceError::WorkerLost`].
+//! 3. **slow compute** — a sleep *inside* the per-job containment,
+//!    before the engine runs: admitted work takes longer, pushing
+//!    later jobs past their deadlines.
+//! 4. **job panic** — a panic inside the containment: the query fails
+//!    with [`crate::ServiceError::QueryPanicked`], the worker survives.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::admission::splitmix64;
+
+const SITE_STALL: usize = 0;
+const SITE_KILL: usize = 1;
+const SITE_SLOW: usize = 2;
+const SITE_PANIC: usize = 3;
+
+/// A seeded, deterministic schedule of injected faults. Attach one to a
+/// service with [`crate::ServiceConfig::with_fault_plan`]; a plan with
+/// no sites configured injects nothing.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    queue_stall: Option<(u64, Duration)>,
+    worker_kill: Option<u64>,
+    slow_compute: Option<(u64, Duration)>,
+    job_panic: Option<u64>,
+    sequences: [AtomicU64; 4],
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given phase seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..Default::default() }
+    }
+
+    /// Stall the dequeuing worker for `stall` on every `period`-th
+    /// dequeue (periods are clamped to ≥ 1).
+    pub fn with_queue_stall_every(mut self, period: u64, stall: Duration) -> Self {
+        self.queue_stall = Some((period.max(1), stall));
+        self
+    }
+
+    /// Kill the worker (a panic escaping the per-job containment) on
+    /// every `period`-th dequeue.
+    pub fn with_worker_kill_every(mut self, period: u64) -> Self {
+        self.worker_kill = Some(period.max(1));
+        self
+    }
+
+    /// Slow every `period`-th computed query down by `delay`.
+    pub fn with_slow_compute_every(mut self, period: u64, delay: Duration) -> Self {
+        self.slow_compute = Some((period.max(1), delay));
+        self
+    }
+
+    /// Panic inside every `period`-th computed query (contained: the
+    /// query fails, the worker survives).
+    pub fn with_job_panic_every(mut self, period: u64) -> Self {
+        self.job_panic = Some(period.max(1));
+        self
+    }
+
+    /// Draws this site's next sequence number and decides whether the
+    /// fault fires. The seeded per-site phase shifts *which* events
+    /// fire, so distinct seeds exercise distinct (job, fault)
+    /// alignments, while the firing count over `n` events stays
+    /// `⌈(n - phase) / period⌉` — deterministic for a fixed workload.
+    fn fires(&self, site: usize, period: u64) -> bool {
+        let n = self.sequences[site].fetch_add(1, Ordering::Relaxed);
+        let phase = splitmix64(self.seed ^ ((site as u64) << 32)) % period;
+        n % period == phase
+    }
+
+    /// Injection site 1: called by the worker loop right after dequeue.
+    pub(crate) fn stall_point(&self) {
+        if let Some((period, stall)) = self.queue_stall {
+            if self.fires(SITE_STALL, period) {
+                std::thread::sleep(stall);
+            }
+        }
+    }
+
+    /// Injection site 2: called outside the per-job containment; a
+    /// firing kill panics the worker thread itself.
+    pub(crate) fn worker_kill_point(&self) {
+        if let Some(period) = self.worker_kill {
+            if self.fires(SITE_KILL, period) {
+                panic!("laca_fault_inject: worker kill");
+            }
+        }
+    }
+
+    /// Injection sites 3 and 4: called inside the per-job containment,
+    /// before the engine runs.
+    pub(crate) fn compute_point(&self) {
+        if let Some((period, delay)) = self.slow_compute {
+            if self.fires(SITE_SLOW, period) {
+                std::thread::sleep(delay);
+            }
+        }
+        if let Some(period) = self.job_panic {
+            if self.fires(SITE_PANIC, period) {
+                panic!("laca_fault_inject: contained job panic");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Count of fired events over `draws` draws at `period`, replaying
+    /// the plan's firing rule.
+    fn fired(plan: &FaultPlan, site: usize, period: u64, draws: u64) -> u64 {
+        (0..draws).filter(|_| plan.fires(site, period)).count() as u64
+    }
+
+    #[test]
+    fn firing_count_is_deterministic_and_period_bound() {
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            let a = FaultPlan::new(seed);
+            let b = FaultPlan::new(seed);
+            let fired_a = fired(&a, SITE_PANIC, 5, 100);
+            let fired_b = fired(&b, SITE_PANIC, 5, 100);
+            assert_eq!(fired_a, fired_b, "same seed, same schedule");
+            assert_eq!(fired_a, 20, "period 5 over 100 draws fires exactly 20 times");
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_shift_the_phase() {
+        let phase_of = |seed: u64| {
+            let plan = FaultPlan::new(seed);
+            (0..7u64).position(|_| plan.fires(SITE_KILL, 7)).expect("one firing per period")
+        };
+        let phases: Vec<usize> = [1u64, 2, 3, 4, 5].iter().map(|&s| phase_of(s)).collect();
+        assert!(
+            phases.windows(2).any(|w| w[0] != w[1]),
+            "five seeds should not all share one firing phase: {phases:?}"
+        );
+    }
+
+    #[test]
+    fn sites_draw_independent_sequences() {
+        let plan = FaultPlan::new(9);
+        // Draining one site's sequence must not advance another's: the
+        // panic site still fires exactly every 2nd of its own draws.
+        for _ in 0..10 {
+            let _ = plan.fires(SITE_KILL, 7);
+        }
+        assert_eq!(fired(&plan, SITE_PANIC, 2, 10), 5);
+    }
+}

@@ -61,7 +61,10 @@
 //! assert_eq!(service.stats().cache_hits, 1);
 //! ```
 
+pub mod admission;
 pub mod cache;
+#[cfg(laca_fault_inject)]
+pub mod fault;
 pub mod index;
 pub mod router;
 pub mod service;
@@ -71,9 +74,12 @@ pub mod sync;
 #[cfg(all(test, laca_model_check))]
 mod model_tests;
 
+pub use admission::{AdmissionPolicy, QueryOptions, RetryPolicy};
 pub use cache::ShardedCache;
+#[cfg(laca_fault_inject)]
+pub use fault::FaultPlan;
 pub use index::{params_fingerprint, ClusterIndex};
-pub use router::{RouteKey, RouterError, ServiceRouter};
+pub use router::{DrainReport, RouteKey, RouterError, ServiceRouter};
 pub use service::{
     QueryAnswer, QueryHandle, QueryResult, QueryService, ServiceConfig, ServiceError, ServiceStats,
 };
@@ -90,6 +96,12 @@ const _: fn() = || {
     assert_send_sync::<RouteKey>();
     assert_send_sync::<QueryAnswer>();
     assert_send_sync::<ServiceStats>();
+    assert_send_sync::<AdmissionPolicy>();
+    assert_send_sync::<QueryOptions>();
+    assert_send_sync::<RetryPolicy>();
+    assert_send_sync::<DrainReport>();
+    #[cfg(laca_fault_inject)]
+    assert_send_sync::<FaultPlan>();
     assert_send_sync::<ShardedCache<(laca_graph::NodeId, u64), std::sync::Arc<QueryAnswer>>>();
     assert_send_sync::<cache::InFlightTable<(laca_graph::NodeId, u64), QueryResult>>();
     assert_send_sync::<snapshot::CowMap<RouteKey, std::sync::Arc<QueryService>>>();

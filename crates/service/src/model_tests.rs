@@ -11,9 +11,9 @@
 //! assertion on any schedule.
 
 use crate::cache::{InFlightTable, Submission};
-use crate::service::JobQueue;
+use crate::service::{JobQueue, TryPushError};
 use crate::snapshot::CowMap;
-use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use crate::sync::{mpsc, Arc, Mutex};
 use loom::thread;
 
@@ -66,6 +66,105 @@ fn job_queue_close_unblocks_producers_and_consumers() {
         assert!((1..=2).contains(&drained));
         // ...and a drained+closed queue pops `None` forever.
         assert!(queue.pop().is_none());
+    });
+}
+
+/// The shed-vs-enqueue race: a blocking `push` and a non-blocking
+/// `try_push` racing a consumer through a capacity-1 queue. On every
+/// schedule `try_push` returns immediately (admitted, or `Full` with
+/// the job handed back — the shed path never parks a submitter), and
+/// exactly the admitted jobs come out: nothing lost, nothing invented.
+#[test]
+fn job_queue_try_push_sheds_or_admits_never_blocks() {
+    loom::model(|| {
+        let queue = Arc::new(JobQueue::<u32>::new(1));
+        let q2 = Arc::clone(&queue);
+        let blocking = thread::spawn(move || q2.push(1).is_ok());
+        let q3 = Arc::clone(&queue);
+        let shedding = thread::spawn(move || match q3.try_push(2) {
+            Ok(()) => true,
+            Err(TryPushError::Full(job)) => {
+                assert_eq!(job, 2, "a shed job is handed back intact");
+                false
+            }
+            Err(TryPushError::Closed(_)) => panic!("nobody closes this queue"),
+        });
+        // One pop is always safe: the blocking push succeeds eventually
+        // on every schedule. Then the shed thread's verdict tells us
+        // exactly how many more to expect.
+        let first = queue.pop().expect("open queue");
+        let admitted = shedding.join().unwrap();
+        let mut seen = vec![first];
+        if admitted {
+            seen.push(queue.pop().expect("open queue"));
+        }
+        assert!(blocking.join().unwrap(), "blocking push always lands");
+        seen.sort_unstable();
+        let expected: Vec<u32> = if admitted { vec![1, 2] } else { vec![1] };
+        assert_eq!(seen, expected);
+    });
+}
+
+/// The deadline-expiry/cancel-vs-dequeue race, modeled over the real
+/// queue and reply protocol: a canceller flips the job's one-way latch
+/// while the worker dequeues, checks it, and replies "computed" or
+/// "expired". Exactly one reply reaches the waiter on every schedule —
+/// a lost reply (the hang this protocol must exclude) would deadlock
+/// the model's `recv`.
+#[test]
+fn job_queue_cancel_vs_dequeue_exactly_one_reply() {
+    loom::model(|| {
+        let queue = Arc::new(JobQueue::<(Arc<AtomicU32>, mpsc::Sender<bool>)>::new(1));
+        let cancel = Arc::new(AtomicU32::new(0));
+        let (tx, rx) = mpsc::channel();
+        queue.push((Arc::clone(&cancel), tx)).expect("open queue");
+        let c2 = Arc::clone(&cancel);
+        let canceller = thread::spawn(move || c2.store(1, Ordering::Relaxed));
+        let q2 = Arc::clone(&queue);
+        let worker = thread::spawn(move || {
+            let (latch, reply) = q2.pop().expect("job queued");
+            // The worker-loop protocol: check the latch once at dequeue,
+            // then send exactly one reply either way.
+            let computed = latch.load(Ordering::Relaxed) == 0;
+            reply.send(computed).expect("waiter alive");
+        });
+        // Either verdict is legal (the cancel raced the dequeue); the
+        // invariant is one reply on every schedule, never zero.
+        let _verdict = rx.recv().expect("exactly one reply");
+        canceller.join().unwrap();
+        worker.join().unwrap();
+    });
+}
+
+/// The drain-vs-submit race: `close` racing a non-blocking submission.
+/// On every schedule the submission either lands before the fence (and
+/// is then handed out flagged as drained) or fails `Closed` with the
+/// job handed back — accepted-implies-resolved, rejected-implies-
+/// hands-back, no third outcome.
+#[test]
+fn job_queue_close_vs_try_push_no_job_stranded() {
+    loom::model(|| {
+        let queue = Arc::new(JobQueue::<u32>::new(2));
+        let q2 = Arc::clone(&queue);
+        let submitter = thread::spawn(move || match q2.try_push(5) {
+            Ok(()) => true,
+            Err(TryPushError::Closed(job)) => {
+                assert_eq!(job, 5, "a rejected job is handed back intact");
+                false
+            }
+            Err(TryPushError::Full(_)) => panic!("capacity-2 queue never fills here"),
+        });
+        let q3 = Arc::clone(&queue);
+        let closer = thread::spawn(move || q3.close());
+        closer.join().unwrap();
+        let admitted = submitter.join().unwrap();
+        let mut drained = 0;
+        while let Some((job, closed)) = queue.pop_drained() {
+            assert_eq!(job, 5);
+            assert!(closed, "post-close pops are flagged as drain flushes");
+            drained += 1;
+        }
+        assert_eq!(drained, usize::from(admitted), "admitted ⇔ flushed");
     });
 }
 

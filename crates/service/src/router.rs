@@ -17,8 +17,10 @@
 //! index lets its in-flight queries drain before the worker pool joins
 //! (whoever drops the last reference joins it).
 
+use crate::admission::{QueryOptions, RetryPolicy};
 use crate::service::{QueryHandle, QueryResult, ServiceStats};
 use crate::snapshot::CowMap;
+use crate::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use crate::sync::Arc;
 use crate::{ClusterIndex, QueryService, ServiceConfig, ServiceError};
 use laca_graph::NodeId;
@@ -71,6 +73,10 @@ pub enum RouterError {
     /// retire the old index first (or pick a distinct key) so replacement
     /// is always an explicit two-step.
     DuplicateRoute(RouteKey),
+    /// The router is draining ([`ServiceRouter::drain`]): admission and
+    /// registration are fenced while in-flight work flushes. Drain is
+    /// terminal — route new traffic to another router.
+    Draining,
     /// The routed query itself failed.
     Service(ServiceError),
 }
@@ -82,6 +88,7 @@ impl std::fmt::Display for RouterError {
             RouterError::DuplicateRoute(key) => {
                 write!(f, "an index is already registered for {key}")
             }
+            RouterError::Draining => write!(f, "router is draining; admission is fenced"),
             RouterError::Service(e) => write!(f, "routed query failed: {e}"),
         }
     }
@@ -119,12 +126,36 @@ type RouteTable = FxHashMap<RouteKey, Arc<QueryService>>;
 /// live traffic.
 pub struct ServiceRouter {
     routes: CowMap<RouteKey, Arc<QueryService>>,
+    /// One-way drain latch (0 = admitting, 1 = draining; the sync facade
+    /// carries no `AtomicBool`). Set by [`Self::drain`], checked on
+    /// every admission-side entry point.
+    draining: AtomicU32,
+    /// Submissions re-attempted by [`Self::submit_with_retry`] after an
+    /// `Overloaded` rejection; surfaced as [`ServiceStats::retried`] in
+    /// the router's aggregates.
+    retried: AtomicU64,
 }
 
 impl ServiceRouter {
     /// An empty router; add indices with [`Self::register`].
     pub fn new() -> Self {
-        ServiceRouter { routes: CowMap::new() }
+        ServiceRouter {
+            routes: CowMap::new(),
+            draining: AtomicU32::new(0),
+            retried: AtomicU64::new(0),
+        }
+    }
+
+    /// `Err(Draining)` once [`Self::drain`] has fenced admission.
+    fn admitting(&self) -> Result<(), RouterError> {
+        // ordering: Relaxed load — the drain latch is one-way and
+        // advisory on the admission path; a submission racing the flip
+        // is indistinguishable from one ordered just before it, and the
+        // drained services themselves fail late submissions `Closed`.
+        if self.draining.load(Ordering::Relaxed) != 0 {
+            return Err(RouterError::Draining);
+        }
+        Ok(())
     }
 
     /// The current routing snapshot (cheap: one `Arc` clone under a read
@@ -142,6 +173,7 @@ impl ServiceRouter {
         index: ClusterIndex,
         config: ServiceConfig,
     ) -> Result<RouteKey, RouterError> {
+        self.admitting()?;
         let key = index.route_key();
         // Cheap duplicate probe first, so re-registering a live key does
         // not pay worker-pool spin-up and teardown just to be rejected...
@@ -231,9 +263,50 @@ impl ServiceRouter {
     /// assert!(router.submit(&coarse, 0).is_err());
     /// ```
     pub fn submit(&self, key: &RouteKey, seed: NodeId) -> Result<QueryHandle, RouterError> {
+        self.submit_with(key, seed, &QueryOptions::default())
+    }
+
+    /// [`Self::submit`] with per-query options (deadline); see
+    /// [`QueryService::submit_with`].
+    pub fn submit_with(
+        &self,
+        key: &RouteKey,
+        seed: NodeId,
+        opts: &QueryOptions,
+    ) -> Result<QueryHandle, RouterError> {
+        self.admitting()?;
         match self.snapshot().get(key) {
-            Some(service) => Ok(service.submit(seed)),
+            Some(service) => Ok(service.submit_with(seed, opts)),
             None => Err(RouterError::UnknownRoute(key.clone())),
+        }
+    }
+
+    /// [`Self::submit_with`] plus bounded retry of submissions the
+    /// route shed with [`ServiceError::Overloaded`]: each rejection
+    /// sleeps the policy's jittered exponential backoff and resubmits,
+    /// up to [`RetryPolicy::max_retries`] times (every retry counted in
+    /// [`ServiceStats::retried`]). The final attempt's handle is
+    /// returned as-is — still `Overloaded` if the overload outlasted the
+    /// retry budget. Routing errors (unknown route, draining) are never
+    /// retried; only overload is transient by construction.
+    pub fn submit_with_retry(
+        &self,
+        key: &RouteKey,
+        seed: NodeId,
+        opts: &QueryOptions,
+        retry: &RetryPolicy,
+    ) -> Result<QueryHandle, RouterError> {
+        let mut attempt = 0;
+        loop {
+            let handle = self.submit_with(key, seed, opts)?;
+            if attempt >= retry.max_retries
+                || !matches!(handle.immediate_error(), Some(ServiceError::Overloaded))
+            {
+                return Ok(handle);
+            }
+            self.retried.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(retry.backoff(attempt));
+            attempt += 1;
         }
     }
 
@@ -253,6 +326,7 @@ impl ServiceRouter {
         key: &RouteKey,
         seeds: &[NodeId],
     ) -> Result<Vec<QueryResult>, RouterError> {
+        self.admitting()?;
         match self.snapshot().get(key) {
             Some(service) => Ok(service.query_batch(seeds)),
             None => Err(RouterError::UnknownRoute(key.clone())),
@@ -291,15 +365,98 @@ impl ServiceRouter {
         for service in self.snapshot().values() {
             total.merge(&service.stats());
         }
+        // ordering: Relaxed load — advisory telemetry, same contract as
+        // every per-service counter snapshot.
+        total.retried += self.retried.load(Ordering::Relaxed);
         total
     }
 
-    /// Zeroes every live route's counters ([`QueryService::reset_stats`]).
+    /// Zeroes every live route's counters ([`QueryService::reset_stats`])
+    /// and the router's own retry counter.
     pub fn reset_stats(&self) {
         for service in self.snapshot().values() {
             service.reset_stats();
         }
+        // ordering: Relaxed store — advisory telemetry reset, same
+        // contract as `Counters::reset` (racing increments may be lost).
+        self.retried.store(0, Ordering::Relaxed);
     }
+
+    /// Graceful drain: fence admission, then flush and retire every
+    /// route.
+    ///
+    /// The sequence per route mirrors hot retirement ([`Self::retire`]),
+    /// plus a flush barrier:
+    ///
+    /// 1. the route is removed from the table (new resolutions of the
+    ///    key fail [`RouterError::UnknownRoute`]; the router-wide fence
+    ///    already fails everything [`RouterError::Draining`]);
+    /// 2. its service's queue closes — submissions through pinned
+    ///    [`Self::route`] handles fail fast with
+    ///    [`ServiceError::Closed`] while queued jobs keep draining;
+    /// 3. if ours was the last reference, the worker pool flushes every
+    ///    queued job (each resolves: answer, error, or `Expired`) and
+    ///    joins; otherwise the route is reported as *pinned* and its
+    ///    pool joins when the pinning `Arc` drops.
+    ///
+    /// The report carries each route's final counters and the merged
+    /// totals — [`ServiceStats::drained`], [`ServiceStats::shed`] and
+    /// [`ServiceStats::expired`] say what the drain flushed and what the
+    /// overload path refused. Draining is **terminal**: the router never
+    /// admits again (register/submit/query all fail `Draining`).
+    /// Idempotent — a second call reports whatever routes remain (none,
+    /// unless registrations raced the first drain).
+    pub fn drain(&self) -> DrainReport {
+        // ordering: Relaxed store — the one-way latch needs no ordering
+        // against the table walk below; `CowMap::remove` is the
+        // authoritative fence per route.
+        self.draining.store(1, Ordering::Relaxed);
+        let mut routes = Vec::new();
+        let mut totals = ServiceStats::default();
+        let mut pinned = 0;
+        for key in self.keys() {
+            let Some(service) = self.routes.remove(&key) else { continue };
+            // Fence the route's own admission immediately: queued work
+            // keeps draining, pinned-handle submissions fail `Closed`.
+            service.close();
+            let stats = match Arc::try_unwrap(service) {
+                // Ours was the last reference: flush the queue, join the
+                // pool, report the final counters.
+                Ok(service) => service.shutdown(),
+                // Someone still pins the route (`Self::route`); its pool
+                // joins when they drop it. Snapshot what is visible now.
+                Err(service) => {
+                    pinned += 1;
+                    service.stats()
+                }
+            };
+            totals.merge(&stats);
+            routes.push((key, stats));
+        }
+        // ordering: Relaxed load — advisory telemetry (see
+        // `aggregate_stats`).
+        totals.retried += self.retried.load(Ordering::Relaxed);
+        DrainReport { routes, totals, pinned }
+    }
+}
+
+/// What [`ServiceRouter::drain`] flushed: per-route final counter
+/// snapshots, their merged totals, and how many routes could not be
+/// fully joined because external `Arc`s still pin them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrainReport {
+    /// Final counters per drained route, in drain order.
+    pub routes: Vec<(RouteKey, ServiceStats)>,
+    /// All per-route snapshots merged, plus the router's retry counter.
+    /// `totals.drained` is the number of jobs flushed after the fence;
+    /// `totals.shed`/`totals.expired` are what overload handling refused
+    /// or timed out across the router's lifetime.
+    pub totals: ServiceStats,
+    /// Routes whose worker pools could not be joined here because
+    /// external [`ServiceRouter::route`] handles still pin them (their
+    /// stats are point-in-time snapshots, and their pools join when the
+    /// last pin drops).
+    pub pinned: usize,
 }
 
 impl Default for ServiceRouter {

@@ -1,9 +1,11 @@
-//! The concurrent query engine: bounded submission queue, fixed worker
-//! pool with persistent diffusion workspaces, the cache fast path, and
-//! single-flight coalescing of concurrent misses.
+//! The concurrent query engine: bounded submission queue with
+//! configurable overload admission, fixed worker pool with persistent
+//! diffusion workspaces, the cache fast path, single-flight coalescing
+//! of concurrent misses, and per-query deadlines dropped at dequeue.
 
+use crate::admission::{AdmissionPolicy, QueryOptions};
 use crate::cache::{InFlightTable, ShardedCache, Submission};
-use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use crate::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use crate::ClusterIndex;
 use laca_core::laca::LacaQueryStats;
@@ -12,7 +14,7 @@ use laca_diffusion::{SparseVec, WorkspacePool};
 use laca_graph::NodeId;
 use std::collections::VecDeque;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for a [`QueryService`]. `Default` is a reasonable
 /// embedded setup: one worker per hardware thread, a 1 024-deep queue,
@@ -35,6 +37,15 @@ pub struct ServiceConfig {
     pub cache_per_worker: usize,
     /// Lock shards of the result cache (≥ 1; more shards, less contention).
     pub cache_shards: usize,
+    /// What `submit` does when the queue is at capacity: park the
+    /// submitter ([`AdmissionPolicy::Block`], the default) or shed load
+    /// with [`ServiceError::Overloaded`] (see [`AdmissionPolicy`]).
+    pub admission: AdmissionPolicy,
+    /// Seeded fault schedule injected into the worker loop; only
+    /// available under `--cfg laca_fault_inject` (the invariant test
+    /// suite's build), absent from release builds entirely.
+    #[cfg(laca_fault_inject)]
+    pub fault_plan: Option<std::sync::Arc<crate::fault::FaultPlan>>,
 }
 
 impl Default for ServiceConfig {
@@ -44,6 +55,9 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             cache_per_worker: 512,
             cache_shards: 8,
+            admission: AdmissionPolicy::Block,
+            #[cfg(laca_fault_inject)]
+            fault_plan: None,
         }
     }
 }
@@ -72,6 +86,20 @@ impl ServiceConfig {
         self.cache_shards = shards;
         self
     }
+
+    /// Sets the overload-admission policy.
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Attaches a seeded fault-injection schedule (invariant-test builds
+    /// only; see [`crate::fault::FaultPlan`]).
+    #[cfg(laca_fault_inject)]
+    pub fn with_fault_plan(mut self, plan: std::sync::Arc<crate::fault::FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
 }
 
 /// Errors surfaced by the service API.
@@ -84,6 +112,19 @@ pub enum ServiceError {
     /// The query panicked on its worker; the worker survived and keeps
     /// serving (the panic payload went to the worker's stderr).
     QueryPanicked,
+    /// Shed at admission: the submission queue was at capacity under a
+    /// shedding [`AdmissionPolicy`]. The query was never enqueued; retry
+    /// later (or via [`crate::ServiceRouter::submit_with_retry`]).
+    Overloaded,
+    /// The query was still queued when its
+    /// [`QueryOptions::deadline`] passed (or its handle was cancelled);
+    /// it was dropped at dequeue without computing.
+    Expired,
+    /// The worker that owed this query its reply died before sending
+    /// it — a panic escaped the per-query containment. Distinct from
+    /// [`Self::QueryPanicked`] (query failed, worker fine) and
+    /// [`Self::Closed`] (orderly shutdown).
+    WorkerLost,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -92,6 +133,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Closed => write!(f, "query service is shut down"),
             ServiceError::Core(e) => write!(f, "query failed: {e}"),
             ServiceError::QueryPanicked => write!(f, "query panicked on its worker"),
+            ServiceError::Overloaded => write!(f, "submission shed: queue at capacity"),
+            ServiceError::Expired => write!(f, "query expired before a worker picked it up"),
+            ServiceError::WorkerLost => write!(f, "query's worker died before replying"),
         }
     }
 }
@@ -129,6 +173,9 @@ type CacheKey = (NodeId, u64);
 #[derive(Debug)]
 pub struct QueryHandle {
     inner: HandleInner,
+    /// One-way cancel latch shared with the queued job (direct-reply
+    /// submissions only; coalesced flights have many owners).
+    cancel: Option<Arc<AtomicU32>>,
 }
 
 #[derive(Debug)]
@@ -140,12 +187,78 @@ enum HandleInner {
 }
 
 impl QueryHandle {
+    /// A handle that was answered (or rejected) at submit time.
+    fn ready(result: QueryResult) -> Self {
+        QueryHandle { inner: HandleInner::Ready(result), cancel: None }
+    }
+
     /// Blocks until the answer is available.
     pub fn wait(self) -> QueryResult {
         match self.inner {
             HandleInner::Ready(result) => result,
-            // A dropped sender means the service shut down mid-flight.
-            HandleInner::Pending(rx) => rx.recv().unwrap_or(Err(ServiceError::Closed)),
+            // A dropped sender means the worker that owed us a reply died
+            // before sending it: orderly shutdown drains the queue and
+            // answers every accepted job, so only worker loss gets here.
+            HandleInner::Pending(rx) => rx.recv().unwrap_or(Err(ServiceError::WorkerLost)),
+        }
+    }
+
+    /// Blocks until the answer is available or `timeout` elapses. On
+    /// timeout the handle is returned so the caller can keep waiting,
+    /// [`Self::cancel`], or drop it (abandoning the reply).
+    ///
+    /// # Errors
+    ///
+    /// The `Err` arm is the *timeout* (carrying the still-pending
+    /// handle); query failures come back as `Ok(Err(service_error))`
+    /// like [`Self::wait`].
+    pub fn wait_timeout(self, timeout: Duration) -> Result<QueryResult, QueryHandle> {
+        let QueryHandle { inner, cancel } = self;
+        match inner {
+            HandleInner::Ready(result) => Ok(result),
+            HandleInner::Pending(rx) => match rx.recv_timeout(timeout) {
+                Ok(result) => Ok(result),
+                Err(mpsc::RecvTimeoutError::Disconnected) => Ok(Err(ServiceError::WorkerLost)),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    Err(QueryHandle { inner: HandleInner::Pending(rx), cancel })
+                }
+            },
+        }
+    }
+
+    /// Abandons the query. If it is still queued when a worker reaches
+    /// it, it is dropped without computing (counted in
+    /// [`ServiceStats::expired`]); if it is already computing, the
+    /// compute finishes and the reply goes nowhere. Cancelling a
+    /// coalesced (single-flight) submission only abandons *this*
+    /// handle — the shared computation still serves its other waiters.
+    pub fn cancel(self) {
+        if let Some(flag) = &self.cancel {
+            // ordering: Relaxed store — the cancel latch is advisory
+            // (one-way, checked once at dequeue); observing it late only
+            // costs one wasted compute, never correctness.
+            flag.store(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The result, if it was already determined at submit time: a cache
+    /// hit, or a rejection ([`ServiceError::Overloaded`] under a
+    /// shedding policy, [`ServiceError::Closed`] after shutdown).
+    /// `None` means the query is in flight and must be waited on.
+    pub fn immediate(&self) -> Option<&QueryResult> {
+        match &self.inner {
+            HandleInner::Ready(result) => Some(result),
+            HandleInner::Pending(_) => None,
+        }
+    }
+
+    /// The submit-time rejection, if any — the probe
+    /// [`crate::ServiceRouter::submit_with_retry`] uses to decide
+    /// whether a retry can help.
+    pub fn immediate_error(&self) -> Option<&ServiceError> {
+        match self.immediate() {
+            Some(Err(e)) => Some(e),
+            _ => None,
         }
     }
 }
@@ -165,6 +278,25 @@ struct Job {
     seed: NodeId,
     reply: Reply,
     enqueued: Instant,
+    /// Absolute deadline; a job dequeued past it is dropped, not
+    /// computed.
+    deadline: Option<Instant>,
+    /// Cancel latch shared with the submitter's [`QueryHandle`]
+    /// (direct-reply jobs only).
+    cancel: Option<Arc<AtomicU32>>,
+}
+
+impl Job {
+    /// Whether this job must be dropped at dequeue without computing:
+    /// past its deadline, or cancelled by its submitter.
+    fn expired(&self) -> bool {
+        let past_deadline = self.deadline.is_some_and(|d| Instant::now() >= d);
+        // ordering: Relaxed load — the cancel latch is advisory (set
+        // once, checked once); racing the store only costs one extra
+        // compute, never correctness.
+        let cancelled = self.cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed) != 0);
+        past_deadline || cancelled
+    }
 }
 
 /// The bounded MPMC submission queue (mutex + two condvars; jobs are
@@ -190,6 +322,15 @@ pub(crate) struct JobQueue<T> {
 struct QueueState<T> {
     jobs: VecDeque<T>,
     closed: bool,
+}
+
+/// Why [`JobQueue::try_push`] refused a job; the job rides along so the
+/// caller can fail its waiters.
+pub(crate) enum TryPushError<T> {
+    /// Queue at capacity — the admission policy decides what happens.
+    Full(T),
+    /// Queue closed by shutdown.
+    Closed(T),
 }
 
 impl<T> JobQueue<T> {
@@ -222,15 +363,48 @@ impl<T> JobQueue<T> {
         }
     }
 
+    /// Non-blocking enqueue: `Full` when at capacity instead of parking
+    /// the caller — the shedding admission path. The refused job is
+    /// handed back so the caller can resolve its waiters.
+    pub(crate) fn try_push(&self, job: T) -> Result<(), TryPushError<T>> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.closed {
+            return Err(TryPushError::Closed(job));
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(TryPushError::Full(job));
+        }
+        state.jobs.push_back(job);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Advisory fullness probe. The answer can be stale by the time the
+    /// caller acts on it — [`Self::try_push`] is the authoritative
+    /// admission check; this one only lets `Shed` refuse cheap work
+    /// (would-be coalesced joins) early.
+    pub(crate) fn is_full(&self) -> bool {
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.jobs.len() >= self.capacity
+    }
+
     /// Dequeues the next job, blocking while empty. `None` once the queue
     /// is closed *and* drained — workers finish in-flight work before
     /// exiting.
     pub(crate) fn pop(&self) -> Option<T> {
+        self.pop_drained().map(|(job, _)| job)
+    }
+
+    /// Like [`Self::pop`], but also reports whether the queue was
+    /// already closed when the job was handed out — i.e. whether the
+    /// job is being *drained* through shutdown rather than served in
+    /// steady state ([`ServiceStats::drained`]).
+    pub(crate) fn pop_drained(&self) -> Option<(T, bool)> {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(job) = state.jobs.pop_front() {
                 self.not_full.notify_one();
-                return Some(job);
+                return Some((job, state.closed));
             }
             if state.closed {
                 return None;
@@ -255,6 +429,9 @@ struct Counters {
     coalesced: AtomicU64,
     completed: AtomicU64,
     errors: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    drained: AtomicU64,
     compute_ns: AtomicU64,
     queue_wait_ns: AtomicU64,
 }
@@ -271,6 +448,9 @@ impl Counters {
             &self.coalesced,
             &self.completed,
             &self.errors,
+            &self.shed,
+            &self.expired,
+            &self.drained,
             &self.compute_ns,
             &self.queue_wait_ns,
         ] {
@@ -306,6 +486,22 @@ pub struct ServiceStats {
     pub completed: u64,
     /// Queries that failed in the core algorithm.
     pub errors: u64,
+    /// Submissions rejected at admission with
+    /// [`ServiceError::Overloaded`] (queue at capacity under a shedding
+    /// [`AdmissionPolicy`]); they were never enqueued.
+    pub shed: u64,
+    /// Jobs dropped at dequeue — past their [`QueryOptions::deadline`]
+    /// or cancelled — and resolved with [`ServiceError::Expired`]
+    /// without computing.
+    pub expired: u64,
+    /// Submissions re-attempted after an `Overloaded` rejection. Only
+    /// [`crate::ServiceRouter::submit_with_retry`] bumps this (merged in
+    /// by the router's aggregates); a standalone service reports 0.
+    pub retried: u64,
+    /// Jobs a worker picked up *after* the queue closed — work flushed
+    /// through shutdown or [`crate::ServiceRouter::drain`] rather than
+    /// served in steady state.
+    pub drained: u64,
     /// Total worker compute time, nanoseconds.
     pub compute_ns: u64,
     /// Total time jobs spent queued before a worker picked them up.
@@ -340,6 +536,10 @@ impl ServiceStats {
         self.coalesced += other.coalesced;
         self.completed += other.completed;
         self.errors += other.errors;
+        self.shed += other.shed;
+        self.expired += other.expired;
+        self.retried += other.retried;
+        self.drained += other.drained;
         self.compute_ns += other.compute_ns;
         self.queue_wait_ns += other.queue_wait_ns;
     }
@@ -360,6 +560,10 @@ impl ServiceStats {
             coalesced: self.coalesced.saturating_sub(earlier.coalesced),
             completed: self.completed.saturating_sub(earlier.completed),
             errors: self.errors.saturating_sub(earlier.errors),
+            shed: self.shed.saturating_sub(earlier.shed),
+            expired: self.expired.saturating_sub(earlier.expired),
+            retried: self.retried.saturating_sub(earlier.retried),
+            drained: self.drained.saturating_sub(earlier.drained),
             compute_ns: self.compute_ns.saturating_sub(earlier.compute_ns),
             queue_wait_ns: self.queue_wait_ns.saturating_sub(earlier.queue_wait_ns),
         }
@@ -388,6 +592,29 @@ struct Shared {
     inflight: Option<InFlightTable<CacheKey, QueryResult>>,
     counters: Counters,
     workspaces: WorkspacePool,
+    admission: AdmissionPolicy,
+    /// Workers still running their loop. The last worker to die by an
+    /// escaped panic drains the queue on the way out, failing stranded
+    /// jobs with [`ServiceError::WorkerLost`] so no waiter hangs.
+    live_workers: AtomicUsize,
+    #[cfg(laca_fault_inject)]
+    faults: Option<std::sync::Arc<crate::fault::FaultPlan>>,
+}
+
+impl Shared {
+    /// Replies `Err(err)` to a job that will never compute (expired at
+    /// dequeue, or stranded by the death of the last worker).
+    fn fail_job(&self, job: Job, err: ServiceError) {
+        match job.reply {
+            // The submitter may have dropped its handle; that's fine.
+            Reply::Direct(tx) => drop(tx.send(Err(err))),
+            Reply::Flight => {
+                let inflight =
+                    self.inflight.as_ref().expect("flight job without an in-flight table");
+                inflight.resolve(&(job.seed, self.index.fingerprint()), Err(err));
+            }
+        }
+    }
 }
 
 /// An embeddable concurrent query engine over one [`ClusterIndex`].
@@ -430,6 +657,10 @@ impl QueryService {
             inflight,
             counters: Counters::default(),
             workspaces,
+            admission: config.admission,
+            live_workers: AtomicUsize::new(workers),
+            #[cfg(laca_fault_inject)]
+            faults: config.fault_plan,
         });
         let handles = (0..workers)
             .map(|wid| {
@@ -488,30 +719,63 @@ impl QueryService {
     /// assert!(answer.rho.support_size() > 0);
     /// ```
     pub fn submit(&self, seed: NodeId) -> QueryHandle {
+        self.submit_with(seed, &QueryOptions::default())
+    }
+
+    /// [`Self::submit`] with per-query options: an optional deadline
+    /// (expired jobs are dropped at dequeue, never computed) on top of
+    /// the service-level [`AdmissionPolicy`].
+    pub fn submit_with(&self, seed: NodeId, opts: &QueryOptions) -> QueryHandle {
         let shared = &self.shared;
         let key = (seed, shared.index.fingerprint());
         let counters = &shared.counters;
+        let deadline = opts.deadline.map(|d| Instant::now() + d);
         let (cache, inflight) = match (&shared.cache, &shared.inflight) {
             (Some(cache), Some(inflight)) => {
-                // Fast path: answered straight from the cache.
+                // Fast path: answered straight from the cache. Hits are
+                // admitted under every policy — they occupy nothing.
                 if let Some(answer) = cache.get(&key) {
                     counters.hits.fetch_add(1, Ordering::Relaxed);
-                    return QueryHandle { inner: HandleInner::Ready(Ok(answer)) };
+                    return QueryHandle::ready(Ok(answer));
                 }
                 (cache, inflight)
             }
             // Cache (and with it coalescing) disabled: every submission
-            // computes, with a private reply channel.
+            // computes, with a private reply channel and a cancel latch
+            // its handle can trip.
             _ => {
-                counters.misses.fetch_add(1, Ordering::Relaxed);
                 let (tx, rx) = mpsc::channel();
-                let job = Job { seed, reply: Reply::Direct(tx), enqueued: Instant::now() };
-                return match shared.queue.push(job) {
-                    Ok(()) => QueryHandle { inner: HandleInner::Pending(rx) },
-                    Err(e) => QueryHandle { inner: HandleInner::Ready(Err(e)) },
+                let cancel = Arc::new(AtomicU32::new(0));
+                let job = Job {
+                    seed,
+                    reply: Reply::Direct(tx),
+                    enqueued: Instant::now(),
+                    deadline,
+                    cancel: Some(Arc::clone(&cancel)),
+                };
+                return match self.admit(job) {
+                    Ok(()) => {
+                        counters.misses.fetch_add(1, Ordering::Relaxed);
+                        QueryHandle { inner: HandleInner::Pending(rx), cancel: Some(cancel) }
+                    }
+                    Err(e) => {
+                        if e == ServiceError::Overloaded {
+                            counters.shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        QueryHandle::ready(Err(e))
+                    }
                 };
             }
         };
+        // Under plain `Shed`, a full queue sheds every submission that
+        // is not a cache hit — even one that could have coalesced onto a
+        // live flight. `SmartShed` skips this probe: a join costs no
+        // queue slot and no compute, so it consults the in-flight table
+        // first and sheds only work that would enqueue.
+        if shared.admission == AdmissionPolicy::Shed && shared.queue.is_full() {
+            counters.shed.fetch_add(1, Ordering::Relaxed);
+            return QueryHandle::ready(Err(ServiceError::Overloaded));
+        }
         // Miss: join the key's in-flight computation if there is one,
         // else lead a new flight. Leader and followers alike are parked
         // as waiters on the flight entry.
@@ -519,23 +783,51 @@ impl QueryService {
         match inflight.join_or_lead(key, tx, || cache.get(&key).map(Ok)) {
             Submission::Joined => {
                 counters.coalesced.fetch_add(1, Ordering::Relaxed);
-                QueryHandle { inner: HandleInner::Pending(rx) }
+                QueryHandle { inner: HandleInner::Pending(rx), cancel: None }
             }
             Submission::Resolved(result) => {
                 // The racing flight resolved between our fast-path probe
                 // and the shard lock; its answer is in the cache now.
                 counters.hits.fetch_add(1, Ordering::Relaxed);
-                QueryHandle { inner: HandleInner::Ready(result) }
+                QueryHandle::ready(result)
             }
             Submission::Leading => {
-                counters.misses.fetch_add(1, Ordering::Relaxed);
-                let job = Job { seed, reply: Reply::Flight, enqueued: Instant::now() };
-                if let Err(e) = shared.queue.push(job) {
-                    // The flight must resolve on every leader path;
-                    // this also serves any follower that joined since.
-                    inflight.resolve(&key, Err(e));
+                let job = Job {
+                    seed,
+                    reply: Reply::Flight,
+                    enqueued: Instant::now(),
+                    deadline,
+                    cancel: None,
+                };
+                match self.admit(job) {
+                    Ok(()) => {
+                        counters.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        if e == ServiceError::Overloaded {
+                            counters.shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // The flight must resolve on every leader path;
+                        // this also serves any follower that joined since.
+                        inflight.resolve(&key, Err(e));
+                    }
                 }
-                QueryHandle { inner: HandleInner::Pending(rx) }
+                QueryHandle { inner: HandleInner::Pending(rx), cancel: None }
+            }
+        }
+    }
+
+    /// Enqueues per the admission policy: `Block` parks on a full queue,
+    /// the shedding policies convert "full" into
+    /// [`ServiceError::Overloaded`] without blocking.
+    fn admit(&self, job: Job) -> Result<(), ServiceError> {
+        match self.shared.admission {
+            AdmissionPolicy::Block => self.shared.queue.push(job),
+            AdmissionPolicy::Shed | AdmissionPolicy::SmartShed => {
+                self.shared.queue.try_push(job).map_err(|e| match e {
+                    TryPushError::Full(_) => ServiceError::Overloaded,
+                    TryPushError::Closed(_) => ServiceError::Closed,
+                })
             }
         }
     }
@@ -574,6 +866,10 @@ impl QueryService {
             coalesced: c.coalesced.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
             errors: c.errors.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            expired: c.expired.load(Ordering::Relaxed),
+            retried: 0,
+            drained: c.drained.load(Ordering::Relaxed),
             compute_ns: c.compute_ns.load(Ordering::Relaxed),
             queue_wait_ns: c.queue_wait_ns.load(Ordering::Relaxed),
         }
@@ -588,6 +884,34 @@ impl QueryService {
     /// the non-destructive alternative.
     pub fn reset_stats(&self) {
         self.shared.counters.reset();
+    }
+
+    /// Fences admission: closes the submission queue, so every later
+    /// submission fails fast with [`ServiceError::Closed`] while workers
+    /// keep draining already-accepted jobs (each still gets its reply).
+    /// Idempotent; [`Self::shutdown`], [`crate::ServiceRouter::drain`]
+    /// and `Drop` all go through it.
+    pub fn close(&self) {
+        self.shared.queue.close();
+    }
+
+    /// Graceful shutdown: close the queue, let workers flush every
+    /// queued job (each resolves — answer, error, or
+    /// [`ServiceError::Expired`]; flushed jobs are counted in
+    /// [`ServiceStats::drained`]), join the pool, and report the
+    /// service's final counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        let workers = self.workers.len();
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked already printed its message; its
+            // exit guard failed any jobs it would have stranded.
+            let _ = handle.join();
+        }
+        let mut stats = self.stats();
+        // Report the pool as it served, not the just-joined remnant.
+        stats.workers = workers;
+        stats
     }
 }
 
@@ -605,25 +929,38 @@ impl Drop for QueryService {
 /// Body of one worker thread: one engine (pointer copies of the index),
 /// one workspace for life, then serve until the queue closes and drains.
 fn worker_loop(shared: &Shared) {
-    // If this worker dies by a panic that escapes the per-job containment
-    // below, close the queue on the way out: submitters then fail fast
-    // with `Closed` instead of enqueueing into a queue nobody drains.
-    struct CloseOnPanic<'a>(&'a Shared);
-    impl Drop for CloseOnPanic<'_> {
+    // Runs however the worker exits. If the exit is a panic that escaped
+    // the per-job containment below, close the queue on the way out:
+    // submitters then fail fast with `Closed` instead of enqueueing into
+    // a queue nobody may drain. And if this was the LAST live worker,
+    // fail every still-queued job with `WorkerLost` — their reply
+    // senders would otherwise sit in the dead queue forever and every
+    // waiter would hang.
+    struct ExitGuard<'a>(&'a Shared);
+    impl Drop for ExitGuard<'_> {
         fn drop(&mut self) {
+            let shared = self.0;
+            let survivors = shared.live_workers.fetch_sub(1, Ordering::AcqRel) - 1;
             if std::thread::panicking() {
-                self.0.queue.close();
+                shared.queue.close();
+                if survivors == 0 {
+                    while let Some(job) = shared.queue.pop() {
+                        shared.fail_job(job, ServiceError::WorkerLost);
+                    }
+                }
             }
         }
     }
-    let _close_on_panic = CloseOnPanic(shared);
+    let _exit_guard = ExitGuard(shared);
 
     /// Resolves a flight job's key with an error if processing unwinds
     /// past the per-query containment (e.g. a poisoned cache shard):
     /// without this, the coalesced waiters' senders stay parked in the
     /// in-flight table and every waiter blocks until service drop. On
     /// the normal path the worker resolves first, so this drop-time
-    /// resolve is a no-op (the entry is already gone).
+    /// resolve is a no-op (the entry is already gone). The unwind means
+    /// this worker is dying, so the waiters' error is `WorkerLost` (a
+    /// panic contained *inside* a query stays `QueryPanicked`).
     struct ResolveOnUnwind<'a> {
         shared: &'a Shared,
         key: CacheKey,
@@ -633,7 +970,7 @@ fn worker_loop(shared: &Shared) {
         fn drop(&mut self) {
             if self.armed && std::thread::panicking() {
                 if let Some(inflight) = &self.shared.inflight {
-                    inflight.resolve(&self.key, Err(ServiceError::QueryPanicked));
+                    inflight.resolve(&self.key, Err(ServiceError::WorkerLost));
                 }
             }
         }
@@ -642,12 +979,32 @@ fn worker_loop(shared: &Shared) {
     let engine = shared.index.engine();
     let fingerprint = shared.index.fingerprint();
     let mut workspace = shared.workspaces.checkout();
-    while let Some(job) = shared.queue.pop() {
+    while let Some((job, drained)) = shared.queue.pop_drained() {
+        if drained {
+            shared.counters.drained.fetch_add(1, Ordering::Relaxed);
+        }
         let _resolve_on_unwind = ResolveOnUnwind {
             shared,
             key: (job.seed, fingerprint),
             armed: matches!(job.reply, Reply::Flight),
         };
+        #[cfg(laca_fault_inject)]
+        if let Some(faults) = &shared.faults {
+            // Site 1 (stall the worker), then site 2 (kill it) — the
+            // kill panics past the containment below; `ResolveOnUnwind`
+            // is already armed, so flight waiters still resolve.
+            faults.stall_point();
+            faults.worker_kill_point();
+        }
+        // Deadline/cancel check at dequeue: expired work is dropped,
+        // never computed — under overload, queued time eats the
+        // deadline, and computing a dead query would only push the next
+        // one past its deadline too.
+        if job.expired() {
+            shared.counters.expired.fetch_add(1, Ordering::Relaxed);
+            shared.fail_job(job, ServiceError::Expired);
+            continue;
+        }
         let wait_ns = job.enqueued.elapsed().as_nanos() as u64;
         let started = Instant::now();
         // Contain per-query panics: one poisoned query must not take the
@@ -655,6 +1012,12 @@ fn worker_loop(shared: &Shared) {
         // safe to reuse afterwards — `begin` epoch-invalidates all slot
         // state and clears every list at the next query.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            #[cfg(laca_fault_inject)]
+            if let Some(faults) = &shared.faults {
+                // Sites 3 and 4: slow the query down / fail it in a
+                // contained panic.
+                faults.compute_point();
+            }
             engine.bdd_with_stats_in(job.seed, &mut workspace)
         }));
         let compute_ns = started.elapsed().as_nanos() as u64;

@@ -24,18 +24,30 @@ global="${1:-}"
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 
-# Per-suite regression thresholds (trimmed-min metric). Serving/routing
-# include cache-hit legs timed in microseconds, where relative jitter is
-# biggest — they get the most headroom.
+# Per-suite regression thresholds. Serving/routing include cache-hit
+# legs timed in microseconds, where relative jitter is biggest — they
+# get the most headroom. Overload gates tail latency past saturation,
+# where queueing noise dominates — widest threshold of all.
 threshold_for() {
     case "$1" in
         serving | routing) echo "2.5" ;;
+        overload) echo "3.0" ;;
         *) echo "2.0" ;;
     esac
 }
 
+# Comparison metric per suite: throughput suites gate on the trimmed
+# minimum (can the code still go this fast?); the overload suite gates
+# on p99 (does the tail still hold under saturation?).
+metric_for() {
+    case "$1" in
+        overload) echo "p99" ;;
+        *) echo "tmin" ;;
+    esac
+}
+
 status=0
-for suite in diffusion serving tnam routing; do
+for suite in diffusion serving tnam routing overload; do
     baseline="BENCH_${suite}.json"
     if [[ ! -f "$baseline" ]]; then
         echo "skipping $suite: no committed $baseline"
@@ -44,6 +56,7 @@ for suite in diffusion serving tnam routing; do
     suite_upper="$(echo "$suite" | tr '[:lower:]' '[:upper:]')"
     override_var="BENCH_THRESHOLD_${suite_upper}"
     threshold="${global:-${!override_var:-$(threshold_for "$suite")}}"
+    metric="$(metric_for "$suite")"
     echo "=== bench: $suite ==="
     # The suite-specific env var keeps the committed baseline untouched.
     env_var="BENCH_${suite_upper}_JSON"
@@ -53,9 +66,9 @@ for suite in diffusion serving tnam routing; do
         tail -n 20 "$out/$suite.log"
         exit 1
     }
-    echo "=== compare: $suite (threshold ${threshold}x, trimmed-min) ==="
+    echo "=== compare: $suite (threshold ${threshold}x, ${metric}) ==="
     cargo run --release -q -p laca-bench --bin bench_compare -- \
-        "$baseline" "$out/$suite.json" --threshold "$threshold" || status=1
+        "$baseline" "$out/$suite.json" --threshold "$threshold" --metric "$metric" || status=1
 done
 
 exit "$status"

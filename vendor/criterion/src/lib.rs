@@ -43,8 +43,31 @@ pub struct BenchResult {
     pub tmin_ns: u128,
     /// Median sample (upper median, `sorted[samples / 2]`).
     pub median_ns: u128,
+    /// Nearest-rank 50th percentile. Tail-latency suites (the overload
+    /// bench) gate on percentiles rather than central tendency; `p50`
+    /// differs from `median_ns` only in rank convention (lower vs upper
+    /// median on even sample counts).
+    pub p50_ns: u128,
+    /// Nearest-rank 99th percentile (collapses toward `max_ns` below
+    /// 100 samples).
+    pub p99_ns: u128,
+    /// Nearest-rank 99.9th percentile (collapses toward `max_ns` below
+    /// 1 000 samples).
+    pub p999_ns: u128,
     /// Number of timed samples.
     pub samples: usize,
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice: the smallest
+/// sample with at least `num/den` of the distribution at or below it.
+/// Exposed so open-loop benches that collect their own per-request
+/// latencies (e.g. the overload suite) use the exact statistic the
+/// harness records.
+pub fn percentile_ns(sorted_ns: &[u128], num: u128, den: u128) -> u128 {
+    assert!(!sorted_ns.is_empty() && num <= den && den > 0);
+    let n = sorted_ns.len() as u128;
+    let rank = (n * num).div_ceil(den).max(1);
+    sorted_ns[(rank - 1) as usize]
 }
 
 fn registry() -> &'static Mutex<Vec<BenchResult>> {
@@ -80,13 +103,17 @@ pub fn write_json(
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"label\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
-             \"tmin_ns\": {}, \"median_ns\": {}, \"samples\": {}}}{}\n",
+             \"tmin_ns\": {}, \"median_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"p999_ns\": {}, \"samples\": {}}}{}\n",
             json_escape(&r.label),
             r.mean_ns,
             r.min_ns,
             r.max_ns,
             r.tmin_ns,
             r.median_ns,
+            r.p50_ns,
+            r.p99_ns,
+            r.p999_ns,
             r.samples,
             if i + 1 < results.len() { "," } else { "" }
         ));
@@ -257,6 +284,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
     // upper median. With < 10 samples the trim collapses to the min.
     let tmin = sorted[n / 10];
     let median = sorted[n / 2];
+    let sorted_ns: Vec<u128> = sorted.iter().map(Duration::as_nanos).collect();
     println!(
         "{label:<50} mean {mean:>12?}   min {min:>12?}   tmin {tmin:>12?}   max {max:>12?}   \
          ({n} samples)"
@@ -268,6 +296,9 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
         max_ns: max.as_nanos(),
         tmin_ns: tmin.as_nanos(),
         median_ns: median.as_nanos(),
+        p50_ns: percentile_ns(&sorted_ns, 50, 100),
+        p99_ns: percentile_ns(&sorted_ns, 99, 100),
+        p999_ns: percentile_ns(&sorted_ns, 999, 1000),
         samples: n,
     });
 }
@@ -328,12 +359,26 @@ mod tests {
         assert!(ours[0].min_ns <= ours[0].mean_ns && ours[0].mean_ns <= ours[0].max_ns);
         assert!(ours[0].min_ns <= ours[0].tmin_ns && ours[0].tmin_ns <= ours[0].median_ns);
         assert!(ours[0].median_ns <= ours[0].max_ns);
+        assert!(ours[0].p50_ns <= ours[0].p99_ns && ours[0].p99_ns <= ours[0].p999_ns);
+        assert!(ours[0].p999_ns <= ours[0].max_ns);
         let dir = std::env::temp_dir().join("criterion-stub-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("out.json");
         write_json(&path, &results, &[("speedup/x".to_string(), 3.5)]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"json/noop\""));
+        assert!(text.contains("\"p99_ns\":"));
         assert!(text.contains("\"speedup/x\": 3.5000"));
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<u128> = (1..=100).collect();
+        assert_eq!(percentile_ns(&v, 50, 100), 50);
+        assert_eq!(percentile_ns(&v, 99, 100), 99);
+        assert_eq!(percentile_ns(&v, 999, 1000), 100);
+        assert_eq!(percentile_ns(&v, 0, 100), 1, "p0 clamps to the smallest sample");
+        let one = [7u128];
+        assert_eq!(percentile_ns(&one, 99, 100), 7);
     }
 }

@@ -1148,7 +1148,7 @@ pub mod sync {
         use std::marker::PhantomData;
         use std::sync::{Arc, Mutex as StdMutex};
 
-        pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+        pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
         struct ChanState<T> {
             id: usize,
@@ -1302,6 +1302,27 @@ pub mod sync {
                             };
                             cx.block(Block::Recv(id));
                         }
+                    }
+                }
+            }
+
+            /// Blocks until a value arrives or `timeout` elapses.
+            ///
+            /// Model channels have no clock — a schedule either delivers
+            /// a value or disconnects the channel, it never "times out" —
+            /// so inside a model this behaves exactly like [`Self::recv`]
+            /// with a disconnect mapped to
+            /// [`RecvTimeoutError::Disconnected`]. Outside a model it
+            /// delegates to `std`'s real timed receive.
+            pub fn recv_timeout(
+                &self,
+                timeout: std::time::Duration,
+            ) -> Result<T, RecvTimeoutError> {
+                match &self.imp {
+                    ReceiverImpl::Std(rx) => rx.recv_timeout(timeout),
+                    ReceiverImpl::Model(_) => {
+                        let _ = timeout;
+                        self.recv().map_err(|RecvError| RecvTimeoutError::Disconnected)
                     }
                 }
             }
