@@ -41,10 +41,14 @@
 //! 1. `routes` — the router's copy-on-write table (`CowMap`);
 //! 2. `queue-state` — the bounded submission queue's mutex;
 //! 3. `inflight-shard` — a single-flight table shard;
-//! 4. `cache-shard` — a result-cache LRU shard.
+//! 4. `cache-shard` — a result-cache LRU shard;
+//! 5. `telemetry-archive` — the router's retired-route stats archive.
 //!
 //! (`InFlightTable::join_or_lead` holding its shard while re-checking the
-//! cache is the motivating edge: 3 → 4 is downward, hence legal.)
+//! cache is the motivating edge: 3 → 4 is downward, hence legal. The
+//! archive sits last: `ServiceRouter::telemetry` snapshots a route's
+//! stats — which walks cache shards — before locking the archive, so the
+//! archive must never be held while touching anything above it.)
 
 use std::fmt;
 
@@ -309,6 +313,8 @@ fn classify_lock(impl_name: Option<&str>, receiver: &str) -> Option<(u8, &'stati
         } else {
             Some((3, "cache-shard"))
         }
+    } else if receiver.contains("archive") {
+        Some((4, "telemetry-archive"))
     } else {
         None
     }
@@ -463,7 +469,7 @@ pub fn lint_source(path: &str, source: &str) -> SourceReport {
                         emit(
                             RULE_LOCK_ORDER,
                             format!(
-                                "acquires `{label}` (level {level}) while holding `{}` (level {}, bound line {}); the declared order is routes < queue-state < inflight-shard < cache-shard",
+                                "acquires `{label}` (level {level}) while holding `{}` (level {}, bound line {}); the declared order is routes < queue-state < inflight-shard < cache-shard < telemetry-archive",
                                 held.label, held.level, held.line
                             ),
                             &mut report,

@@ -209,6 +209,58 @@ fn temporary_guards_do_not_count_as_held() {
     assert!(report.findings.is_empty(), "{:?}", report.findings);
 }
 
+#[test]
+fn archive_then_shard_is_an_upward_violation() {
+    // telemetry-archive (4) held, then cache-shard (3): upward — the
+    // router's `telemetry()` must finish its stats walk (which locks
+    // cache shards) before touching the retired-route archive.
+    let report = lint_service(
+        "impl ServiceRouter {\n\
+             fn bad(&self, cache: &ShardedCache) {\n\
+                 let archive = self.archive.lock().expect(\"poisoned\");\n\
+                 let shard = cache.shard(0).lock().expect(\"poisoned\");\n\
+             }\n\
+         }\n",
+    );
+    assert_eq!(rules_of(&report), vec![RULE_LOCK_ORDER]);
+    assert!(
+        report.findings[0].message.contains("telemetry-archive"),
+        "{}",
+        report.findings[0].message
+    );
+}
+
+#[test]
+fn shard_then_archive_follows_the_hierarchy() {
+    // cache-shard (3) then telemetry-archive (4): the telemetry() edge —
+    // snapshot live stats, then fold in archived routes. Explicitly legal.
+    let report = lint_service(
+        "impl ServiceRouter {\n\
+             fn telemetry_edge(&self, cache: &ShardedCache) {\n\
+                 let shard = cache.shard(0).lock().expect(\"poisoned\");\n\
+                 let archive = self.archive.lock().expect(\"poisoned\");\n\
+             }\n\
+         }\n",
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn span_ring_record_is_hot_path_clean() {
+    // The flight-recorder finish sequence — histogram bump plus ring
+    // record — must stay legal inside a `hot-path` region with zero
+    // suppressions: both structures are preallocated at startup.
+    let report = lint_service(
+        "// lint: hot-path\n\
+         fn finish(ring: &SpanRing, hist: &LogHistogram, span: &QuerySpan) {\n\
+             hist.record(span.total_ns());\n\
+             ring.record(span);\n\
+         }\n",
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressed, 0);
+}
+
 // --- relaxed-ordering-justified ---------------------------------------------
 
 #[test]

@@ -43,6 +43,7 @@ pub fn nongreedy_diffuse_in(
 ) -> Result<DiffusionResult, DiffusionError> {
     params.validate()?;
     check_input(f)?;
+    let epoch_resets_before = ws.epoch_resets_total();
     ws.begin(graph.n());
     ws.seed::<true>(graph, params.epsilon, f);
     let mut stats = DiffusionStats::default();
@@ -56,6 +57,9 @@ pub fn nongreedy_diffuse_in(
             stats.residual_history.push(ws.residual_l1());
         }
     }
+    stats.frontier_peak = ws.frontier_peak();
+    stats.touched = ws.touched_len();
+    stats.epoch_resets = (ws.epoch_resets_total() - epoch_resets_before) as usize;
     let (reserve, residual) = ws.to_sparse();
     Ok(DiffusionResult { reserve, residual, stats })
 }
@@ -85,6 +89,7 @@ pub fn adaptive_diffuse_in(
 ) -> Result<DiffusionResult, DiffusionError> {
     params.validate()?;
     check_input(f)?;
+    let epoch_resets_before = ws.epoch_resets_total();
     ws.begin(graph.n());
     ws.seed::<true>(graph, params.epsilon, f);
     let mut stats = DiffusionStats::default();
@@ -114,6 +119,9 @@ pub fn adaptive_diffuse_in(
             stats.residual_history.push(ws.residual_l1());
         }
     }
+    stats.frontier_peak = ws.frontier_peak();
+    stats.touched = ws.touched_len();
+    stats.epoch_resets = (ws.epoch_resets_total() - epoch_resets_before) as usize;
     let (reserve, residual) = ws.to_sparse();
     Ok(DiffusionResult { reserve, residual, stats })
 }
@@ -165,6 +173,55 @@ mod tests {
             let out = adaptive_diffuse(&g, &f, &params).unwrap();
             assert_eq14(&g, &f, &out, 1e-4);
         }
+    }
+
+    #[test]
+    fn kernel_profile_is_populated() {
+        let g = test_graph();
+        let f = SparseVec::unit(0);
+        let params = DiffusionParams::new(0.8, 1e-4);
+        for out in [
+            adaptive_diffuse(&g, &f, &params).unwrap(),
+            nongreedy_diffuse(&g, &f, &params).unwrap(),
+            greedy_diffuse(&g, &f, &params).unwrap(),
+        ] {
+            assert!(out.stats.frontier_peak > 0, "a converging run extracts a frontier");
+            assert!(
+                out.stats.touched >= out.reserve.support_size(),
+                "every reserve node was touched ({} touched, {} reserve)",
+                out.stats.touched,
+                out.reserve.support_size()
+            );
+            assert!(out.stats.touched <= g.n(), "touched is bounded by n");
+            assert_eq!(out.stats.epoch_resets, 0, "no stamp wrap in a fresh workspace");
+        }
+    }
+
+    #[cfg(laca_trace)]
+    #[test]
+    fn per_push_trace_matches_push_count_and_respects_cap() {
+        use crate::workspace::DiffusionWorkspace;
+        let g = test_graph();
+        let f = SparseVec::unit(3);
+        let params = DiffusionParams::new(0.8, 1e-3);
+        let mut ws = DiffusionWorkspace::for_graph(&g);
+        ws.enable_trace(1 << 20);
+        let out = adaptive_diffuse_in(&g, &f, &params, &mut ws).unwrap();
+        let trace = ws.take_trace();
+        assert_eq!(
+            trace.len(),
+            out.stats.push_operations,
+            "with a roomy cap, every push is traced"
+        );
+        assert_eq!(ws.trace_dropped(), 0);
+        assert!(trace.iter().all(|e| e.delta > 0.0 && (e.node as usize) < g.n()));
+
+        // A tiny cap bounds the buffer and counts the overflow.
+        ws.enable_trace(8);
+        let out = adaptive_diffuse_in(&g, &f, &params, &mut ws).unwrap();
+        let trace = ws.take_trace();
+        assert_eq!(trace.len(), 8);
+        assert_eq!(ws.trace_dropped(), out.stats.push_operations as u64 - 8);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub fn greedy_diffuse_in(
 ) -> Result<DiffusionResult, DiffusionError> {
     params.validate()?;
     check_input(f)?;
+    let epoch_resets_before = ws.epoch_resets_total();
     ws.begin(graph.n());
     ws.seed::<false>(graph, params.epsilon, f);
     let mut stats = DiffusionStats::default();
@@ -52,6 +53,9 @@ pub fn greedy_diffuse_in(
             stats.residual_history.push(ws.residual_l1());
         }
     }
+    stats.frontier_peak = ws.frontier_peak();
+    stats.touched = ws.touched_len();
+    stats.epoch_resets = (ws.epoch_resets_total() - epoch_resets_before) as usize;
     let (reserve, residual) = ws.to_sparse();
     Ok(DiffusionResult { reserve, residual, stats })
 }

@@ -138,6 +138,17 @@ pub struct DiffusionStats {
     pub push_operations: usize,
     /// Non-greedy cost counter `C_tot` of Algo. 2.
     pub nongreedy_cost: f64,
+    /// Peak occupancy of the workspace's frontier queue during the run —
+    /// the kernel's instantaneous working-set signal (how much
+    /// above-threshold residual was pending at the worst moment).
+    pub frontier_peak: usize,
+    /// Distinct nodes the push loops touched (the size of the query's
+    /// dense working set; bounds the `to_sparse` output pass).
+    pub touched: usize,
+    /// Workspace epoch-stamp wrap-arounds absorbed by this run's
+    /// `begin` (a full `O(n)` stamp reset; happens once every 2³²
+    /// queries per workspace, so almost always 0).
+    pub epoch_resets: usize,
     /// `‖r‖₁` after each iteration, when requested.
     pub residual_history: Vec<f64>,
 }

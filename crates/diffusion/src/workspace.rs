@@ -86,6 +86,33 @@ pub struct DiffusionWorkspace {
     above: usize,
     /// Total queries begun on this workspace (reuse telemetry).
     queries: u64,
+    /// Peak frontier-queue occupancy of the current query (telemetry;
+    /// sampled at extraction, where the queue is at its fullest).
+    frontier_peak: usize,
+    /// Total epoch-stamp wrap resets over the workspace's lifetime.
+    epoch_resets: u64,
+    /// Per-push trace of the current query (node, mass delta), bounded
+    /// by `trace_cap`. Deep tracing only; compiled out of default
+    /// builds so the push loop stays at its measured baseline.
+    #[cfg(laca_trace)]
+    trace: Vec<TraceEvent>,
+    /// Capacity bound on `trace`; 0 (the default) disables capture.
+    #[cfg(laca_trace)]
+    trace_cap: usize,
+    /// Pushes not traced because `trace` was full.
+    #[cfg(laca_trace)]
+    trace_dropped: u64,
+}
+
+/// One traced push operation (`--cfg laca_trace` builds only): the
+/// receiving node and the residual mass scattered onto it.
+#[cfg(laca_trace)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Node that received the push.
+    pub node: NodeId,
+    /// Residual mass added (`α · r(v) / d(v)`, edge-weighted).
+    pub delta: f64,
 }
 
 impl DiffusionWorkspace {
@@ -105,6 +132,46 @@ impl DiffusionWorkspace {
     /// Number of queries begun on this workspace.
     pub fn queries(&self) -> u64 {
         self.queries
+    }
+
+    /// Peak frontier-queue occupancy of the current (or last) query.
+    pub fn frontier_peak(&self) -> usize {
+        self.frontier_peak
+    }
+
+    /// Nodes touched by the current (or last) query.
+    pub fn touched_len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Epoch-stamp wrap resets absorbed over the workspace's lifetime
+    /// (one full `O(n)` re-stamp every 2³² queries; solvers report the
+    /// per-query delta as [`crate::DiffusionStats::epoch_resets`]).
+    pub fn epoch_resets_total(&self) -> u64 {
+        self.epoch_resets
+    }
+
+    /// Arms per-push tracing for subsequent queries: up to `cap` pushes
+    /// per query are captured (the rest are counted as dropped). The
+    /// buffer is reserved here so the push loop itself never grows it.
+    #[cfg(laca_trace)]
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace_cap = cap;
+        if self.trace.capacity() < cap {
+            self.trace.reserve(cap - self.trace.len());
+        }
+    }
+
+    /// Takes the current query's push trace (empties the buffer).
+    #[cfg(laca_trace)]
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Pushes the current query could not trace (buffer at `cap`).
+    #[cfg(laca_trace)]
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace_dropped
     }
 
     /// Capacities of every internal buffer. Two equal signatures around a
@@ -132,6 +199,7 @@ impl DiffusionWorkspace {
                 s.queued = 0;
             }
             self.epoch = 1;
+            self.epoch_resets += 1;
         } else {
             self.epoch += 1;
         }
@@ -143,6 +211,12 @@ impl DiffusionWorkspace {
         self.vol_r = 0.0;
         self.above = 0;
         self.queries += 1;
+        self.frontier_peak = 0;
+        #[cfg(laca_trace)]
+        {
+            self.trace.clear();
+            self.trace_dropped = 0;
+        }
     }
 
     /// `|supp(γ)| / |supp(r)|`, the Algo. 2 branch ratio, in `O(1)`.
@@ -211,6 +285,10 @@ impl DiffusionWorkspace {
     /// `O(|γ|)`, no rescan of `r`.
     // lint: hot-path
     pub(crate) fn extract_frontier<const TRACK: bool>(&mut self, graph: &CsrGraph, alpha: f64) {
+        // The frontier only grows between extractions, so sampling here
+        // (and in `extract_all`) captures its per-query peak without a
+        // branch in the push loop.
+        self.frontier_peak = self.frontier_peak.max(self.frontier.len());
         self.gamma.clear();
         let mut frontier = std::mem::take(&mut self.frontier);
         for &v in &frontier {
@@ -239,6 +317,7 @@ impl DiffusionWorkspace {
     /// query's touched set.
     // lint: hot-path
     pub(crate) fn extract_all(&mut self, _graph: &CsrGraph, alpha: f64) {
+        self.frontier_peak = self.frontier_peak.max(self.frontier.len());
         self.gamma.clear();
         let touched = std::mem::take(&mut self.touched);
         for &v in &touched {
@@ -287,6 +366,10 @@ impl DiffusionWorkspace {
             let slots = &mut self.slots;
             let touched = &mut self.touched;
             let frontier = &mut self.frontier;
+            #[cfg(laca_trace)]
+            let trace = (&mut self.trace, self.trace_cap, &mut self.trace_dropped);
+            #[cfg(laca_trace)]
+            let (trace_buf, trace_cap, trace_dropped) = trace;
             for &(v, val, inv_d) in &gamma {
                 let spread = alpha * val * inv_d;
                 // Split on weightedness outside the inner loop: unweighted
@@ -296,6 +379,8 @@ impl DiffusionWorkspace {
                 match graph.neighbor_weights(v) {
                     None => {
                         for &j in graph.neighbors(v) {
+                            #[cfg(laca_trace)]
+                            trace_push(trace_buf, trace_cap, trace_dropped, j, spread);
                             r_add::<TRACK>(
                                 slots, touched, frontier, &mut agg, graph, epoch, epsilon, j,
                                 spread,
@@ -305,6 +390,8 @@ impl DiffusionWorkspace {
                     }
                     Some(weights) => {
                         for (&j, &w) in graph.neighbors(v).iter().zip(weights) {
+                            #[cfg(laca_trace)]
+                            trace_push(trace_buf, trace_cap, trace_dropped, j, spread * w);
                             r_add::<TRACK>(
                                 slots,
                                 touched,
@@ -357,6 +444,26 @@ impl DiffusionWorkspace {
             }
         }
         (reserve, residual)
+    }
+}
+
+/// Captures one push into the bounded per-query trace buffer
+/// (`--cfg laca_trace` builds only): appends below `cap`, counts drops
+/// above it. The buffer is reserved by `enable_trace`, so the append
+/// never allocates on the steady-state path.
+#[cfg(laca_trace)]
+#[inline]
+fn trace_push(
+    trace: &mut Vec<TraceEvent>,
+    cap: usize,
+    dropped: &mut u64,
+    node: NodeId,
+    delta: f64,
+) {
+    if trace.len() < cap {
+        trace.push(TraceEvent { node, delta });
+    } else if cap > 0 {
+        *dropped += 1;
     }
 }
 

@@ -17,6 +17,7 @@
 //! force a second compute for the same flight.
 
 use crate::sync::{mpsc, Mutex, PoisonError};
+use laca_telemetry::QuerySpan;
 use rustc_hash::FxHashMap;
 use std::hash::{Hash, Hasher};
 
@@ -218,6 +219,11 @@ pub enum Submission<V> {
 /// per key, with all interested submitters parked as `mpsc` waiters on
 /// the entry.
 ///
+/// Each waiter carries the [`QuerySpan`] it had assembled when it
+/// parked; [`Self::resolve`] hands the spans back to the resolver so it
+/// can stamp the resume/reply events and record them — the table itself
+/// never touches a clock.
+///
 /// The submit-path protocol (see [`crate::QueryService::submit`]):
 ///
 /// 1. fast path — probe the result cache; a hit never touches this table;
@@ -241,8 +247,12 @@ pub enum Submission<V> {
 /// something already panicked.
 #[derive(Debug)]
 pub struct InFlightTable<K, V> {
-    shards: Vec<Mutex<FxHashMap<K, Vec<mpsc::Sender<V>>>>>,
+    shards: Vec<Mutex<FxHashMap<K, FlightWaiters<V>>>>,
 }
+
+/// One flight's parked waiters: each submitter's reply channel plus the
+/// span it had assembled when it parked.
+type FlightWaiters<V> = Vec<(mpsc::Sender<V>, QuerySpan)>;
 
 /// In-flight shard count. Entries live for one compute (milliseconds) and
 /// the population is bounded by the submission-queue depth, so a small
@@ -257,7 +267,7 @@ impl<K: Hash + Eq, V: Clone> InFlightTable<K, V> {
         }
     }
 
-    fn shard(&self, key: &K) -> &Mutex<FxHashMap<K, Vec<mpsc::Sender<V>>>> {
+    fn shard(&self, key: &K) -> &Mutex<FxHashMap<K, FlightWaiters<V>>> {
         let mut h = rustc_hash::FxHasher::default();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % self.shards.len()]
@@ -265,41 +275,54 @@ impl<K: Hash + Eq, V: Clone> InFlightTable<K, V> {
 
     /// Joins the key's flight if one is in progress, else re-checks the
     /// cache via `recheck`, else registers `waiter` on a fresh entry and
-    /// makes the caller the leader. `recheck` runs under the shard lock —
-    /// it must only take locks that are never held while calling into
-    /// this table (the result cache qualifies: resolvers insert into it
-    /// *before* locking the shard here).
+    /// makes the caller the leader. `span` is parked with the waiter and
+    /// returned by [`Self::resolve`] for the resolver to finish (the
+    /// leader's own span rides its queued job, so leaders register a
+    /// placeholder — id 0 — that resolvers skip). `recheck` runs under
+    /// the shard lock — it must only take locks that are never held
+    /// while calling into this table (the result cache qualifies:
+    /// resolvers insert into it *before* locking the shard here).
     pub fn join_or_lead(
         &self,
         key: K,
         waiter: mpsc::Sender<V>,
+        span: QuerySpan,
         recheck: impl FnOnce() -> Option<V>,
     ) -> Submission<V> {
         let mut shard = self.shard(&key).lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(waiters) = shard.get_mut(&key) {
-            waiters.push(waiter);
+            waiters.push((waiter, span));
             return Submission::Joined;
         }
         if let Some(value) = recheck() {
             return Submission::Resolved(value);
         }
-        shard.insert(key, vec![waiter]);
+        // The leader's real span rides its queued job; its table entry
+        // parks the id-0 placeholder so resolvers know to skip it.
+        shard.insert(key, vec![(waiter, QuerySpan::default())]);
         Submission::Leading
     }
 
     /// Ends the key's flight: removes the entry and sends `value` to every
     /// registered waiter (waiters that dropped their receiver are
-    /// skipped). A no-op when the key has no flight.
-    pub fn resolve(&self, key: &K, value: V) {
+    /// skipped). Returns the parked spans so the resolver can stamp their
+    /// resume/reply events — including spans of waiters whose receiver is
+    /// gone (they parked; their timeline is still real). Empty when the
+    /// key has no flight.
+    pub fn resolve(&self, key: &K, value: V) -> Vec<QuerySpan> {
         let waiters = {
             let mut shard = self.shard(key).lock().unwrap_or_else(PoisonError::into_inner);
             shard.remove(key)
         };
         // Send outside the lock: new submissions for this key can lead a
         // fresh flight while the old one's waiters drain.
-        for w in waiters.into_iter().flatten() {
+        let waiters = waiters.unwrap_or_default();
+        let mut spans = Vec::with_capacity(waiters.len());
+        for (w, span) in waiters {
             let _ = w.send(value.clone());
+            spans.push(span);
         }
+        spans
     }
 
     /// Number of keys currently in flight (telemetry; racy by nature).
@@ -387,28 +410,43 @@ mod tests {
         }
     }
 
+    /// A parked span distinguishable from the leader's placeholder.
+    fn waiter_span(id: u64) -> QuerySpan {
+        QuerySpan { id, parked_ns: id * 10, ..QuerySpan::default() }
+    }
+
     #[test]
     fn inflight_leader_then_joiners_all_receive_one_resolve() {
         let table: InFlightTable<u32, u32> = InFlightTable::new();
         let (lead_tx, lead_rx) = mpsc::channel();
-        assert!(matches!(table.join_or_lead(7, lead_tx, || None), Submission::Leading));
+        assert!(matches!(
+            table.join_or_lead(7, lead_tx, QuerySpan::default(), || None),
+            Submission::Leading
+        ));
         assert_eq!(table.len(), 1);
-        let followers: Vec<_> = (0..3)
-            .map(|_| {
+        let followers: Vec<_> = (0..3u64)
+            .map(|i| {
                 let (tx, rx) = mpsc::channel();
                 assert!(matches!(
-                    table.join_or_lead(7, tx, || panic!("recheck must not run for joiners")),
+                    table.join_or_lead(7, tx, waiter_span(i + 1), || panic!(
+                        "recheck must not run for joiners"
+                    )),
                     Submission::Joined
                 ));
                 rx
             })
             .collect();
-        table.resolve(&7, 42);
+        let spans = table.resolve(&7, 42);
         assert!(table.is_empty());
         assert_eq!(lead_rx.recv(), Ok(42));
         for rx in followers {
             assert_eq!(rx.recv(), Ok(42));
         }
+        // The resolver gets every parked span back: the leader's
+        // placeholder plus the three joiners, registration order.
+        let ids: Vec<u64> = spans.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(spans[2].parked_ns, 20);
     }
 
     #[test]
@@ -417,7 +455,7 @@ mod tests {
         // join_or_lead must surface as Resolved, not a second Leading.
         let table: InFlightTable<u32, u32> = InFlightTable::new();
         let (tx, _rx) = mpsc::channel();
-        match table.join_or_lead(7, tx, || Some(99)) {
+        match table.join_or_lead(7, tx, QuerySpan::default(), || Some(99)) {
             Submission::Resolved(v) => assert_eq!(v, 99),
             other => panic!("expected Resolved, got {other:?}"),
         }
@@ -427,11 +465,22 @@ mod tests {
     #[test]
     fn inflight_resolve_ignores_dropped_waiters_and_missing_keys() {
         let table: InFlightTable<u32, u32> = InFlightTable::new();
+        let (lead_tx, lead_rx) = mpsc::channel();
+        assert!(matches!(
+            table.join_or_lead(1, lead_tx, QuerySpan::default(), || None),
+            Submission::Leading
+        ));
         let (tx, rx) = mpsc::channel();
-        assert!(matches!(table.join_or_lead(1, tx, || None), Submission::Leading));
+        assert!(matches!(table.join_or_lead(1, tx, waiter_span(9), || None), Submission::Joined));
         drop(rx);
-        table.resolve(&1, 5); // dropped receiver: send error swallowed
-        table.resolve(&2, 6); // never-led key: no-op
+        drop(lead_rx);
+        // Dropped receivers: send errors swallowed, spans still handed
+        // back (leader placeholder first, then the joiner).
+        let spans = table.resolve(&1, 5);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].id, 0);
+        assert_eq!(spans[1].id, 9);
+        assert!(table.resolve(&2, 6).is_empty()); // never-led key: no-op
         assert!(table.is_empty());
     }
 
@@ -441,7 +490,10 @@ mod tests {
         let rxs: Vec<_> = (0..INFLIGHT_SHARDS as u32 * 2)
             .map(|k| {
                 let (tx, rx) = mpsc::channel();
-                assert!(matches!(table.join_or_lead(k, tx, || None), Submission::Leading));
+                assert!(matches!(
+                    table.join_or_lead(k, tx, QuerySpan::default(), || None),
+                    Submission::Leading
+                ));
                 (k, rx)
             })
             .collect();

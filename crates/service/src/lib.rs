@@ -24,7 +24,15 @@
 //!   answer ([`ServiceStats::coalesced`] counts the joins);
 //! * [`ServiceStats`] — a snapshot API over the hit/miss/latency
 //!   counters, with [`QueryService::reset_stats`] /
-//!   [`ServiceStats::delta_since`] for windowed measurements.
+//!   [`ServiceStats::delta_since`] for windowed measurements;
+//! * **flight-recorder telemetry** — every submission is traced as a
+//!   [`laca_telemetry::QuerySpan`] (admission → cache probe → queue →
+//!   compute → reply, plus kernel counters) into preallocated
+//!   per-worker rings ([`QueryService::flight_recorder`]), latencies
+//!   land in log-bucketed histograms ([`ServiceStats::queue_wait_hist`]
+//!   etc.), and [`QueryService::telemetry`] /
+//!   [`ServiceRouter::telemetry`] render a Prometheus-style text
+//!   exposition with stable `laca_*` names.
 //!
 //! Answers are **bit-identical** to serial [`laca_core::Laca::bdd`]; the
 //! integration tests assert it across interleaved multi-threaded loads.
@@ -82,6 +90,11 @@ pub use index::{params_fingerprint, ClusterIndex};
 pub use router::{DrainReport, RouteKey, RouterError, ServiceRouter};
 pub use service::{
     QueryAnswer, QueryHandle, QueryResult, QueryService, ServiceConfig, ServiceError, ServiceStats,
+};
+// Telemetry vocabulary re-exported so downstreams can consume spans and
+// registries without naming `laca-telemetry` directly.
+pub use laca_telemetry::{
+    FlightRecorder, HistogramSnapshot, MetricsRegistry, QuerySpan, SpanOutcome,
 };
 
 // The whole serving surface crosses threads by design; if any layer grows

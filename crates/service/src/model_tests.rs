@@ -15,6 +15,7 @@ use crate::service::{JobQueue, TryPushError};
 use crate::snapshot::CowMap;
 use crate::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use crate::sync::{mpsc, Arc, Mutex};
+use laca_telemetry::QuerySpan;
 use loom::thread;
 
 /// Two producers racing a consumer through a capacity-1 queue: every
@@ -185,7 +186,8 @@ fn inflight_exactly_one_leader_per_flight() {
                 let leads = Arc::clone(&leads);
                 thread::spawn(move || {
                     let (tx, rx) = mpsc::channel();
-                    match table.join_or_lead(9, tx, || *cache.lock().unwrap()) {
+                    match table.join_or_lead(9, tx, QuerySpan::default(), || *cache.lock().unwrap())
+                    {
                         Submission::Leading => {
                             leads.fetch_add(1, Ordering::Relaxed);
                             // Cache insert happens-before entry removal —
@@ -221,7 +223,7 @@ fn inflight_no_double_compute_on_evict_while_in_flight() {
         let submit =
             |table: &InFlightTable<u32, u64>, cache: &Mutex<Option<u64>>, computing: &AtomicU64| {
                 let (tx, rx) = mpsc::channel();
-                match table.join_or_lead(3, tx, || *cache.lock().unwrap()) {
+                match table.join_or_lead(3, tx, QuerySpan::default(), || *cache.lock().unwrap()) {
                     Submission::Leading => {
                         let concurrent = computing.fetch_add(1, Ordering::Relaxed);
                         assert_eq!(concurrent, 0, "two computes in flight for one key");

@@ -18,12 +18,13 @@
 //! (whoever drops the last reference joins it).
 
 use crate::admission::{QueryOptions, RetryPolicy};
-use crate::service::{QueryHandle, QueryResult, ServiceStats};
+use crate::service::{fill_route_metrics, QueryHandle, QueryResult, ServiceStats};
 use crate::snapshot::CowMap;
 use crate::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use crate::sync::Arc;
+use crate::sync::{Arc, Mutex, PoisonError};
 use crate::{ClusterIndex, QueryService, ServiceConfig, ServiceError};
 use laca_graph::NodeId;
+use laca_telemetry::MetricsRegistry;
 use rustc_hash::FxHashMap;
 
 /// Identity of one served index: the dataset it was built over plus the
@@ -134,6 +135,13 @@ pub struct ServiceRouter {
     /// `Overloaded` rejection; surfaced as [`ServiceStats::retried`] in
     /// the router's aggregates.
     retried: AtomicU64,
+    /// Final counter snapshots of retired routes, in retirement order.
+    /// Retirement would otherwise erase a route's history from
+    /// [`Self::telemetry`] mid-scrape; archiving the last [`ServiceStats`]
+    /// keeps `laca_*_total` series monotone across the route's lifetime.
+    /// Level 4 (`telemetry-archive`) in the lock hierarchy: always
+    /// acquired *after* any snapshot walk that touches cache shards.
+    archive: Mutex<Vec<(RouteKey, ServiceStats)>>,
 }
 
 impl ServiceRouter {
@@ -143,6 +151,7 @@ impl ServiceRouter {
             routes: CowMap::new(),
             draining: AtomicU32::new(0),
             retried: AtomicU64::new(0),
+            archive: Mutex::new(Vec::new()),
         }
     }
 
@@ -205,7 +214,27 @@ impl ServiceRouter {
         // If ours was the last reference, the worker pool joins on this
         // drop — `CowMap::remove` returns the value after releasing the
         // write lock, so retirement can never block routing on a drain.
-        self.routes.remove(key).is_some()
+        match self.routes.remove(key) {
+            Some(service) => {
+                self.archive_route(key.clone(), service.stats());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Parks a retired route's final counters for [`Self::telemetry`].
+    /// Must be called with no snapshot-walk locks held above level 4 —
+    /// i.e. after `stats()` has already released every cache shard.
+    fn archive_route(&self, key: RouteKey, stats: ServiceStats) {
+        let mut archive = self.archive.lock().unwrap_or_else(PoisonError::into_inner);
+        match archive.iter_mut().find(|(k, _)| *k == key) {
+            // A key can retire more than once (retire, re-register,
+            // retire again); generations merge so the archive keeps one
+            // entry per distinct route identity.
+            Some((_, prior)) => prior.merge(&stats),
+            None => archive.push((key, stats)),
+        }
     }
 
     /// The service behind `key`, if registered. Handy for pinning a route
@@ -358,6 +387,52 @@ impl ServiceRouter {
         self.snapshot().iter().map(|(k, s)| (k.clone(), s.stats())).collect()
     }
 
+    /// Prometheus-style exposition across every route, live and retired.
+    ///
+    /// Each live route renders the full per-route family set
+    /// ([`QueryService::telemetry`] semantics: `laca_*_total` counters,
+    /// worker/cache gauges, latency summaries, and per-ring span-drop
+    /// counters from its flight recorder). Retired routes contribute
+    /// their archived final counters — no gauges change meaning, but the
+    /// `_total` series survive retirement, so a scraper never sees a
+    /// counter vanish or reset just because an index was swapped out. A
+    /// key that was retired and re-registered folds its archived
+    /// generations into the live snapshot, keeping its series monotone.
+    ///
+    /// Lock order: live `stats()` snapshots (cache shards, level 3)
+    /// complete before the archive lock (level 4, `telemetry-archive`)
+    /// is acquired.
+    pub fn telemetry(&self) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        // Snapshot live stats first: `stats()` walks each route's cache
+        // shards, so every level-3 lock is released before the archive
+        // lock below.
+        let live: Vec<_> = self
+            .snapshot()
+            .iter()
+            .map(|(key, service)| (key.clone(), service.stats(), Arc::clone(service)))
+            .collect();
+        let archived = self.archive.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        let live_keys: Vec<RouteKey> = live.iter().map(|(key, _, _)| key.clone()).collect();
+        for (key, mut stats, service) in live {
+            if let Some((_, prior)) = archived.iter().find(|(k, _)| *k == key) {
+                stats.merge(prior);
+            }
+            fill_route_metrics(
+                &mut registry,
+                &key.to_string(),
+                &stats,
+                Some(service.flight_recorder()),
+            );
+        }
+        for (key, stats) in &archived {
+            if !live_keys.contains(key) {
+                fill_route_metrics(&mut registry, &key.to_string(), stats, None);
+            }
+        }
+        registry
+    }
+
     /// Counters summed across every live route (gauges — workers, cache
     /// capacity/entries — sum too: they describe the aggregate fleet).
     pub fn aggregate_stats(&self) -> ServiceStats {
@@ -431,6 +506,7 @@ impl ServiceRouter {
                 }
             };
             totals.merge(&stats);
+            self.archive_route(key.clone(), stats.clone());
             routes.push((key, stats));
         }
         // ordering: Relaxed load — advisory telemetry (see

@@ -1,7 +1,9 @@
 //! The concurrent query engine: bounded submission queue with
 //! configurable overload admission, fixed worker pool with persistent
 //! diffusion workspaces, the cache fast path, single-flight coalescing
-//! of concurrent misses, and per-query deadlines dropped at dequeue.
+//! of concurrent misses, per-query deadlines dropped at dequeue, and
+//! flight-recorder telemetry (per-query [`QuerySpan`] timelines plus
+//! log-bucketed latency histograms) stamped along the whole lifecycle.
 
 use crate::admission::{AdmissionPolicy, QueryOptions};
 use crate::cache::{InFlightTable, ShardedCache, Submission};
@@ -12,6 +14,10 @@ use laca_core::laca::LacaQueryStats;
 use laca_core::CoreError;
 use laca_diffusion::{SparseVec, WorkspacePool};
 use laca_graph::NodeId;
+use laca_telemetry::{
+    FlightRecorder, HistogramSnapshot, LogHistogram, MetricsRegistry, QuerySpan, SpanOutcome,
+    SUBMIT_WORKER,
+};
 use std::collections::VecDeque;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -41,6 +47,12 @@ pub struct ServiceConfig {
     /// submitter ([`AdmissionPolicy::Block`], the default) or shed load
     /// with [`ServiceError::Overloaded`] (see [`AdmissionPolicy`]).
     pub admission: AdmissionPolicy,
+    /// Flight-recorder depth: how many finished [`QuerySpan`]s each
+    /// worker's ring retains (rounded up to a power of two, minimum 1;
+    /// the shared submit-path ring gets the same depth). Span recording
+    /// is always on — it is a handful of atomic stores per query — so
+    /// this knob only sizes the retained window.
+    pub spans_per_worker: usize,
     /// Seeded fault schedule injected into the worker loop; only
     /// available under `--cfg laca_fault_inject` (the invariant test
     /// suite's build), absent from release builds entirely.
@@ -56,6 +68,7 @@ impl Default for ServiceConfig {
             cache_per_worker: 512,
             cache_shards: 8,
             admission: AdmissionPolicy::Block,
+            spans_per_worker: 256,
             #[cfg(laca_fault_inject)]
             fault_plan: None,
         }
@@ -90,6 +103,12 @@ impl ServiceConfig {
     /// Sets the overload-admission policy.
     pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
         self.admission = policy;
+        self
+    }
+
+    /// Sets the per-worker flight-recorder span depth.
+    pub fn with_spans_per_worker(mut self, spans: usize) -> Self {
+        self.spans_per_worker = spans;
         self
     }
 
@@ -284,6 +303,9 @@ struct Job {
     /// Cancel latch shared with the submitter's [`QueryHandle`]
     /// (direct-reply jobs only).
     cancel: Option<Arc<AtomicU32>>,
+    /// The partially-assembled span timeline (admission/probe/enqueue
+    /// already stamped); the worker finishes and records it.
+    span: QuerySpan,
 }
 
 impl Job {
@@ -433,7 +455,10 @@ struct Counters {
     expired: AtomicU64,
     drained: AtomicU64,
     compute_ns: AtomicU64,
+    compute_samples: AtomicU64,
     queue_wait_ns: AtomicU64,
+    queue_wait_samples: AtomicU64,
+    kernel_pushes: AtomicU64,
 }
 
 impl Counters {
@@ -452,7 +477,10 @@ impl Counters {
             &self.expired,
             &self.drained,
             &self.compute_ns,
+            &self.compute_samples,
             &self.queue_wait_ns,
+            &self.queue_wait_samples,
+            &self.kernel_pushes,
         ] {
             // ordering: Relaxed store is deliberate — each counter is
             // independent advisory telemetry; a reset needs no ordering
@@ -503,9 +531,45 @@ pub struct ServiceStats {
     /// served in steady state.
     pub drained: u64,
     /// Total worker compute time, nanoseconds.
+    ///
+    /// **Invariant**: `compute_ns` and [`compute_samples`] are bumped
+    /// together (one sample per computed job), and [`merge`] /
+    /// [`delta_since`] add / subtract the pair in lockstep — so
+    /// [`avg_compute`] is an exact weighted mean across any sequence of
+    /// merges and windowed deltas. Dividing by an unrelated counter
+    /// (e.g. `completed`, which other code paths may bump without
+    /// timing a compute) would skew merged averages; never do that.
+    ///
+    /// [`compute_samples`]: Self::compute_samples
+    /// [`merge`]: Self::merge
+    /// [`delta_since`]: Self::delta_since
+    /// [`avg_compute`]: Self::avg_compute
     pub compute_ns: u64,
+    /// Samples contributing to [`compute_ns`](Self::compute_ns) — the
+    /// count half of the (sum, count) pair.
+    pub compute_samples: u64,
     /// Total time jobs spent queued before a worker picked them up.
+    /// Paired with [`queue_wait_samples`](Self::queue_wait_samples)
+    /// under the same (sum, count) invariant as
+    /// [`compute_ns`](Self::compute_ns).
     pub queue_wait_ns: u64,
+    /// Samples contributing to
+    /// [`queue_wait_ns`](Self::queue_wait_ns).
+    pub queue_wait_samples: u64,
+    /// Kernel profile: total diffusion push operations across every
+    /// computed query (the paper's cost measure, aggregated fleet-wide).
+    pub kernel_pushes: u64,
+    /// Log-bucketed distribution of per-job queue wait, nanoseconds.
+    /// The histogram triple replaces "flat sum only" latency telemetry:
+    /// percentiles (p50/p99/p999) survive merging across routes and
+    /// windowing via [`delta_since`](Self::delta_since), which sums
+    /// cannot express.
+    pub queue_wait_hist: HistogramSnapshot,
+    /// Log-bucketed distribution of per-job compute time, nanoseconds.
+    pub compute_hist: HistogramSnapshot,
+    /// Log-bucketed distribution of end-to-end latency (admission to
+    /// reply) for every finished span — computed, hit, coalesced, shed.
+    pub total_hist: HistogramSnapshot,
 }
 
 impl ServiceStats {
@@ -541,7 +605,13 @@ impl ServiceStats {
         self.retried += other.retried;
         self.drained += other.drained;
         self.compute_ns += other.compute_ns;
+        self.compute_samples += other.compute_samples;
         self.queue_wait_ns += other.queue_wait_ns;
+        self.queue_wait_samples += other.queue_wait_samples;
+        self.kernel_pushes += other.kernel_pushes;
+        self.queue_wait_hist.merge(&other.queue_wait_hist);
+        self.compute_hist.merge(&other.compute_hist);
+        self.total_hist.merge(&other.total_hist);
     }
 
     /// The counter deltas accrued since `earlier` (an older snapshot of
@@ -565,18 +635,66 @@ impl ServiceStats {
             retried: self.retried.saturating_sub(earlier.retried),
             drained: self.drained.saturating_sub(earlier.drained),
             compute_ns: self.compute_ns.saturating_sub(earlier.compute_ns),
+            compute_samples: self.compute_samples.saturating_sub(earlier.compute_samples),
             queue_wait_ns: self.queue_wait_ns.saturating_sub(earlier.queue_wait_ns),
+            queue_wait_samples: self.queue_wait_samples.saturating_sub(earlier.queue_wait_samples),
+            kernel_pushes: self.kernel_pushes.saturating_sub(earlier.kernel_pushes),
+            queue_wait_hist: self.queue_wait_hist.delta_since(&earlier.queue_wait_hist),
+            compute_hist: self.compute_hist.delta_since(&earlier.compute_hist),
+            total_hist: self.total_hist.delta_since(&earlier.total_hist),
         }
     }
 
-    /// Mean compute time per completed query (zero before any complete).
+    /// Mean compute time per timed compute sample — exact across
+    /// [`merge`](Self::merge)d and [`delta_since`](Self::delta_since)
+    /// windows because the (sum, count) pair travels together (zero
+    /// before any sample).
     pub fn avg_compute(&self) -> std::time::Duration {
-        std::time::Duration::from_nanos(self.compute_ns.checked_div(self.completed).unwrap_or(0))
+        std::time::Duration::from_nanos(
+            self.compute_ns.checked_div(self.compute_samples).unwrap_or(0),
+        )
     }
 
-    /// Mean queue wait per completed query (zero before any complete).
+    /// Mean queue wait per timed sample (zero before any sample); same
+    /// (sum, count) contract as [`avg_compute`](Self::avg_compute).
     pub fn avg_queue_wait(&self) -> std::time::Duration {
-        std::time::Duration::from_nanos(self.queue_wait_ns.checked_div(self.completed).unwrap_or(0))
+        std::time::Duration::from_nanos(
+            self.queue_wait_ns.checked_div(self.queue_wait_samples).unwrap_or(0),
+        )
+    }
+}
+
+/// The span outcome a query that failed with `err` records.
+fn outcome_for(err: &ServiceError) -> SpanOutcome {
+    match err {
+        ServiceError::Closed => SpanOutcome::Closed,
+        ServiceError::Core(_) | ServiceError::QueryPanicked => SpanOutcome::Failed,
+        ServiceError::Overloaded => SpanOutcome::Shed,
+        ServiceError::Expired => SpanOutcome::Expired,
+        ServiceError::WorkerLost => SpanOutcome::WorkerLost,
+    }
+}
+
+/// Per-service observability state: the flight recorder holding recent
+/// [`QuerySpan`]s (one ring per worker plus the shared submit-path ring)
+/// and the route's log-bucketed latency histograms. All memory is
+/// allocated at service start; the record paths are lock-free and
+/// allocation-free.
+struct ServiceTelemetry {
+    recorder: FlightRecorder,
+    queue_wait: LogHistogram,
+    compute: LogHistogram,
+    total: LogHistogram,
+}
+
+impl ServiceTelemetry {
+    fn new(workers: usize, spans_per_worker: usize) -> Self {
+        ServiceTelemetry {
+            recorder: FlightRecorder::new(workers, spans_per_worker),
+            queue_wait: LogHistogram::new(),
+            compute: LogHistogram::new(),
+            total: LogHistogram::new(),
+        }
     }
 }
 
@@ -591,6 +709,7 @@ struct Shared {
     cache: Option<ShardedCache<CacheKey, Arc<QueryAnswer>>>,
     inflight: Option<InFlightTable<CacheKey, QueryResult>>,
     counters: Counters,
+    telemetry: ServiceTelemetry,
     workspaces: WorkspacePool,
     admission: AdmissionPolicy,
     /// Workers still running their loop. The last worker to die by an
@@ -602,18 +721,81 @@ struct Shared {
 }
 
 impl Shared {
+    /// Finishes a span that terminated without ever reaching a worker
+    /// (cache hit, shed, closed-at-admission): stamps the reply event,
+    /// records the end-to-end latency, and pushes the span into the
+    /// submit-path ring.
+    fn finish_submit_span(&self, mut span: QuerySpan, outcome: SpanOutcome) {
+        span.replied_ns = self.telemetry.recorder.now_ns();
+        self.finish_submit_span_prestamped(span, outcome);
+    }
+
+    /// [`Self::finish_submit_span`] for callers that already stamped
+    /// `replied_ns` — the cache-hit fast path folds the probe and reply
+    /// stamps into one clock reading, because a clock read costs more
+    /// than everything between those two events combined.
+    fn finish_submit_span_prestamped(&self, mut span: QuerySpan, outcome: SpanOutcome) {
+        span.worker = SUBMIT_WORKER;
+        span.outcome = outcome;
+        self.telemetry.total.record(span.total_ns());
+        self.telemetry.recorder.record_submit(&span);
+    }
+
+    /// Finishes the waiter spans an [`InFlightTable::resolve`] handed
+    /// back: stamps resume/reply, records end-to-end latency, and pushes
+    /// each span into `worker`'s ring (the resolver is its only
+    /// producer) or the submit ring for submit-path resolutions. The
+    /// leader's placeholder (id 0) is skipped — its real span rides the
+    /// queued job.
+    fn finish_waiter_spans(
+        &self,
+        spans: Vec<QuerySpan>,
+        outcome: SpanOutcome,
+        worker: Option<usize>,
+    ) {
+        let tel = &self.telemetry;
+        let now = tel.recorder.now_ns();
+        for mut span in spans {
+            if span.id == 0 {
+                continue;
+            }
+            span.outcome = outcome;
+            span.resumed_ns = now;
+            span.replied_ns = now;
+            tel.total.record(span.total_ns());
+            match worker {
+                Some(w) => tel.recorder.record_worker(w, &span),
+                None => tel.recorder.record_submit(&span),
+            };
+        }
+    }
+
     /// Replies `Err(err)` to a job that will never compute (expired at
-    /// dequeue, or stranded by the death of the last worker).
-    fn fail_job(&self, job: Job, err: ServiceError) {
+    /// dequeue, or stranded by the death of the last worker), finishing
+    /// its span — and, for flight jobs, every coalesced waiter's span —
+    /// into `worker`'s ring (or the submit ring when no worker owns the
+    /// failure).
+    fn fail_job(&self, job: Job, err: ServiceError, worker: Option<usize>) {
+        let outcome = outcome_for(&err);
+        let mut span = job.span;
         match job.reply {
             // The submitter may have dropped its handle; that's fine.
             Reply::Direct(tx) => drop(tx.send(Err(err))),
             Reply::Flight => {
                 let inflight =
                     self.inflight.as_ref().expect("flight job without an in-flight table");
-                inflight.resolve(&(job.seed, self.index.fingerprint()), Err(err));
+                let waiters = inflight.resolve(&(job.seed, self.index.fingerprint()), Err(err));
+                self.finish_waiter_spans(waiters, outcome, worker);
             }
         }
+        span.worker = worker.map_or(SUBMIT_WORKER, |w| w as u32);
+        span.outcome = outcome;
+        span.replied_ns = self.telemetry.recorder.now_ns();
+        self.telemetry.total.record(span.total_ns());
+        match worker {
+            Some(w) => self.telemetry.recorder.record_worker(w, &span),
+            None => self.telemetry.recorder.record_submit(&span),
+        };
     }
 }
 
@@ -656,6 +838,7 @@ impl QueryService {
             cache,
             inflight,
             counters: Counters::default(),
+            telemetry: ServiceTelemetry::new(workers, config.spans_per_worker),
             workspaces,
             admission: config.admission,
             live_workers: AtomicUsize::new(workers),
@@ -667,7 +850,7 @@ impl QueryService {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("laca-service-{wid}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, wid))
                     .expect("failed to spawn service worker")
             })
             .collect();
@@ -729,15 +912,33 @@ impl QueryService {
         let shared = &self.shared;
         let key = (seed, shared.index.fingerprint());
         let counters = &shared.counters;
+        let recorder = &shared.telemetry.recorder;
         let deadline = opts.deadline.map(|d| Instant::now() + d);
+        // Span birth: every submission gets a recorder-unique id and an
+        // admission stamp; later lifecycle events fill in as they happen.
+        let mut span = QuerySpan {
+            id: recorder.next_id(),
+            seed: u64::from(seed),
+            admitted_ns: recorder.now_ns(),
+            ..QuerySpan::default()
+        };
         let (cache, inflight) = match (&shared.cache, &shared.inflight) {
             (Some(cache), Some(inflight)) => {
                 // Fast path: answered straight from the cache. Hits are
                 // admitted under every policy — they occupy nothing.
-                if let Some(answer) = cache.get(&key) {
+                let probe = cache.get(&key);
+                if let Some(answer) = probe {
                     counters.hits.fetch_add(1, Ordering::Relaxed);
+                    // One reading serves both stamps: on the hit path
+                    // nothing measurable happens between probe return
+                    // and reply, and a second clock read would dominate
+                    // the whole fast path.
+                    span.probed_ns = recorder.now_ns();
+                    span.replied_ns = span.probed_ns;
+                    shared.finish_submit_span_prestamped(span, SpanOutcome::Hit);
                     return QueryHandle::ready(Ok(answer));
                 }
+                span.probed_ns = recorder.now_ns();
                 (cache, inflight)
             }
             // Cache (and with it coalescing) disabled: every submission
@@ -752,6 +953,7 @@ impl QueryService {
                     enqueued: Instant::now(),
                     deadline,
                     cancel: Some(Arc::clone(&cancel)),
+                    span: QuerySpan { enqueued_ns: recorder.now_ns(), ..span },
                 };
                 return match self.admit(job) {
                     Ok(()) => {
@@ -762,6 +964,10 @@ impl QueryService {
                         if e == ServiceError::Overloaded {
                             counters.shed.fetch_add(1, Ordering::Relaxed);
                         }
+                        // Record `span` (no enqueue stamp): the job —
+                        // and its optimistic stamp — never entered the
+                        // queue.
+                        shared.finish_submit_span(span, outcome_for(&e));
                         QueryHandle::ready(Err(e))
                     }
                 };
@@ -774,13 +980,16 @@ impl QueryService {
         // first and sheds only work that would enqueue.
         if shared.admission == AdmissionPolicy::Shed && shared.queue.is_full() {
             counters.shed.fetch_add(1, Ordering::Relaxed);
+            shared.finish_submit_span(span, SpanOutcome::Shed);
             return QueryHandle::ready(Err(ServiceError::Overloaded));
         }
         // Miss: join the key's in-flight computation if there is one,
         // else lead a new flight. Leader and followers alike are parked
-        // as waiters on the flight entry.
+        // as waiters on the flight entry; a joiner's span parks with its
+        // waiter and is finished by whoever resolves the flight.
         let (tx, rx) = mpsc::channel();
-        match inflight.join_or_lead(key, tx, || cache.get(&key).map(Ok)) {
+        let parked = QuerySpan { parked_ns: recorder.now_ns(), ..span };
+        match inflight.join_or_lead(key, tx, parked, || cache.get(&key).map(Ok)) {
             Submission::Joined => {
                 counters.coalesced.fetch_add(1, Ordering::Relaxed);
                 QueryHandle { inner: HandleInner::Pending(rx), cancel: None }
@@ -789,6 +998,7 @@ impl QueryService {
                 // The racing flight resolved between our fast-path probe
                 // and the shard lock; its answer is in the cache now.
                 counters.hits.fetch_add(1, Ordering::Relaxed);
+                shared.finish_submit_span(span, SpanOutcome::Hit);
                 QueryHandle::ready(result)
             }
             Submission::Leading => {
@@ -798,6 +1008,7 @@ impl QueryService {
                     enqueued: Instant::now(),
                     deadline,
                     cancel: None,
+                    span: QuerySpan { enqueued_ns: recorder.now_ns(), ..span },
                 };
                 match self.admit(job) {
                     Ok(()) => {
@@ -808,8 +1019,12 @@ impl QueryService {
                             counters.shed.fetch_add(1, Ordering::Relaxed);
                         }
                         // The flight must resolve on every leader path;
-                        // this also serves any follower that joined since.
-                        inflight.resolve(&key, Err(e));
+                        // this also serves any follower that joined since
+                        // (their parked spans come back for finishing).
+                        let outcome = outcome_for(&e);
+                        let waiters = inflight.resolve(&key, Err(e));
+                        shared.finish_waiter_spans(waiters, outcome, None);
+                        shared.finish_submit_span(span, outcome);
                     }
                 }
                 QueryHandle { inner: HandleInner::Pending(rx), cancel: None }
@@ -871,19 +1086,58 @@ impl QueryService {
             retried: 0,
             drained: c.drained.load(Ordering::Relaxed),
             compute_ns: c.compute_ns.load(Ordering::Relaxed),
+            compute_samples: c.compute_samples.load(Ordering::Relaxed),
             queue_wait_ns: c.queue_wait_ns.load(Ordering::Relaxed),
+            queue_wait_samples: c.queue_wait_samples.load(Ordering::Relaxed),
+            kernel_pushes: c.kernel_pushes.load(Ordering::Relaxed),
+            queue_wait_hist: self.shared.telemetry.queue_wait.snapshot(),
+            compute_hist: self.shared.telemetry.compute.snapshot(),
+            total_hist: self.shared.telemetry.total.snapshot(),
         }
     }
 
-    /// Zeroes the hit/miss/latency counters, so the next [`Self::stats`]
-    /// snapshot covers only work submitted after this call — benches use
-    /// it to measure a warm window without lifetime-aggregate noise (the
-    /// gauges — cache entries/capacity, workers — are unaffected).
-    /// Increments racing with the reset may be lost; quiesce the service
-    /// first when exact counts matter. [`ServiceStats::delta_since`] is
-    /// the non-destructive alternative.
+    /// The service's flight recorder: the last
+    /// [`ServiceConfig::spans_per_worker`] finished [`QuerySpan`]s per
+    /// worker (plus the submit-path ring). Use
+    /// [`FlightRecorder::snapshot`] for the merged "what just happened"
+    /// timeline.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.shared.telemetry.recorder
+    }
+
+    /// Renders the service's current counters, histograms and span-ring
+    /// occupancy into a fresh [`MetricsRegistry`] (Prometheus text via
+    /// [`MetricsRegistry::render_text`]), labeled with this service's
+    /// route key. Routers expose the multi-route equivalent as
+    /// [`crate::ServiceRouter::telemetry`].
+    pub fn telemetry(&self) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        let route = self.shared.index.route_key().to_string();
+        fill_route_metrics(
+            &mut registry,
+            &route,
+            &self.stats(),
+            Some(&self.shared.telemetry.recorder),
+        );
+        registry
+    }
+
+    /// Zeroes the hit/miss/latency counters and the latency histograms,
+    /// so the next [`Self::stats`] snapshot covers only work submitted
+    /// after this call — benches use it to measure a warm window without
+    /// lifetime-aggregate noise (the gauges — cache entries/capacity,
+    /// workers — are unaffected, and the flight-recorder rings keep
+    /// their spans). Histograms reset together with their sample
+    /// counters so the `(sum, count)` lockstep invariant on
+    /// [`ServiceStats`] survives the reset. Increments racing with the
+    /// reset may be lost; quiesce the service first when exact counts
+    /// matter. [`ServiceStats::delta_since`] is the non-destructive
+    /// alternative.
     pub fn reset_stats(&self) {
         self.shared.counters.reset();
+        self.shared.telemetry.queue_wait.reset();
+        self.shared.telemetry.compute.reset();
+        self.shared.telemetry.total.reset();
     }
 
     /// Fences admission: closes the submission queue, so every later
@@ -915,6 +1169,132 @@ impl QueryService {
     }
 }
 
+/// Appends one route's samples to `registry` under the stable `laca_*`
+/// metric names, every sample labeled `route=<route>`. `recorder` adds
+/// the per-ring span family (labels `route`, `worker` — worker rings by
+/// number plus the `"submit"` ring); pass `None` for retired routes
+/// whose recorder is gone but whose final counters are archived.
+pub(crate) fn fill_route_metrics(
+    registry: &mut MetricsRegistry,
+    route: &str,
+    stats: &ServiceStats,
+    recorder: Option<&FlightRecorder>,
+) {
+    let route_label = [("route", route)];
+    let counters: [(&str, &str, u64); 10] = [
+        (
+            "laca_cache_hits_total",
+            "Queries answered from the result cache at submit time.",
+            stats.cache_hits,
+        ),
+        (
+            "laca_cache_misses_total",
+            "Queries that missed the cache and enqueued a compute.",
+            stats.cache_misses,
+        ),
+        (
+            "laca_coalesced_total",
+            "Misses that joined an in-flight computation instead of enqueueing.",
+            stats.coalesced,
+        ),
+        (
+            "laca_completed_total",
+            "Queries computed to completion by workers (success or error).",
+            stats.completed,
+        ),
+        (
+            "laca_errors_total",
+            "Queries that failed in the core algorithm or panicked.",
+            stats.errors,
+        ),
+        (
+            "laca_shed_total",
+            "Submissions rejected at admission with queue at capacity.",
+            stats.shed,
+        ),
+        (
+            "laca_expired_total",
+            "Jobs dropped at dequeue past their deadline or cancelled.",
+            stats.expired,
+        ),
+        (
+            "laca_retried_total",
+            "Submissions re-attempted after an overload rejection.",
+            stats.retried,
+        ),
+        (
+            "laca_drained_total",
+            "Jobs flushed through shutdown or drain after the queue closed.",
+            stats.drained,
+        ),
+        (
+            "laca_kernel_pushes_total",
+            "Diffusion push operations across every computed query.",
+            stats.kernel_pushes,
+        ),
+    ];
+    for (name, help, value) in counters {
+        registry.counter(name, help, &route_label, value);
+    }
+    registry.gauge(
+        "laca_workers",
+        "Worker threads serving the queue.",
+        &route_label,
+        stats.workers as f64,
+    );
+    registry.gauge(
+        "laca_cache_entries",
+        "Answers currently cached.",
+        &route_label,
+        stats.cache_entries as f64,
+    );
+    registry.gauge(
+        "laca_cache_capacity",
+        "Total result-cache capacity in answers.",
+        &route_label,
+        stats.cache_capacity as f64,
+    );
+    registry.summary(
+        "laca_queue_wait_seconds",
+        "Time jobs spent queued before a worker picked them up.",
+        &route_label,
+        &stats.queue_wait_hist,
+        1e-9,
+    );
+    registry.summary(
+        "laca_compute_seconds",
+        "Worker compute time per query.",
+        &route_label,
+        &stats.compute_hist,
+        1e-9,
+    );
+    registry.summary(
+        "laca_total_seconds",
+        "End-to-end latency from admission to reply, every outcome.",
+        &route_label,
+        &stats.total_hist,
+        1e-9,
+    );
+    let Some(recorder) = recorder else { return };
+    for ring_index in 0..=recorder.workers() {
+        let ring = recorder.ring(ring_index);
+        let worker = recorder.ring_label(ring_index);
+        let labels = [("route", route), ("worker", worker.as_str())];
+        registry.counter(
+            "laca_spans_recorded_total",
+            "Query spans recorded into this ring of the flight recorder.",
+            &labels,
+            ring.claimed().saturating_sub(ring.dropped()),
+        );
+        registry.counter(
+            "laca_spans_dropped_total",
+            "Query spans dropped by a contested ring-slot claim.",
+            &labels,
+            ring.dropped(),
+        );
+    }
+}
+
 impl Drop for QueryService {
     fn drop(&mut self) {
         self.shared.queue.close();
@@ -928,7 +1308,9 @@ impl Drop for QueryService {
 
 /// Body of one worker thread: one engine (pointer copies of the index),
 /// one workspace for life, then serve until the queue closes and drains.
-fn worker_loop(shared: &Shared) {
+/// `wid` names the worker's flight-recorder ring (it is that ring's only
+/// producer).
+fn worker_loop(shared: &Shared, wid: usize) {
     // Runs however the worker exits. If the exit is a panic that escaped
     // the per-job containment below, close the queue on the way out:
     // submitters then fail fast with `Closed` instead of enqueueing into
@@ -945,7 +1327,9 @@ fn worker_loop(shared: &Shared) {
                 shared.queue.close();
                 if survivors == 0 {
                     while let Some(job) = shared.queue.pop() {
-                        shared.fail_job(job, ServiceError::WorkerLost);
+                        // No worker owns these failures — the spans go
+                        // to the submit ring (MP-safe by design).
+                        shared.fail_job(job, ServiceError::WorkerLost, None);
                     }
                 }
             }
@@ -979,7 +1363,9 @@ fn worker_loop(shared: &Shared) {
     let engine = shared.index.engine();
     let fingerprint = shared.index.fingerprint();
     let mut workspace = shared.workspaces.checkout();
-    while let Some((job, drained)) = shared.queue.pop_drained() {
+    let telemetry = &shared.telemetry;
+    while let Some((mut job, drained)) = shared.queue.pop_drained() {
+        job.span.dequeued_ns = telemetry.recorder.now_ns();
         if drained {
             shared.counters.drained.fetch_add(1, Ordering::Relaxed);
         }
@@ -1002,11 +1388,13 @@ fn worker_loop(shared: &Shared) {
         // one past its deadline too.
         if job.expired() {
             shared.counters.expired.fetch_add(1, Ordering::Relaxed);
-            shared.fail_job(job, ServiceError::Expired);
+            shared.fail_job(job, ServiceError::Expired, Some(wid));
             continue;
         }
+        let mut span = job.span;
         let wait_ns = job.enqueued.elapsed().as_nanos() as u64;
         let started = Instant::now();
+        span.compute_start_ns = telemetry.recorder.now_ns();
         // Contain per-query panics: one poisoned query must not take the
         // worker (and with it the whole service) down. The workspace is
         // safe to reuse afterwards — `begin` epoch-invalidates all slot
@@ -1021,12 +1409,26 @@ fn worker_loop(shared: &Shared) {
             engine.bdd_with_stats_in(job.seed, &mut workspace)
         }));
         let compute_ns = started.elapsed().as_nanos() as u64;
+        span.compute_end_ns = telemetry.recorder.now_ns();
         let counters = &shared.counters;
         counters.queue_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+        counters.queue_wait_samples.fetch_add(1, Ordering::Relaxed);
         counters.compute_ns.fetch_add(compute_ns, Ordering::Relaxed);
+        counters.compute_samples.fetch_add(1, Ordering::Relaxed);
         counters.completed.fetch_add(1, Ordering::Relaxed);
+        telemetry.queue_wait.record(wait_ns);
+        telemetry.compute.record(compute_ns);
         let reply: QueryResult = match result {
             Ok(Ok((rho, stats))) => {
+                // Kernel profile: both diffusions (RWR seed expansion +
+                // BDD) contribute; peaks take the max, costs sum.
+                span.pushes = (stats.rwr.push_operations + stats.bdd.push_operations) as u64;
+                span.iterations = (stats.rwr.iterations + stats.bdd.iterations) as u64;
+                span.frontier_peak = stats.rwr.frontier_peak.max(stats.bdd.frontier_peak) as u64;
+                span.touched = stats.rwr.touched.max(stats.bdd.touched) as u64;
+                span.epoch_resets = (stats.rwr.epoch_resets + stats.bdd.epoch_resets) as u64;
+                span.outcome = SpanOutcome::Computed;
+                counters.kernel_pushes.fetch_add(span.pushes, Ordering::Relaxed);
                 let answer = Arc::new(QueryAnswer { seed: job.seed, rho, stats });
                 // Cache insert MUST happen before the flight resolves
                 // below: `submit`'s under-lock re-check relies on
@@ -1039,21 +1441,34 @@ fn worker_loop(shared: &Shared) {
             }
             Ok(Err(e)) => {
                 counters.errors.fetch_add(1, Ordering::Relaxed);
+                span.outcome = SpanOutcome::Failed;
                 Err(ServiceError::Core(e))
             }
             Err(_panic) => {
                 counters.errors.fetch_add(1, Ordering::Relaxed);
+                span.outcome = SpanOutcome::Failed;
                 Err(ServiceError::QueryPanicked)
             }
         };
+        // Waiters that coalesced onto this flight resume with the
+        // leader's answer; an error resolution propagates its outcome.
+        let waiter_outcome = match &reply {
+            Ok(_) => SpanOutcome::Coalesced,
+            Err(e) => outcome_for(e),
+        };
+        span.worker = wid as u32;
+        span.replied_ns = telemetry.recorder.now_ns();
         match &job.reply {
             // The submitter may have dropped its handle; that's fine.
             Reply::Direct(tx) => drop(tx.send(reply)),
             Reply::Flight => {
                 let inflight =
                     shared.inflight.as_ref().expect("flight job without an in-flight table");
-                inflight.resolve(&(job.seed, fingerprint), reply);
+                let waiters = inflight.resolve(&(job.seed, fingerprint), reply);
+                shared.finish_waiter_spans(waiters, waiter_outcome, Some(wid));
             }
         }
+        telemetry.total.record(span.total_ns());
+        telemetry.recorder.record_worker(wid, &span);
     }
 }

@@ -1,0 +1,76 @@
+//! # `laca-telemetry` — flight-recorder observability for the serving stack
+//!
+//! A dependency-free telemetry layer the serving crates wire through:
+//!
+//! * [`QuerySpan`] / [`SpanRing`] / [`FlightRecorder`] — per-query span
+//!   timelines stamped at admission, cache probe, enqueue, coalesce
+//!   park/resume, dequeue, compute start/end, and reply, recorded into
+//!   preallocated lock-free per-worker ring buffers (single producer
+//!   each, plus one shared submit-path ring) with a snapshot API that
+//!   never surfaces a torn span;
+//! * [`LogHistogram`] / [`HistogramSnapshot`] — log-bucketed
+//!   (power-of-2) latency histograms with saturating atomic counts,
+//!   mergeable snapshots, and nearest-rank p50/p99/p999 reconstruction
+//!   exact to one bucket;
+//! * [`MetricsRegistry`] — Prometheus-style text exposition
+//!   ([`MetricsRegistry::render_text`]) of stable `laca_*` metric names
+//!   with `route`/`worker` labels.
+//!
+//! Everything here is built from atomics only — no locks, no
+//! allocation on the record paths after construction — so recording is
+//! legal inside the workspace's `hot-path-no-alloc` lint regions and
+//! costs a handful of relaxed RMWs per query. The concurrency-bearing
+//! code routes its atomics through a [`sync`] facade; under
+//! `--cfg laca_model_check` the facade resolves to the vendored loom
+//! stand-in and `model_tests.rs` schedule-explores the ring's
+//! snapshot-vs-record seqlock protocol.
+//!
+//! ```
+//! use laca_telemetry::{FlightRecorder, LogHistogram, MetricsRegistry, QuerySpan, SpanOutcome};
+//!
+//! // One recorder per service: 2 workers, 64 spans per ring.
+//! let recorder = FlightRecorder::new(2, 64);
+//! let compute = LogHistogram::new();
+//!
+//! // A worker finishes a query and records its span + latency.
+//! let mut span = QuerySpan { id: recorder.next_id(), seed: 7, worker: 0, ..QuerySpan::default() };
+//! span.compute_start_ns = recorder.now_ns();
+//! span.compute_end_ns = recorder.now_ns();
+//! span.outcome = SpanOutcome::Computed;
+//! compute.record(span.compute_ns());
+//! recorder.record_worker(0, &span);
+//!
+//! // An operator scrapes the last spans and the rendered metrics.
+//! assert_eq!(recorder.snapshot(16).len(), 1);
+//! let mut registry = MetricsRegistry::new();
+//! registry.summary("laca_compute_seconds", "Compute time.", &[("route", "demo")],
+//!                  &compute.snapshot(), 1e-9);
+//! assert!(registry.render_text().contains("laca_compute_seconds_count{route=\"demo\"} 1"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod registry;
+pub mod span;
+pub mod sync;
+
+#[cfg(all(test, laca_model_check))]
+mod model_tests;
+
+pub use hist::{bucket_index, bucket_upper_bound, HistogramSnapshot, LogHistogram, BUCKETS};
+pub use registry::MetricsRegistry;
+pub use span::{FlightRecorder, QuerySpan, SpanOutcome, SpanRing, SUBMIT_WORKER};
+
+// Every type here crosses threads by design (rings are written by
+// workers and snapshotted by scrapers); fail the build if any grows
+// non-`Send`/`Sync` state.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FlightRecorder>();
+    assert_send_sync::<SpanRing>();
+    assert_send_sync::<QuerySpan>();
+    assert_send_sync::<LogHistogram>();
+    assert_send_sync::<HistogramSnapshot>();
+    assert_send_sync::<MetricsRegistry>();
+};

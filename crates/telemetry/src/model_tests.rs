@@ -1,0 +1,127 @@
+//! Schedule-exploring model checks over the recorder's real seqlock
+//! protocol ([`SpanRing::record`] vs [`SpanRing::snapshot_into`]).
+//!
+//! Compiled (and run) only under `--cfg laca_model_check`, where the
+//! crate's `sync` facade resolves to the loom stand-in — the ring code
+//! explored here is byte-for-byte the code production records through.
+//! Each test wraps its body in `loom::model`, which executes the
+//! closure under every thread interleaving within the preemption bound
+//! and fails on any panic or violated assertion on any schedule.
+
+use crate::span::{QuerySpan, SpanRing};
+use loom::sync::Arc;
+use loom::thread;
+
+/// A span whose every field is derived from `v`, so a reader can detect
+/// tearing: any mix of two writers' words breaks the correlation.
+fn uniform_span(v: u64) -> QuerySpan {
+    QuerySpan {
+        id: v,
+        seed: v,
+        admitted_ns: v,
+        probed_ns: v,
+        enqueued_ns: v,
+        parked_ns: v,
+        dequeued_ns: v,
+        compute_start_ns: v,
+        compute_end_ns: v,
+        resumed_ns: v,
+        replied_ns: v,
+        pushes: v,
+        iterations: v,
+        frontier_peak: v,
+        touched: v,
+        epoch_resets: v,
+        ..QuerySpan::default()
+    }
+}
+
+fn assert_uniform(span: &QuerySpan) {
+    let v = span.id;
+    assert!(v > 0, "published span must carry a real id");
+    let words = [
+        span.seed,
+        span.admitted_ns,
+        span.probed_ns,
+        span.enqueued_ns,
+        span.parked_ns,
+        span.dequeued_ns,
+        span.compute_start_ns,
+        span.compute_end_ns,
+        span.resumed_ns,
+        span.replied_ns,
+        span.pushes,
+        span.iterations,
+        span.frontier_peak,
+        span.touched,
+        span.epoch_resets,
+    ];
+    assert!(
+        words.iter().all(|&w| w == v),
+        "torn span surfaced from snapshot: id {v}, words {words:?}"
+    );
+}
+
+/// One writer overwriting a capacity-1 ring while a reader snapshots
+/// concurrently: on every schedule the reader sees either nothing or a
+/// whole span — never a mix of the two writes' words.
+#[test]
+fn snapshot_never_sees_torn_span_under_overwrite() {
+    loom::model(|| {
+        let ring = Arc::new(SpanRing::new(1));
+        let writer = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                assert!(ring.record(&uniform_span(1)));
+                assert!(ring.record(&uniform_span(2)));
+            })
+        };
+        let mut seen = Vec::new();
+        ring.snapshot_into(&mut seen, 4);
+        for span in &seen {
+            assert_uniform(span);
+        }
+        writer.join().unwrap();
+        // Quiescent read: the final overwrite is fully published.
+        let mut settled = Vec::new();
+        ring.snapshot_into(&mut settled, 4);
+        assert_eq!(settled.len(), 1);
+        assert_eq!(settled[0].id, 2);
+        assert_uniform(&settled[0]);
+    });
+}
+
+/// Two producers racing the submit ring's claim CAS on one slot: a
+/// contested claim drops (bumping `dropped`) rather than tearing, the
+/// claim ledger balances, and a concurrent reader still never sees a
+/// torn span.
+#[test]
+fn contested_claims_drop_instead_of_tearing() {
+    loom::model(|| {
+        let ring = Arc::new(SpanRing::new(1));
+        let a = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || ring.record(&uniform_span(1)))
+        };
+        let b = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || ring.record(&uniform_span(2)))
+        };
+        let mut seen = Vec::new();
+        ring.snapshot_into(&mut seen, 4);
+        for span in &seen {
+            assert_uniform(span);
+        }
+        let wrote_a = a.join().unwrap();
+        let wrote_b = b.join().unwrap();
+        let published = u64::from(wrote_a) + u64::from(wrote_b);
+        assert!(published >= 1, "at most one claim can be contested");
+        assert_eq!(ring.claimed(), 2, "every producer claimed a ticket");
+        assert_eq!(ring.dropped(), 2 - published, "drop ledger balances");
+        let mut settled = Vec::new();
+        ring.snapshot_into(&mut settled, 4);
+        for span in &settled {
+            assert_uniform(span);
+        }
+    });
+}

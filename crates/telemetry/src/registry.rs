@@ -1,0 +1,276 @@
+//! A metrics registry with Prometheus-style text exposition.
+//!
+//! [`MetricsRegistry`] is a snapshot-at-call encoder, not a live store:
+//! the serving layer builds one on demand (`QueryService::telemetry()`,
+//! `ServiceRouter::telemetry()`), populating it from its own atomic
+//! counters and [`HistogramSnapshot`]s, and [`render_text`] serializes
+//! it in the Prometheus text format — `# HELP` / `# TYPE` headers, one
+//! `name{label="value",…} value` line per sample, families in insertion
+//! order and samples in insertion order, so output is stable and
+//! diff-able across calls.
+//!
+//! Metric names follow the `laca_*` convention with `route` / `worker`
+//! labels; histograms render as summaries (`{quantile="0.5|0.99|0.999"}`
+//! plus `_sum` and `_count`).
+//!
+//! [`render_text`]: MetricsRegistry::render_text
+
+use crate::hist::HistogramSnapshot;
+
+/// Prometheus metric kinds this registry can expose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MetricKind {
+    Counter,
+    Gauge,
+    Summary,
+}
+
+impl MetricKind {
+    fn type_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Summary => "summary",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Value {
+    Int(u64),
+    Float(f64),
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Sample {
+    /// Suffix appended to the family name (`""`, `"_sum"`, `"_count"`).
+    suffix: &'static str,
+    labels: Vec<(String, String)>,
+    value: Value,
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    samples: Vec<Sample>,
+}
+
+/// A one-shot metrics snapshot that renders to the Prometheus text
+/// format. See the [module docs](self) for conventions.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Vec<Family>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of metric families registered so far.
+    pub fn len(&self) -> usize {
+        self.families.len()
+    }
+
+    /// True if nothing has been sampled.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    fn family(&mut self, name: &str, help: &str, kind: MetricKind) -> &mut Family {
+        if let Some(pos) = self.families.iter().position(|f| f.name == name) {
+            debug_assert_eq!(
+                self.families[pos].kind, kind,
+                "metric family {name} registered with two kinds"
+            );
+            return &mut self.families[pos];
+        }
+        self.families.push(Family {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            kind,
+            samples: Vec::new(),
+        });
+        self.families.last_mut().expect("family just pushed")
+    }
+
+    fn push(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        suffix: &'static str,
+        labels: &[(&str, &str)],
+        value: Value,
+    ) {
+        let sample = Sample {
+            suffix,
+            labels: labels.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
+            value,
+        };
+        self.family(name, help, kind).samples.push(sample);
+    }
+
+    /// Adds one sample of a monotone counter family. The first call for
+    /// `name` fixes its `# HELP` text; later calls append samples.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.push(name, help, MetricKind::Counter, "", labels, Value::Int(value));
+    }
+
+    /// Adds one sample of a gauge family (point-in-time value).
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.push(name, help, MetricKind::Gauge, "", labels, Value::Float(value));
+    }
+
+    /// Adds a histogram snapshot as a Prometheus summary: p50/p99/p999
+    /// `quantile` samples plus `_sum` and `_count`, every value scaled
+    /// by `scale` (pass `1e-9` to expose nanosecond samples in
+    /// seconds, per Prometheus convention; `_count` stays unscaled).
+    pub fn summary(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &HistogramSnapshot,
+        scale: f64,
+    ) {
+        const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")];
+        for (q, q_label) in QUANTILES {
+            let value = hist.quantile(q).unwrap_or(0) as f64 * scale;
+            let mut with_q: Vec<(&str, &str)> = labels.to_vec();
+            with_q.push(("quantile", q_label));
+            self.push(name, help, MetricKind::Summary, "", &with_q, Value::Float(value));
+        }
+        self.push(
+            name,
+            help,
+            MetricKind::Summary,
+            "_sum",
+            labels,
+            Value::Float(hist.sum as f64 * scale),
+        );
+        self.push(name, help, MetricKind::Summary, "_count", labels, Value::Int(hist.count));
+    }
+
+    /// Serializes every family in the Prometheus text exposition format.
+    /// Families and samples render in insertion order — output is stable
+    /// across calls that sample in the same order.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            out.push_str("# HELP ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(&family.help);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(family.kind.type_name());
+            out.push('\n');
+            for sample in &family.samples {
+                out.push_str(&family.name);
+                out.push_str(sample.suffix);
+                if !sample.labels.is_empty() {
+                    out.push('{');
+                    for (i, (key, value)) in sample.labels.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(key);
+                        out.push_str("=\"");
+                        for c in value.chars() {
+                            match c {
+                                '\\' => out.push_str("\\\\"),
+                                '"' => out.push_str("\\\""),
+                                '\n' => out.push_str("\\n"),
+                                c => out.push(c),
+                            }
+                        }
+                        out.push('"');
+                    }
+                    out.push('}');
+                }
+                out.push(' ');
+                out.push_str(&sample.value.to_string());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LogHistogram;
+
+    #[test]
+    fn renders_counters_and_gauges_with_labels() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("laca_cache_hits_total", "Cache hits.", &[("route", "a@1")], 5);
+        reg.counter("laca_cache_hits_total", "ignored on second call", &[("route", "b@2")], 7);
+        reg.gauge("laca_workers", "Worker threads.", &[("route", "a@1")], 2.0);
+        let text = reg.render_text();
+        assert!(text.contains("# HELP laca_cache_hits_total Cache hits.\n"));
+        assert!(text.contains("# TYPE laca_cache_hits_total counter\n"));
+        assert!(text.contains("laca_cache_hits_total{route=\"a@1\"} 5\n"));
+        assert!(text.contains("laca_cache_hits_total{route=\"b@2\"} 7\n"));
+        assert!(text.contains("# TYPE laca_workers gauge\n"));
+        assert!(text.contains("laca_workers{route=\"a@1\"} 2\n"));
+        assert_eq!(text.matches("# HELP laca_cache_hits_total").count(), 1);
+    }
+
+    #[test]
+    fn renders_histogram_as_summary_with_quantiles() {
+        let h = LogHistogram::new();
+        for _ in 0..100 {
+            h.record(1_000_000); // 1 ms → bucket [2^19, 2^20)
+        }
+        let mut reg = MetricsRegistry::new();
+        reg.summary(
+            "laca_compute_seconds",
+            "Compute time.",
+            &[("route", "r")],
+            &h.snapshot(),
+            1e-9,
+        );
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE laca_compute_seconds summary\n"));
+        assert!(text.contains("laca_compute_seconds{route=\"r\",quantile=\"0.5\"}"));
+        assert!(text.contains("laca_compute_seconds{route=\"r\",quantile=\"0.99\"}"));
+        assert!(text.contains("laca_compute_seconds{route=\"r\",quantile=\"0.999\"}"));
+        assert!(text.contains("laca_compute_seconds_count{route=\"r\"} 100\n"));
+        assert!(text.contains("laca_compute_seconds_sum{route=\"r\"} 0.1\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("laca_x_total", "x", &[("route", "a\"b\\c\nd")], 1);
+        assert!(reg.render_text().contains("route=\"a\\\"b\\\\c\\nd\""));
+    }
+
+    #[test]
+    fn stable_ordering_is_insertion_order() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("laca_b_total", "b", &[], 1);
+        reg.counter("laca_a_total", "a", &[], 2);
+        let text = reg.render_text();
+        let b = text.find("laca_b_total").unwrap();
+        let a = text.find("laca_a_total").unwrap();
+        assert!(b < a, "families render in insertion order, not sorted");
+    }
+}

@@ -1,0 +1,21 @@
+//! Synchronization facade: `std::sync::atomic` in normal builds, loom's
+//! instrumented atomics under `--cfg laca_model_check`.
+//!
+//! This crate is lock-free by design — every shared structure (the span
+//! rings, the histograms, the recorder's id sequence) is built from
+//! atomics only — so the facade is narrower than `laca-service`'s: it
+//! re-exports just the `atomic` module. Compiling with
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg laca_model_check" cargo test -p laca-telemetry
+//! ```
+//!
+//! routes the *same* production record/snapshot code through the model
+//! checker, which is how `model_tests.rs` proves the seqlock protocol
+//! never surfaces a torn span.
+
+#[cfg(not(laca_model_check))]
+pub use std::sync::atomic;
+
+#[cfg(laca_model_check)]
+pub use loom::sync::atomic;

@@ -1,0 +1,113 @@
+//! Property-based tests of the log-bucketed histogram: reconstructed
+//! quantiles stay within one power-of-2 bucket of the exact
+//! nearest-rank sample, merge is order-insensitive, and `(sum, count)`
+//! are carried exactly (never derived from bucket midpoints).
+
+use laca_telemetry::{bucket_index, bucket_upper_bound, HistogramSnapshot, LogHistogram};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile (1-based rank `⌈q·n⌉`, clamped), the
+/// definition [`HistogramSnapshot::quantile`] reconstructs against.
+fn exact_nearest_rank(samples: &[u64], q: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn record_all(samples: &[u64]) -> HistogramSnapshot {
+    let hist = LogHistogram::new();
+    for &s in samples {
+        hist.record(s);
+    }
+    hist.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The precision contract: for every quantile, the reconstructed
+    /// value is exactly the upper bound of the bucket holding the true
+    /// nearest-rank sample — i.e. off by less than one power of two,
+    /// never by a bucket.
+    #[test]
+    fn quantiles_within_one_bucket_of_exact(
+        samples in proptest::collection::vec(0u64..=u64::MAX, 1..300),
+        q in 0.01f64..=1.0,
+    ) {
+        let snap = record_all(&samples);
+        let exact = exact_nearest_rank(&samples, q);
+        let reconstructed = snap.quantile(q).unwrap();
+        prop_assert_eq!(
+            reconstructed,
+            bucket_upper_bound(bucket_index(exact)),
+            "q={} exact={}", q, exact
+        );
+        // Corollary bounds: never below the true sample, never more
+        // than one bucket (2x, modulo the value-0 bucket) above it.
+        prop_assert!(reconstructed >= exact);
+        prop_assert!(reconstructed <= exact.saturating_mul(2).max(1));
+    }
+
+    /// p50/p99 specifically (the pair the serving exposition renders)
+    /// land in the same bucket as the exact nearest-rank percentiles.
+    #[test]
+    fn p50_p99_match_exact_buckets(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let snap = record_all(&samples);
+        for (q, got) in [(0.50, snap.p50()), (0.99, snap.p99()), (0.999, snap.p999())] {
+            let exact = exact_nearest_rank(&samples, q);
+            prop_assert_eq!(bucket_index(got), bucket_index(exact), "q={}", q);
+        }
+    }
+
+    /// Merging per-worker shards in any order reconstructs the same
+    /// quantiles as one histogram fed everything — the property route
+    /// aggregation and drain totals rely on.
+    #[test]
+    fn merge_is_equivalent_to_recording_together(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..150),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..150),
+    ) {
+        let mut merged_ab = record_all(&a);
+        merged_ab.merge(&record_all(&b));
+        let mut merged_ba = record_all(&b);
+        merged_ba.merge(&record_all(&a));
+        let together: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let all = record_all(&together);
+        prop_assert_eq!(&merged_ab, &all);
+        prop_assert_eq!(&merged_ba, &all);
+    }
+
+    /// `(sum, count)` and the mean are exact, not bucket-approximated.
+    #[test]
+    fn sum_count_mean_are_exact(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let snap = record_all(&samples);
+        let sum: u64 = samples.iter().sum();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.sum, sum);
+        prop_assert_eq!(snap.mean(), sum / samples.len() as u64);
+    }
+
+    /// Windowing: `later.delta_since(&earlier)` recovers exactly the
+    /// histogram of the samples recorded in between.
+    #[test]
+    fn delta_since_recovers_the_window(
+        warmup in proptest::collection::vec(0u64..1_000_000_000, 0..100),
+        window in proptest::collection::vec(0u64..1_000_000_000, 0..100),
+    ) {
+        let hist = LogHistogram::new();
+        for &s in &warmup {
+            hist.record(s);
+        }
+        let earlier = hist.snapshot();
+        for &s in &window {
+            hist.record(s);
+        }
+        let delta = hist.snapshot().delta_since(&earlier);
+        prop_assert_eq!(delta, record_all(&window));
+    }
+}

@@ -47,5 +47,6 @@ run exp_table11_similarity "${common[@]}"
 run exp_serving --seeds 6 --scale 0.02 --datasets arxiv
 run exp_routing --seeds 6 --scale 0.02 --datasets arxiv
 run exp_overload --seeds 6 --scale 0.02 --datasets arxiv
+run exp_telemetry --seeds 6 --scale 0.02 --datasets arxiv
 
 echo "all experiment binaries smoked OK"

@@ -18,7 +18,11 @@
 //!   [`ClusterIndex`](service::ClusterIndex), worker pool, sharded result
 //!   cache with single-flight coalescing, and the multi-index
 //!   [`ServiceRouter`](service::ServiceRouter)); see
-//!   `examples/query_service.rs` and `examples/multi_index_router.rs`.
+//!   `examples/query_service.rs` and `examples/multi_index_router.rs`;
+//! * [`telemetry`] — flight-recorder query spans, log-bucketed latency
+//!   histograms and the Prometheus-style exposition rendered by
+//!   [`QueryService::telemetry`](service::QueryService::telemetry) and
+//!   [`ServiceRouter::telemetry`](service::ServiceRouter::telemetry).
 //!
 //! ## Quickstart
 //!
@@ -57,6 +61,7 @@ pub use laca_eval as eval;
 pub use laca_graph as graph;
 pub use laca_linalg as linalg;
 pub use laca_service as service;
+pub use laca_telemetry as telemetry;
 
 /// The most common imports for library users.
 pub mod prelude {
