@@ -56,6 +56,73 @@ fn hot_path_marker_in_doc_prose_is_inert() {
     assert!(report.findings.is_empty(), "{:?}", report.findings);
 }
 
+#[test]
+fn hot_path_lane_major_batch_kernel_is_clean() {
+    // The batched-diffusion push pattern: lane-major indexing, a bit-scan
+    // over the extraction mask, pushes into pre-sized workspace vectors
+    // and `std::mem::take` of a scratch list — none of it allocates, so
+    // the marked region must stay clean.
+    let report = lint_service(
+        "// lint: hot-path\n\
+         fn push_lanes(ws: &mut Workspace, j: usize, em: u16, delta: &[f64]) {\n\
+             let base = j * ws.stride;\n\
+             let mut m = em;\n\
+             while m != 0 {\n\
+                 let l = m.trailing_zeros() as usize;\n\
+                 m &= m - 1;\n\
+                 ws.r[base + l] += delta[l];\n\
+                 ws.touched.push(j as u32);\n\
+             }\n\
+             let nodes = std::mem::take(&mut ws.gamma_nodes);\n\
+             ws.gamma_nodes = nodes;\n\
+         }\n",
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn hot_path_batch_kernel_allocating_per_push_is_flagged() {
+    // The anti-pattern the lane-major layout exists to avoid: building a
+    // fresh per-push lane buffer.
+    let report = lint_service(
+        "// lint: hot-path\n\
+         fn push_lanes(ws: &mut Workspace, lanes: usize) {\n\
+             let spread = vec![0.0f64; lanes];\n\
+             ws.apply(&spread);\n\
+         }\n",
+    );
+    assert_eq!(rules_of(&report), vec![RULE_HOT_PATH]);
+    assert_eq!(report.findings[0].line, 3);
+}
+
+#[test]
+fn hot_path_simd_kernel_with_safety_doc_passes() {
+    // The vectorized dense-lane kernel: a `# Safety`-documented
+    // `target_feature` function inside a hot-path region, plus a
+    // `// SAFETY:`-justified call site. Both rules must stay quiet.
+    let report = lint_service(
+        "/// 4-wide f64 lane block.\n\
+         ///\n\
+         /// # Safety\n\
+         /// Caller checked AVX2 and `lanes % 4 == 0`.\n\
+         // lint: hot-path\n\
+         #[target_feature(enable = \"avx2\")]\n\
+         unsafe fn dense_lanes(r: *mut f64, lanes: usize) {\n\
+             let mut l = 0;\n\
+             while l < lanes {\n\
+                 *r.add(l) += 1.0;\n\
+                 l += 4;\n\
+             }\n\
+         }\n\
+         // lint: hot-path\n\
+         fn caller(r: &mut [f64]) {\n\
+             // SAFETY: AVX2 availability and stride checked by the caller.\n\
+             unsafe { dense_lanes(r.as_mut_ptr(), r.len()) }\n\
+         }\n",
+    );
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
 // --- unsafe-requires-safety -------------------------------------------------
 
 #[test]

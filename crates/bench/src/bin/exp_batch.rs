@@ -1,0 +1,118 @@
+//! **Batched execution scenario**: multi-seed throughput of the batched
+//! Algo. 4 path (`Laca::bdd_batch_with_stats_in`) versus the serial
+//! engine, plus the sweep-aligned upper bound of the raw batched
+//! diffusion kernel — with an online bit-identity check (batched answers
+//! must reproduce the serial bits and per-seed push counts exactly).
+//! `benches/batch.rs` is its committed-baseline twin.
+//!
+//! ```sh
+//! cargo run --release -p laca-bench --bin exp_batch -- --seeds 32
+//! ```
+
+use laca_bench::{banner, load_dataset, ExpArgs};
+use laca_core::tnam::TnamConfig;
+use laca_core::{Laca, LacaParams, MetricFn, Tnam};
+use laca_diffusion::{
+    adaptive_diffuse_in, batch_diffuse_in, BatchMode, BatchWorkspace, DiffusionParams,
+    DiffusionWorkspace, SparseVec,
+};
+use laca_eval::harness::sample_seeds;
+use laca_eval::table::Table;
+use std::time::Instant;
+
+const WIDTHS: [usize; 3] = [1, 4, 16];
+/// Lanes in the aligned-kernel leg (the full batch width).
+const ALIGNED_LANES: usize = 16;
+
+fn main() {
+    let args = ExpArgs::parse(32);
+    let names = args.dataset_names(&["pubmed"]);
+    let params = LacaParams::new(1e-4);
+    let tnam_config = TnamConfig::new(32, MetricFn::Cosine);
+
+    for name in &names {
+        let ds = load_dataset(name, args.scale);
+        let pool = sample_seeds(&ds, args.seeds.max(2), 0xBA7C);
+        let tnam = Tnam::build(&ds.attributes, &tnam_config).expect("tnam");
+        let engine = Laca::new(&ds.graph, Some(&tnam), params.clone()).expect("engine");
+        let mut sws = DiffusionWorkspace::for_graph(&ds.graph);
+        let mut bws = BatchWorkspace::for_graph(&ds.graph, ALIGNED_LANES);
+
+        // Bit-identity: every batched answer must match its serial twin —
+        // same ρ' bits, same push counts.
+        for chunk in pool.chunks(ALIGNED_LANES).take(2) {
+            let batch = engine.bdd_batch_with_stats_in(chunk, &mut bws);
+            for (&s, result) in chunk.iter().zip(batch) {
+                let (rho_b, stats_b) = result.expect("batched query");
+                let (rho_s, stats_s) =
+                    engine.bdd_with_stats_in(s, &mut sws).expect("serial query");
+                assert_eq!(
+                    rho_b.to_sorted_pairs(),
+                    rho_s.to_sorted_pairs(),
+                    "seed {s}: batched ρ' diverged from serial"
+                );
+                assert_eq!(stats_b.bdd.push_operations, stats_s.bdd.push_operations);
+                assert_eq!(stats_b.bdd.iterations, stats_s.bdd.iterations);
+            }
+        }
+        eprintln!("[{name}] bit-identity vs serial: ok ({} seeds)", pool.len().min(32));
+
+        let mut table = Table::new(&["regime", "serial q/s", "batched q/s", "speedup"]);
+
+        // Distinct seeds through the full three-step query path at each
+        // width.
+        let t0 = Instant::now();
+        for &s in &pool {
+            std::hint::black_box(engine.bdd_with_stats_in(s, &mut sws).expect("serial"));
+        }
+        let serial_qps = pool.len() as f64 / t0.elapsed().as_secs_f64();
+        for &width in &WIDTHS {
+            let t0 = Instant::now();
+            for chunk in pool.chunks(width) {
+                for result in engine.bdd_batch_with_stats_in(chunk, &mut bws) {
+                    std::hint::black_box(result.expect("batched"));
+                }
+            }
+            let batch_qps = pool.len() as f64 / t0.elapsed().as_secs_f64();
+            table.add_row(vec![
+                format!("distinct B={width}"),
+                format!("{serial_qps:.0}"),
+                format!("{batch_qps:.0}"),
+                format!("{:.2}x", batch_qps / serial_qps),
+            ]);
+        }
+
+        // Sweep-aligned upper bound: one hot seed across every lane of
+        // the raw diffusion kernel (dense AVX2 lane blocks throughout).
+        let dp = DiffusionParams::new(0.8, params.epsilon);
+        let hot = SparseVec::unit(pool[0]);
+        let lanes: Vec<&SparseVec> = (0..ALIGNED_LANES).map(|_| &hot).collect();
+        let eps = vec![params.epsilon; ALIGNED_LANES];
+        let reps = 4usize;
+        let t0 = Instant::now();
+        for _ in 0..reps * ALIGNED_LANES {
+            std::hint::black_box(
+                adaptive_diffuse_in(&ds.graph, &hot, &dp, &mut sws).expect("serial diffuse"),
+            );
+        }
+        let aligned_serial = (reps * ALIGNED_LANES) as f64 / t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(
+                batch_diffuse_in(&ds.graph, &lanes, &eps, &dp, BatchMode::Adaptive, &mut bws)
+                    .expect("batched diffuse"),
+            );
+        }
+        let aligned_batch = (reps * ALIGNED_LANES) as f64 / t0.elapsed().as_secs_f64();
+        table.add_row(vec![
+            format!("aligned kernel B={ALIGNED_LANES}"),
+            format!("{aligned_serial:.0}"),
+            format!("{aligned_batch:.0}"),
+            format!("{:.2}x", aligned_batch / aligned_serial),
+        ]);
+
+        banner(&format!("Batched execution on {name} (ε = {:.0e}, pool = {})", params.epsilon, pool.len()));
+        println!("{}", table.render());
+        table.write_csv(&args.out_dir.join(format!("batch_{name}.csv"))).expect("write csv");
+    }
+}

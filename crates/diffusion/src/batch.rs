@@ -1,0 +1,997 @@
+//! Batched multi-seed diffusion: B seeds advance through **one** shared
+//! graph traversal, each bit-identical to its serial run.
+//!
+//! Serving workloads issue many independent seed queries against the same
+//! graph. Run serially, every query walks the same adjacency lists and
+//! degree arrays — on community-structured graphs the per-seed working
+//! sets overlap heavily, so most of the memory traffic is redundant. The
+//! batched solver amortizes it: residuals and reserves live in
+//! **lane-major** arrays (`r[v·B + l]` — all B lanes of a node are
+//! adjacent, so one cache line feeds up to 8 lanes and the per-lane
+//! update loop is a fixed-trip-count candidate for SIMD), and each sweep
+//! visits a touched node once, applying the pushes of every lane with
+//! extractable mass there.
+//!
+//! **The bit-identity contract.** Per lane, the batched solver executes
+//! *exactly* the serial float op sequence of the corresponding
+//! `*_diffuse_in` solver — same adds in the same order, same threshold
+//! comparisons, same Algo. 2 branch decisions from per-lane aggregates —
+//! so reserves, residuals, and per-seed iteration/push counts are
+//! identical to the bit, not merely close. This works because the serial
+//! solvers extract `γ` in ascending node order (the [`crate::workspace`]
+//! bitset scan): a lane's pushes inside the shared ascending sweep are an
+//! ascending subset, which is precisely the order its serial counterpart
+//! would use. Lanes with no mass at a node contribute `delta = 0.0`
+//! pushes, which are bit-exact no-ops (all diffusion state is
+//! non-negative, so `x + 0.0` never flips a sign bit) and update no
+//! bookkeeping. The differential proptest battery in
+//! `tests/batch_props.rs` enforces the contract against both the serial
+//! workspace solvers and the hash-map `reference` oracles.
+//!
+//! Like the serial workspace, a [`BatchWorkspace`] is epoch-stamped
+//! (`O(touched)` reset, zero steady-state allocation) and reusable across
+//! batches, batch widths, and graphs.
+
+use crate::workspace::DiffusionWorkspace;
+use crate::{check_input, DiffusionError, DiffusionParams, DiffusionResult, DiffusionStats};
+use crate::{
+    adaptive_diffuse_in, greedy_diffuse_in, nongreedy_diffuse_in, sparse_vec::SparseVec,
+};
+use laca_graph::{CsrGraph, NodeId};
+
+/// Maximum lanes per batch (lane masks are `u16`).
+pub const MAX_LANES: usize = 16;
+
+/// Which serial solver each lane replicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// Algo. 2 (**AdaptiveDiffuse**) per lane.
+    #[default]
+    Adaptive,
+    /// Algo. 1 (**GreedyDiffuse**) per lane.
+    Greedy,
+    /// Pure Eq. 17 iteration per lane.
+    NonGreedy,
+}
+
+/// Per-lane solver state: the same incrementally-maintained aggregates a
+/// serial [`DiffusionWorkspace`] keeps, plus the lane's own touched list
+/// (first-touch order, so output conversion matches the serial pass).
+#[derive(Debug, Clone, Default)]
+struct LaneState {
+    /// Nodes this lane touched, in first-touch order (no duplicates).
+    touched: Vec<NodeId>,
+    /// The lane's Eq. 15 threshold `ε`.
+    eps: f64,
+    /// Greedy budget `‖f‖₁ / ((1−α)ε)` (Algo. 2 line 3).
+    budget: f64,
+    /// `|supp(r)|` of the lane.
+    supp_r: usize,
+    /// Lane nodes whose reserve went non-zero (sizes the output map).
+    supp_q: usize,
+    /// `vol(r)` of the lane (tracked unless the mode never reads it).
+    vol_r: f64,
+    /// `|supp(γ)|` — lane residual entries at or above the threshold.
+    above: usize,
+    /// Lane has terminated (its serial loop would have exited).
+    done: bool,
+    /// The lane's run telemetry, built up in place.
+    stats: DiffusionStats,
+}
+
+impl LaneState {
+    fn reset(&mut self, eps: f64, budget: f64) {
+        self.touched.clear();
+        self.eps = eps;
+        self.budget = budget;
+        self.supp_r = 0;
+        self.supp_q = 0;
+        self.vol_r = 0.0;
+        self.above = 0;
+        self.done = false;
+        self.stats = DiffusionStats::default();
+    }
+}
+
+/// Reusable scratch for the batched solver: lane-major residual/reserve
+/// arrays plus per-node lane masks and the shared membership bitsets.
+///
+/// Layout per node `v` (batch width `B = lanes`):
+///
+/// ```text
+/// r[v·B .. v·B+B]   residuals, one lane each   (lane-major: contiguous)
+/// q[v·B .. v·B+B]   reserves                   (lane-major: contiguous)
+/// stamp[v]          epoch stamp (node state valid iff current)
+/// inv_d[v], wdeg[v] cached 1/d(v), d(v) — loaded once per node per batch
+///                   and shared by every lane (serial reloads per seed)
+/// supp_mask[v]      bit l set iff lane l has r ≠ 0 at v
+/// above_mask[v]     bit l set iff lane l is at/above its threshold at v
+/// touched_mask[v]   bit l set iff lane l touched v this batch
+/// ```
+///
+/// The shared `supp_bits`/`above_bits` bitsets hold the OR over lanes, so
+/// an extraction sweep scans `⌈n/64⌉` words once for the whole batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchWorkspace {
+    /// Current batch stamp; node state is valid iff `stamp[v]` matches.
+    epoch: u32,
+    /// Lane-major residuals, `n · stride`.
+    r: Vec<f64>,
+    /// Lane-major reserves, `n · stride`.
+    q: Vec<f64>,
+    /// Per-node epoch stamps.
+    stamp: Vec<u32>,
+    /// Per-node cached `1/d(v)` (valid iff stamped).
+    inv_d: Vec<f64>,
+    /// Per-node cached `d(v)` (valid iff stamped and the mode tracks vol).
+    wdeg: Vec<f64>,
+    /// Per-node lane mask: lane touched the node this batch.
+    touched_mask: Vec<u16>,
+    /// Per-node lane mask: lane has non-zero residual at the node.
+    supp_mask: Vec<u16>,
+    /// Per-node lane mask: lane is at/above its threshold at the node.
+    above_mask: Vec<u16>,
+    /// OR over lanes of `supp_mask != 0`, one bit per node.
+    supp_bits: Vec<u64>,
+    /// OR over lanes of `above_mask != 0`, one bit per node.
+    above_bits: Vec<u64>,
+    /// Nodes touched by *any* lane this batch, in first-touch order —
+    /// bounds the `begin` bitset cleanup exactly like the serial
+    /// workspace's touched list.
+    node_touched: Vec<NodeId>,
+    /// Per-lane solver state (first `stride` entries are live).
+    lane: Vec<LaneState>,
+    /// Extracted `γ` nodes `(node, extracted-lane mask)` this round.
+    gamma_nodes: Vec<(NodeId, u16)>,
+    /// Extracted `γ` values, compact: one entry per set bit of the
+    /// node's mask, in ascending-lane order. Misaligned nodes (one lane
+    /// extracting out of 16) store one value, not a full lane block.
+    gamma_vals: Vec<f64>,
+    /// Lanes allocated for the current batch (the lane-major stride).
+    stride: usize,
+    /// Bitset words covering the current graph.
+    words: usize,
+    /// Batches begun (reuse telemetry).
+    batches: u64,
+    /// Epoch-stamp wrap resets over the workspace's lifetime.
+    epoch_resets: u64,
+}
+
+impl BatchWorkspace {
+    /// An empty workspace; arrays grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace pre-sized for `graph` at batch width `lanes`, so even
+    /// the first batch allocates nothing beyond the output vectors.
+    pub fn for_graph(graph: &CsrGraph, lanes: usize) -> Self {
+        let mut ws = Self::new();
+        ws.ensure_capacity(graph.n(), lanes.clamp(1, MAX_LANES));
+        ws
+    }
+
+    /// Batches begun on this workspace.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Capacities of every internal buffer; two equal signatures around a
+    /// batch prove the batch allocated nothing inside the workspace.
+    pub fn capacity_signature(&self) -> [usize; 6] {
+        [
+            self.r.capacity(),
+            self.stamp.len(),
+            self.node_touched.capacity(),
+            self.gamma_nodes.capacity(),
+            self.gamma_vals.capacity(),
+            self.lane.iter().map(|l| l.touched.capacity()).sum(),
+        ]
+    }
+
+    fn ensure_capacity(&mut self, n: usize, lanes: usize) {
+        self.stride = lanes;
+        let cells = n * lanes;
+        if self.r.len() < cells {
+            self.r.resize(cells, 0.0);
+            self.q.resize(cells, 0.0);
+        }
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.inv_d.resize(n, 0.0);
+            self.wdeg.resize(n, 0.0);
+            self.touched_mask.resize(n, 0);
+            self.supp_mask.resize(n, 0);
+            self.above_mask.resize(n, 0);
+        }
+        let words = n.div_ceil(64);
+        if self.supp_bits.len() < words {
+            self.supp_bits.resize(words, 0);
+            self.above_bits.resize(words, 0);
+        }
+        if self.lane.len() < lanes {
+            self.lane.resize(lanes, LaneState::default());
+        }
+    }
+
+    /// Starts a batch: sizes the arrays, bumps the epoch, clears the
+    /// previous batch's bitset leftovers in `O(touched)`.
+    fn begin(&mut self, n: usize, lanes: usize) {
+        self.ensure_capacity(n, lanes);
+        if self.epoch == u32::MAX {
+            for s in &mut self.stamp {
+                *s = 0;
+            }
+            self.epoch = 1;
+            self.epoch_resets += 1;
+        } else {
+            self.epoch += 1;
+        }
+        for &v in &self.node_touched {
+            self.supp_bits[v as usize >> 6] = 0;
+            self.above_bits[v as usize >> 6] = 0;
+        }
+        self.node_touched.clear();
+        self.gamma_nodes.clear();
+        self.gamma_vals.clear();
+        self.words = n.div_ceil(64);
+        self.batches += 1;
+    }
+
+    /// `‖r‖₁` of one lane over its touched set (residual-history
+    /// telemetry only; summation order matches the lane's serial run).
+    fn lane_residual_l1(&self, l: usize) -> f64 {
+        self.lane[l]
+            .touched
+            .iter()
+            .map(|&v| self.r[v as usize * self.stride + l].abs())
+            .sum()
+    }
+
+    /// Converts one lane back to the `(reserve, residual)` boundary
+    /// types. Same pass as the serial `to_sparse`: the lane's touched
+    /// list in first-touch order, maps pre-sized exactly.
+    pub fn lane_to_sparse(&self, l: usize) -> (SparseVec, SparseVec) {
+        let state = &self.lane[l];
+        let mut reserve = SparseVec::with_capacity(state.supp_q);
+        let mut residual = SparseVec::with_capacity(state.supp_r);
+        for &v in &state.touched {
+            let idx = v as usize * self.stride + l;
+            let q = self.q[idx];
+            if q != 0.0 {
+                reserve.set(v, q);
+            }
+            let r = self.r[idx];
+            if r != 0.0 {
+                residual.set(v, r);
+            }
+        }
+        (reserve, residual)
+    }
+
+    /// One lane's reserve as ascending `(node, value)` pairs — the same
+    /// pairs `SparseVec::to_sorted_pairs` yields on the serial reserve,
+    /// without materializing the map. `out` is reused scratch.
+    // lint: hot-path
+    pub fn lane_reserve_sorted_into(&self, l: usize, out: &mut Vec<(NodeId, f64)>) {
+        out.clear();
+        let state = &self.lane[l];
+        out.reserve(state.supp_q);
+        for &v in &state.touched {
+            let q = self.q[v as usize * self.stride + l];
+            if q != 0.0 {
+                out.push((v, q));
+            }
+        }
+        out.sort_unstable_by_key(|&(v, _)| v);
+    }
+
+    /// `|supp(q)|` of one lane.
+    pub fn lane_support(&self, l: usize) -> usize {
+        self.lane[l].supp_q
+    }
+}
+
+/// Runs the batched solver: `inputs[l]` diffuses under threshold
+/// `epsilons[l]` (with `params.alpha`/`params.sigma` shared — `laca-core`
+/// batches only fingerprint-identical queries), each lane replicating the
+/// serial `mode` solver bit for bit. Returns per-lane stats; lane outputs
+/// stay in `ws` for [`BatchWorkspace::lane_to_sparse`] /
+/// [`BatchWorkspace::lane_reserve_sorted_into`] until the next batch.
+///
+/// `params.epsilon` is ignored in favor of the per-lane `epsilons`
+/// (Algo. 4 Step 3 scales `ε` by each lane's own `‖φ'‖₁`).
+pub fn batch_diffuse_in(
+    graph: &CsrGraph,
+    inputs: &[&SparseVec],
+    epsilons: &[f64],
+    params: &DiffusionParams,
+    mode: BatchMode,
+    ws: &mut BatchWorkspace,
+) -> Result<Vec<DiffusionStats>, DiffusionError> {
+    let lanes = inputs.len();
+    if lanes == 0 || lanes > MAX_LANES || epsilons.len() != lanes {
+        return Err(DiffusionError::BadBatch(lanes));
+    }
+    for (f, &eps) in inputs.iter().zip(epsilons) {
+        DiffusionParams { epsilon: eps, ..params.clone() }.validate()?;
+        check_input(f)?;
+    }
+    // Greedy lanes never read vol(r); skip the degree loads exactly like
+    // the serial solver's `TRACK = false` instantiation.
+    let track_vol = mode != BatchMode::Greedy;
+
+    let epoch_resets_before = ws.epoch_resets;
+    ws.begin(graph.n(), lanes);
+    for l in 0..lanes {
+        let budget = inputs[l].l1_norm() / ((1.0 - params.alpha) * epsilons[l]);
+        ws.lane[l].reset(epsilons[l], budget);
+    }
+
+    // Seed each lane from its input, in the input map's iteration order —
+    // the order the serial `seed` pass uses on the identical map.
+    for (l, f) in inputs.iter().enumerate() {
+        for (v, val) in f.iter() {
+            seed_lane(ws, graph, track_vol, l, v, val);
+        }
+    }
+
+    let mut eps = [0.0f64; MAX_LANES];
+    for l in 0..lanes {
+        eps[l] = ws.lane[l].eps;
+    }
+
+    loop {
+        // Phase A: every live lane makes its serial branch decision from
+        // its own aggregates (Algo. 2 line 3 for Adaptive; loop guards
+        // for Greedy / NonGreedy).
+        let mut ng: u16 = 0;
+        let mut gr: u16 = 0;
+        for l in 0..lanes {
+            let s = &mut ws.lane[l];
+            if s.done {
+                continue;
+            }
+            match mode {
+                BatchMode::Greedy => {
+                    if s.above == 0 {
+                        s.done = true;
+                        continue;
+                    }
+                    gr |= 1 << l;
+                    s.stats.iterations += 1;
+                    s.stats.greedy_iterations += 1;
+                }
+                BatchMode::NonGreedy => {
+                    if s.above == 0 {
+                        s.done = true;
+                        continue;
+                    }
+                    ng |= 1 << l;
+                    s.stats.iterations += 1;
+                    s.stats.nongreedy_iterations += 1;
+                    s.stats.nongreedy_cost += s.vol_r;
+                }
+                BatchMode::Adaptive => {
+                    let vol_r = s.vol_r;
+                    let ratio =
+                        if s.supp_r == 0 { 0.0 } else { s.above as f64 / s.supp_r as f64 };
+                    if ratio > params.sigma && s.stats.nongreedy_cost + vol_r < s.budget {
+                        ng |= 1 << l;
+                        s.stats.iterations += 1;
+                        s.stats.nongreedy_iterations += 1;
+                        s.stats.nongreedy_cost += vol_r;
+                    } else if s.above == 0 {
+                        s.done = true;
+                        continue;
+                    } else {
+                        gr |= 1 << l;
+                        s.stats.iterations += 1;
+                        s.stats.greedy_iterations += 1;
+                    }
+                }
+            }
+            // Sampled at extraction like the serial workspace: the
+            // frontier is at its per-iteration fullest right now.
+            s.stats.frontier_peak = s.stats.frontier_peak.max(s.above);
+        }
+        let active = ng | gr;
+        if active == 0 {
+            break;
+        }
+
+        extract(ws, graph, params.alpha, track_vol, ng, gr);
+        push(ws, graph, params.alpha, track_vol, &eps[..lanes]);
+
+        if params.record_residuals {
+            for l in 0..lanes {
+                if active & (1 << l) != 0 {
+                    let l1 = ws.lane_residual_l1(l);
+                    ws.lane[l].stats.residual_history.push(l1);
+                }
+            }
+        }
+    }
+
+    let wrap_delta = (ws.epoch_resets - epoch_resets_before) as usize;
+    Ok((0..lanes)
+        .map(|l| {
+            let s = &mut ws.lane[l];
+            s.stats.touched = s.touched.len();
+            // A stamp wrap is a workspace-lifetime event; every lane of
+            // the batch absorbed the same reset.
+            s.stats.epoch_resets = wrap_delta;
+            std::mem::take(&mut s.stats)
+        })
+        .collect())
+}
+
+/// Convenience wrapper over [`batch_diffuse_in`]: fresh workspace, lane
+/// outputs materialized as [`DiffusionResult`]s.
+pub fn batch_diffuse(
+    graph: &CsrGraph,
+    inputs: &[&SparseVec],
+    epsilons: &[f64],
+    params: &DiffusionParams,
+    mode: BatchMode,
+) -> Result<Vec<DiffusionResult>, DiffusionError> {
+    let mut ws = BatchWorkspace::new();
+    let stats = batch_diffuse_in(graph, inputs, epsilons, params, mode, &mut ws)?;
+    Ok(stats
+        .into_iter()
+        .enumerate()
+        .map(|(l, stats)| {
+            let (reserve, residual) = ws.lane_to_sparse(l);
+            DiffusionResult { reserve, residual, stats }
+        })
+        .collect())
+}
+
+/// First touch of `j` by any lane this batch: stamp, zero the node's lane
+/// block, cache `1/d(j)` (and `d(j)` when vol is tracked) for every lane.
+#[inline]
+fn init_node(ws: &mut BatchWorkspace, graph: &CsrGraph, track_vol: bool, j: usize) {
+    ws.stamp[j] = ws.epoch;
+    ws.inv_d[j] = graph.inv_degree(j as NodeId);
+    if track_vol {
+        ws.wdeg[j] = graph.weighted_degree(j as NodeId);
+    }
+    ws.touched_mask[j] = 0;
+    ws.supp_mask[j] = 0;
+    ws.above_mask[j] = 0;
+    let base = j * ws.stride;
+    ws.r[base..base + ws.stride].fill(0.0);
+    ws.q[base..base + ws.stride].fill(0.0);
+    ws.node_touched.push(j as NodeId);
+}
+
+/// Adds seed mass for one lane — the scalar `r_add` of the serial
+/// workspace, replicated per lane.
+// lint: hot-path
+#[inline]
+fn seed_lane(
+    ws: &mut BatchWorkspace,
+    graph: &CsrGraph,
+    track_vol: bool,
+    l: usize,
+    v: NodeId,
+    delta: f64,
+) {
+    if delta == 0.0 {
+        return;
+    }
+    let j = v as usize;
+    if ws.stamp[j] != ws.epoch {
+        init_node(ws, graph, track_vol, j);
+    }
+    let idx = j * ws.stride + l;
+    let old = ws.r[idx];
+    let new = old + delta;
+    ws.r[idx] = new;
+    let bit = 1u16 << l;
+    if ws.touched_mask[j] & bit == 0 {
+        ws.touched_mask[j] |= bit;
+        ws.lane[l].touched.push(v);
+    }
+    if old == 0.0 {
+        ws.lane[l].supp_r += 1;
+        ws.supp_mask[j] |= bit;
+        ws.supp_bits[j >> 6] |= 1u64 << (j & 63);
+        if track_vol {
+            ws.lane[l].vol_r += ws.wdeg[j];
+        }
+    }
+    let inv_d = ws.inv_d[j];
+    let eps = ws.lane[l].eps;
+    let was_above = old * inv_d >= eps;
+    let is_above = new * inv_d >= eps;
+    if is_above && !was_above {
+        ws.lane[l].above += 1;
+        ws.above_mask[j] |= bit;
+        ws.above_bits[j >> 6] |= 1u64 << (j & 63);
+    }
+}
+
+/// The shared extraction sweep: one ascending scan of the batch's
+/// membership bitset converts `γ` for every extracting lane — greedy
+/// lanes (`gr`) take their above-threshold entries, non-greedy lanes
+/// (`ng`) their entire residual support — crediting `(1−α)` of each value
+/// to the lane's reserve, exactly as the serial extract passes do.
+// lint: hot-path
+fn extract(
+    ws: &mut BatchWorkspace,
+    graph: &CsrGraph,
+    alpha: f64,
+    track_vol: bool,
+    ng: u16,
+    gr: u16,
+) {
+    ws.gamma_nodes.clear();
+    ws.gamma_vals.clear();
+    let stride = ws.stride;
+    // γ ⊆ supp(r): with no non-greedy lane, the sparser above-bits scan
+    // covers every extraction.
+    let scan_above = ng == 0;
+    for wi in 0..ws.words {
+        let mut word = if scan_above { ws.above_bits[wi] } else { ws.supp_bits[wi] };
+        while word != 0 {
+            let j = (wi << 6) + word.trailing_zeros() as usize;
+            word &= word - 1;
+            let sm = ws.supp_mask[j];
+            let am = ws.above_mask[j];
+            let em = (sm & ng) | (am & gr);
+            if em == 0 {
+                continue;
+            }
+            let v = j as NodeId;
+            ws.gamma_nodes.push((v, em));
+            let base = j * stride;
+            let deg = graph.neighbors(v).len();
+            // Ascending-lane bit scan; only extracting lanes store a γ
+            // value, so a misaligned node costs `popcount(em)` work, not
+            // `stride`.
+            let mut lanes = em;
+            while lanes != 0 {
+                let l = lanes.trailing_zeros() as usize;
+                lanes &= lanes - 1;
+                let val = ws.r[base + l];
+                ws.gamma_vals.push(val);
+                ws.r[base + l] = 0.0;
+                let ql = &mut ws.q[base + l];
+                let s = &mut ws.lane[l];
+                if *ql == 0.0 {
+                    s.supp_q += 1;
+                }
+                *ql += (1.0 - alpha) * val;
+                // The push phase will visit each of v's neighbors
+                // once for this lane (serial counts pushes there).
+                s.stats.push_operations += deg;
+                if gr & (1 << l) != 0 {
+                    // Greedy extraction decrements per node; the
+                    // non-greedy wholesale reset below matches the
+                    // serial `extract_all` arithmetic exactly.
+                    s.supp_r -= 1;
+                    s.above -= 1;
+                    if track_vol {
+                        s.vol_r -= ws.wdeg[j];
+                    }
+                }
+            }
+            let new_sm = sm & !em;
+            let new_am = am & !em;
+            ws.supp_mask[j] = new_sm;
+            ws.above_mask[j] = new_am;
+            if new_sm == 0 {
+                ws.supp_bits[wi] &= !(1u64 << (j & 63));
+            }
+            if new_am == 0 {
+                ws.above_bits[wi] &= !(1u64 << (j & 63));
+            }
+        }
+    }
+    // Non-greedy lanes extracted their whole support: reset wholesale,
+    // like the serial `extract_all` (no per-node float decrements).
+    let mut mask = ng;
+    while mask != 0 {
+        let l = mask.trailing_zeros() as usize;
+        mask &= mask - 1;
+        let s = &mut ws.lane[l];
+        s.supp_r = 0;
+        s.vol_r = 0.0;
+        s.above = 0;
+    }
+}
+
+/// The shared push sweep: for each extracted `γ` node (ascending), load
+/// its adjacency once and scatter `α·val·(1/d)` for **every** lane —
+/// lanes without mass contribute bit-exact `+0.0` no-ops, so the inner
+/// loop is branch-free over the lane dimension and the adjacency/degree
+/// loads are paid once per node instead of once per lane.
+// lint: hot-path
+fn push(ws: &mut BatchWorkspace, graph: &CsrGraph, alpha: f64, track_vol: bool, eps: &[f64]) {
+    let stride = ws.stride;
+    let rounds = ws.gamma_nodes.len();
+    let gamma_nodes = std::mem::take(&mut ws.gamma_nodes);
+    let mut spread = [0.0f64; MAX_LANES];
+    let mut delta = [0.0f64; MAX_LANES];
+    let full: u16 = if stride == MAX_LANES { u16::MAX } else { (1 << stride) - 1 };
+    // Hoisted once per pass: the dense-lane kernel vectorizes only when
+    // the lane block is a whole number of 4-wide f64 vectors.
+    #[cfg(target_arch = "x86_64")]
+    let simd = stride % 4 == 0 && std::arch::is_x86_feature_detected!("avx2");
+    #[cfg(not(target_arch = "x86_64"))]
+    let simd = false;
+    let mut cursor = 0usize;
+    for gi in 0..rounds {
+        let (v, em) = gamma_nodes[gi];
+        let inv_dv = ws.inv_d[v as usize];
+        // γ values are compact (one per set `em` bit, ascending); lanes
+        // outside `em` pushed nothing, so their spread is an exact zero —
+        // a misaligned node costs `popcount(em)` work, not `stride`.
+        let mut m = em;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            spread[l] = alpha * ws.gamma_vals[cursor] * inv_dv;
+            cursor += 1;
+        }
+        match graph.neighbor_weights(v) {
+            None => {
+                // Unweighted: `spread · 1.0 == spread` bit-for-bit, so the
+                // weight multiply is skipped exactly like the serial loop.
+                for &nbr in graph.neighbors(v) {
+                    push_node(
+                        ws,
+                        graph,
+                        track_vol,
+                        nbr as usize,
+                        &spread[..stride],
+                        eps,
+                        em,
+                        full,
+                        simd,
+                    );
+                }
+            }
+            Some(weights) => {
+                for (&nbr, &w) in graph.neighbors(v).iter().zip(weights) {
+                    let mut m = em;
+                    while m != 0 {
+                        let l = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        delta[l] = spread[l] * w;
+                    }
+                    push_node(
+                        ws,
+                        graph,
+                        track_vol,
+                        nbr as usize,
+                        &delta[..stride],
+                        eps,
+                        em,
+                        full,
+                        simd,
+                    );
+                }
+            }
+        }
+    }
+    ws.gamma_nodes = gamma_nodes;
+}
+
+/// Applies one neighbor's lane-vector of push deltas. Two regimes:
+///
+/// * **aligned** (`em == full` — every lane extracted at the source
+///   node): an unconditional add+store per lane, branch-free over the
+///   lane dimension — hand-vectorized 4-wide via [`dense_lanes_avx2`]
+///   when AVX2 is available, scalar otherwise;
+/// * **sparse** (`em ⊂ full` — lanes misaligned at the source): only the
+///   extracting lanes are visited via a bit scan, so a batch of lanes
+///   with disjoint frontiers costs per-lane work proportional to its own
+///   pushes, not to the batch width.
+///
+/// Lanes outside `em` carry `delta == 0.0` — a bit-exact no-op on
+/// non-negative state — so skipping them is exactly the serial `r_add`
+/// early return, and both regimes produce identical bits and bookkeeping.
+// lint: hot-path
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn push_node(
+    ws: &mut BatchWorkspace,
+    graph: &CsrGraph,
+    track_vol: bool,
+    j: usize,
+    delta: &[f64],
+    eps: &[f64],
+    em: u16,
+    full: u16,
+    simd: bool,
+) {
+    if ws.stamp[j] != ws.epoch {
+        init_node(ws, graph, track_vol, j);
+    }
+    let base = j * ws.stride;
+    let inv_dj = ws.inv_d[j];
+    let mut entered: u16 = 0;
+    let mut crossed: u16 = 0;
+    if em == full {
+        if simd {
+            #[cfg(target_arch = "x86_64")]
+            {
+                // SAFETY: `simd` is set only after
+                // `is_x86_feature_detected!("avx2")` confirmed AVX2 and
+                // `stride % 4 == 0`; `r[base..base + stride]`, `delta`
+                // and `eps` are all at least `stride` elements, so every
+                // 4-wide load/store below stays in bounds.
+                let (e, c) = unsafe {
+                    dense_lanes_avx2(
+                        ws.r.as_mut_ptr().add(base),
+                        delta.as_ptr(),
+                        eps.as_ptr(),
+                        delta.len(),
+                        inv_dj,
+                    )
+                };
+                entered = e;
+                crossed = c;
+            }
+        } else {
+            for (l, &d) in delta.iter().enumerate() {
+                let old = ws.r[base + l];
+                let new = old + d;
+                ws.r[base + l] = new;
+                // `d == 0` ⇒ old == new ⇒ neither mask bit can set.
+                entered |= u16::from(d != 0.0 && old == 0.0) << l;
+                crossed |= u16::from(new * inv_dj >= eps[l] && !(old * inv_dj >= eps[l])) << l;
+            }
+        }
+    } else {
+        let mut m = em;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let d = delta[l];
+            let old = ws.r[base + l];
+            let new = old + d;
+            ws.r[base + l] = new;
+            entered |= u16::from(d != 0.0 && old == 0.0) << l;
+            crossed |= u16::from(new * inv_dj >= eps[l] && !(old * inv_dj >= eps[l])) << l;
+        }
+    }
+    if entered != 0 {
+        let untouched = entered & !ws.touched_mask[j];
+        if untouched != 0 {
+            ws.touched_mask[j] |= untouched;
+            let mut mask = untouched;
+            while mask != 0 {
+                let l = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                ws.lane[l].touched.push(j as NodeId);
+            }
+        }
+        ws.supp_mask[j] |= entered;
+        ws.supp_bits[j >> 6] |= 1u64 << (j & 63);
+        let mut mask = entered;
+        while mask != 0 {
+            let l = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let s = &mut ws.lane[l];
+            s.supp_r += 1;
+            if track_vol {
+                s.vol_r += ws.wdeg[j];
+            }
+        }
+    }
+    if crossed != 0 {
+        ws.above_mask[j] |= crossed;
+        ws.above_bits[j >> 6] |= 1u64 << (j & 63);
+        let mut mask = crossed;
+        while mask != 0 {
+            let l = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            ws.lane[l].above += 1;
+        }
+    }
+}
+
+/// The vectorized aligned-lane push: 4-wide f64 vectors over the lane
+/// block. Every operation is the IEEE-exact vector twin of the scalar
+/// loop's — `vaddpd`/`vmulpd` round identically to scalar `+`/`*` per
+/// lane, and the compare predicates are chosen to match scalar semantics
+/// exactly (`NEQ_UQ` ≡ `!=`, `EQ_OQ` ≡ `==`, `GE_OQ` ≡ `>=`), so the
+/// residual bits and mask bits are identical to the scalar path.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available, `lanes % 4 == 0`, and that `r`,
+/// `delta`, `eps` are valid for `lanes` contiguous f64 reads (and `r`
+/// writes).
+// lint: hot-path
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dense_lanes_avx2(
+    r: *mut f64,
+    delta: *const f64,
+    eps: *const f64,
+    lanes: usize,
+    inv_dj: f64,
+) -> (u16, u16) {
+    use std::arch::x86_64::*;
+    let zero = _mm256_setzero_pd();
+    let inv = _mm256_set1_pd(inv_dj);
+    let mut entered: u16 = 0;
+    let mut crossed: u16 = 0;
+    let mut l = 0;
+    while l < lanes {
+        let d = _mm256_loadu_pd(delta.add(l));
+        let old = _mm256_loadu_pd(r.add(l));
+        let new = _mm256_add_pd(old, d);
+        _mm256_storeu_pd(r.add(l), new);
+        let ent = _mm256_and_pd(
+            _mm256_cmp_pd::<_CMP_NEQ_UQ>(d, zero),
+            _mm256_cmp_pd::<_CMP_EQ_OQ>(old, zero),
+        );
+        entered |= (_mm256_movemask_pd(ent) as u16) << l;
+        let e = _mm256_loadu_pd(eps.add(l));
+        let was = _mm256_cmp_pd::<_CMP_GE_OQ>(_mm256_mul_pd(old, inv), e);
+        let is = _mm256_cmp_pd::<_CMP_GE_OQ>(_mm256_mul_pd(new, inv), e);
+        crossed |= (_mm256_movemask_pd(_mm256_andnot_pd(was, is)) as u16) << l;
+        l += 4;
+    }
+    (entered, crossed)
+}
+
+/// Runs the serial solver matching `mode` (for differential tests and the
+/// single-lane fallback paths).
+pub fn serial_for_mode(
+    graph: &CsrGraph,
+    f: &SparseVec,
+    params: &DiffusionParams,
+    mode: BatchMode,
+    ws: &mut DiffusionWorkspace,
+) -> Result<DiffusionResult, DiffusionError> {
+    match mode {
+        BatchMode::Adaptive => adaptive_diffuse_in(graph, f, params, ws),
+        BatchMode::Greedy => greedy_diffuse_in(graph, f, params, ws),
+        BatchMode::NonGreedy => nongreedy_diffuse_in(graph, f, params, ws),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> CsrGraph {
+        CsrGraph::from_edges(
+            8,
+            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (4, 7)],
+        )
+        .unwrap()
+    }
+
+    fn assert_lane_matches_serial(
+        g: &CsrGraph,
+        inputs: &[&SparseVec],
+        epsilons: &[f64],
+        params: &DiffusionParams,
+        mode: BatchMode,
+    ) {
+        let batch = batch_diffuse(g, inputs, epsilons, params, mode).unwrap();
+        for (l, out) in batch.iter().enumerate() {
+            let serial_params = DiffusionParams { epsilon: epsilons[l], ..params.clone() };
+            let serial =
+                serial_for_mode(g, inputs[l], &serial_params, mode, &mut DiffusionWorkspace::new())
+                    .unwrap();
+            assert_eq!(
+                out.stats, serial.stats,
+                "lane {l} stats diverged from serial ({mode:?})"
+            );
+            let bits = |v: &SparseVec| {
+                let mut p: Vec<(NodeId, u64)> =
+                    v.iter().map(|(i, x)| (i, x.to_bits())).collect();
+                p.sort_unstable();
+                p
+            };
+            assert_eq!(bits(&out.reserve), bits(&serial.reserve), "lane {l} reserve bits");
+            assert_eq!(bits(&out.residual), bits(&serial.residual), "lane {l} residual bits");
+        }
+    }
+
+    #[test]
+    fn every_mode_matches_serial_bit_for_bit() {
+        let g = graph();
+        let a = SparseVec::unit(0);
+        let b = SparseVec::from_pairs([(3, 0.5), (7, 0.5)]);
+        let c = SparseVec::unit(5);
+        let inputs = [&a, &b, &c];
+        let epsilons = [1e-4, 1e-3, 1e-5];
+        let params = DiffusionParams::new(0.8, 1.0).with_sigma(0.3);
+        for mode in [BatchMode::Adaptive, BatchMode::Greedy, BatchMode::NonGreedy] {
+            assert_lane_matches_serial(&g, &inputs, &epsilons, &params, mode);
+        }
+    }
+
+    #[test]
+    fn duplicate_and_empty_lanes_are_independent() {
+        let g = graph();
+        let a = SparseVec::unit(2);
+        let empty = SparseVec::new();
+        let inputs = [&a, &a, &empty, &a];
+        let epsilons = [1e-4; 4];
+        let params = DiffusionParams::new(0.8, 1.0);
+        let out = batch_diffuse(&g, &inputs, &epsilons, &params, BatchMode::Adaptive).unwrap();
+        assert_eq!(out[0].reserve.to_sorted_pairs(), out[1].reserve.to_sorted_pairs());
+        assert_eq!(out[0].stats, out[3].stats);
+        assert!(out[2].reserve.is_empty() && out[2].residual.is_empty());
+        assert_eq!(out[2].stats.iterations, 0);
+        assert_lane_matches_serial(&g, &inputs, &epsilons, &params, BatchMode::Adaptive);
+    }
+
+    #[test]
+    fn workspace_reuse_allocates_nothing_at_steady_state() {
+        let g = graph();
+        let a = SparseVec::unit(0);
+        let b = SparseVec::unit(4);
+        let inputs = [&a, &b];
+        let params = DiffusionParams::new(0.8, 1.0);
+        let mut ws = BatchWorkspace::for_graph(&g, 2);
+        batch_diffuse_in(&g, &inputs, &[1e-4, 1e-4], &params, BatchMode::Adaptive, &mut ws)
+            .unwrap();
+        let warm = ws.capacity_signature();
+        for _ in 0..5 {
+            batch_diffuse_in(&g, &inputs, &[1e-4, 1e-4], &params, BatchMode::Adaptive, &mut ws)
+                .unwrap();
+            assert_eq!(ws.capacity_signature(), warm, "batch grew the warm workspace");
+        }
+        assert_eq!(ws.batches(), 6);
+    }
+
+    #[test]
+    fn rejects_bad_widths_and_bad_inputs() {
+        let g = graph();
+        let f = SparseVec::unit(0);
+        let params = DiffusionParams::new(0.8, 1.0);
+        let mut ws = BatchWorkspace::new();
+        assert!(matches!(
+            batch_diffuse_in(&g, &[], &[], &params, BatchMode::Adaptive, &mut ws),
+            Err(DiffusionError::BadBatch(0))
+        ));
+        let too_many: Vec<&SparseVec> = (0..17).map(|_| &f).collect();
+        let eps17 = [1e-4; 17];
+        assert!(matches!(
+            batch_diffuse_in(&g, &too_many, &eps17, &params, BatchMode::Adaptive, &mut ws),
+            Err(DiffusionError::BadBatch(17))
+        ));
+        assert!(matches!(
+            batch_diffuse_in(&g, &[&f], &[0.0], &params, BatchMode::Adaptive, &mut ws),
+            Err(DiffusionError::BadEpsilon(_))
+        ));
+        let neg = SparseVec::from_pairs([(1, -0.5)]);
+        assert!(matches!(
+            batch_diffuse_in(&g, &[&f, &neg], &[1e-4, 1e-4], &params, BatchMode::Adaptive, &mut ws),
+            Err(DiffusionError::BadInput(1))
+        ));
+    }
+
+    #[test]
+    fn weighted_graphs_match_serial() {
+        let g = CsrGraph::from_weighted_edges(
+            6,
+            &[(0, 1, 2.0), (1, 2, 0.5), (2, 3, 1.5), (3, 4, 1.0), (4, 5, 3.0), (0, 5, 0.25)],
+        )
+        .unwrap();
+        let a = SparseVec::unit(0);
+        let b = SparseVec::unit(3);
+        let params = DiffusionParams::new(0.85, 1.0).with_sigma(0.2);
+        assert_lane_matches_serial(&g, &[&a, &b], &[1e-4, 1e-5], &params, BatchMode::Adaptive);
+    }
+
+    #[test]
+    fn residual_history_matches_serial_when_recorded() {
+        let g = graph();
+        let a = SparseVec::unit(1);
+        let b = SparseVec::unit(6);
+        let params = DiffusionParams::new(0.8, 1.0).with_residual_recording();
+        assert_lane_matches_serial(&g, &[&a, &b], &[1e-4, 1e-4], &params, BatchMode::Adaptive);
+    }
+}

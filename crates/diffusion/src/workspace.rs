@@ -8,7 +8,7 @@
 //! used by real local-clustering codes (e.g. Weighted Flow Diffusion):
 //!
 //! * one dense `Slot` array indexed by node id holding the node's entire
-//!   diffusion state — residual, reserve, cached `1/d(v)` and two stamps —
+//!   diffusion state — residual, reserve, cached `1/d(v)` and a stamp —
 //!   in exactly 32 aligned bytes, so a steady-state push costs **one**
 //!   cache-line access, validated by **epoch stamps** (beginning a query
 //!   bumps one counter instead of clearing `O(n)` memory: zero allocation,
@@ -16,9 +16,13 @@
 //! * a **touched list** recording each node's first touch, so converting
 //!   the result back to [`SparseVec`] and scanning the residual support
 //!   both cost `O(touched)`, never `O(n)`;
-//! * a **frontier queue** of above-threshold residual nodes, maintained as
-//!   pushes cross the Eq. 15 threshold — GreedyDiffuse extracts `γ` by
-//!   draining the queue instead of rescanning `r`;
+//! * two **support bitsets** (`supp(r)` and the above-threshold set `γ`),
+//!   maintained as pushes cross the Eq. 15 threshold — extraction scans
+//!   set bits in ascending node order, so every solver converts and
+//!   pushes `γ` in one *canonical* order. That order is what makes the
+//!   batched solver ([`crate::batch`]) bit-identical per lane: a lane's
+//!   pushes inside the shared node-major sweep are an ascending subset
+//!   of the batch's, which is exactly the serial sequence;
 //! * **incremental aggregates** `|supp(r)|`, `|supp(γ)|` and `vol(r)`,
 //!   updated as pushes happen — the AdaptiveDiffuse branch test becomes
 //!   `O(1)` per iteration.
@@ -39,9 +43,10 @@ use std::cell::RefCell;
 ///
 /// `align(32)` keeps a slot from straddling two 64-byte lines, so a
 /// steady-state push — read/update `r`, test the threshold against the
-/// cached `inv_d`, (rarely) flip `queued` — is a single random memory
-/// access. The hash-map original paid a control-byte probe *and* a bucket
-/// access per push, on top of hashing.
+/// cached `inv_d` — is a single random memory access. The hash-map
+/// original paid a control-byte probe *and* a bucket access per push, on
+/// top of hashing. (Frontier membership lives in the workspace bitsets,
+/// not the slot, so extraction can scan it in ascending node order.)
 #[derive(Debug, Clone, Copy, Default)]
 #[repr(C, align(32))]
 struct Slot {
@@ -54,8 +59,6 @@ struct Slot {
     inv_d: f64,
     /// Epoch stamp: slot is valid iff equal to the workspace epoch.
     stamp: u32,
-    /// Frontier-queue stamp: queued iff equal to the workspace epoch.
-    queued: u32,
 }
 
 /// Reusable per-thread (or per-caller) scratch for the diffusion solvers.
@@ -70,9 +73,17 @@ pub struct DiffusionWorkspace {
     slots: Vec<Slot>,
     /// Nodes touched this query, in first-touch order (no duplicates).
     touched: Vec<NodeId>,
-    /// Residual nodes at or above the Eq. 15 threshold, awaiting greedy
-    /// extraction (`Slot::queued` marks membership).
-    frontier: Vec<NodeId>,
+    /// Bitset over node ids: bit `v` set iff `r(v) != 0` this query.
+    /// Scanned ascending by non-greedy extraction; cleared lazily in
+    /// `begin` via the touched list (bits are only ever set on touched
+    /// nodes), so per-query cost stays `O(touched)`.
+    supp_bits: Vec<u64>,
+    /// Bitset over node ids: bit `v` set iff `r(v)/d(v) ≥ ε` this query
+    /// (the greedy frontier `γ`, a subset of `supp_bits`).
+    above_bits: Vec<u64>,
+    /// Bitset words covering the current graph (`⌈n/64⌉`), bounding the
+    /// extraction scans.
+    words: usize,
     /// Extracted `γ` entries `(node, value, 1/d)` between the extract and
     /// push phases.
     gamma: Vec<(NodeId, f64, f64)>,
@@ -86,8 +97,8 @@ pub struct DiffusionWorkspace {
     above: usize,
     /// Total queries begun on this workspace (reuse telemetry).
     queries: u64,
-    /// Peak frontier-queue occupancy of the current query (telemetry;
-    /// sampled at extraction, where the queue is at its fullest).
+    /// Peak frontier size `|γ|` of the current query (telemetry; sampled
+    /// at extraction, where the frontier is at its fullest).
     frontier_peak: usize,
     /// Total epoch-stamp wrap resets over the workspace's lifetime.
     epoch_resets: u64,
@@ -134,7 +145,7 @@ impl DiffusionWorkspace {
         self.queries
     }
 
-    /// Peak frontier-queue occupancy of the current (or last) query.
+    /// Peak frontier size `|γ|` of the current (or last) query.
     pub fn frontier_peak(&self) -> usize {
         self.frontier_peak
     }
@@ -178,12 +189,17 @@ impl DiffusionWorkspace {
     /// query prove the query allocated nothing inside the workspace — the
     /// steady-state zero-allocation property the tests assert.
     pub fn capacity_signature(&self) -> [usize; 4] {
-        [self.slots.len(), self.touched.capacity(), self.frontier.capacity(), self.gamma.capacity()]
+        [self.slots.len(), self.touched.capacity(), self.supp_bits.len(), self.gamma.capacity()]
     }
 
     fn ensure_capacity(&mut self, n: usize) {
         if self.slots.len() < n {
             self.slots.resize(n, Slot::default());
+        }
+        let words = n.div_ceil(64);
+        if self.supp_bits.len() < words {
+            self.supp_bits.resize(words, 0);
+            self.above_bits.resize(words, 0);
         }
     }
 
@@ -196,15 +212,21 @@ impl DiffusionWorkspace {
             // Stamp wrap-around: reset all stamps once every 2³² queries.
             for s in &mut self.slots {
                 s.stamp = 0;
-                s.queued = 0;
             }
             self.epoch = 1;
             self.epoch_resets += 1;
         } else {
             self.epoch += 1;
         }
+        // Bits are not epoch-guarded: clear the previous query's leftovers
+        // (set bits only exist on touched nodes) word-by-word, keeping the
+        // reset `O(touched)` rather than `O(n)`.
+        for &v in &self.touched {
+            self.supp_bits[v as usize >> 6] = 0;
+            self.above_bits[v as usize >> 6] = 0;
+        }
+        self.words = n.div_ceil(64);
         self.touched.clear();
-        self.frontier.clear();
         self.gamma.clear();
         self.supp_r = 0;
         self.supp_q = 0;
@@ -241,10 +263,10 @@ impl DiffusionWorkspace {
         self.above > 0
     }
 
-    /// `true` when the greedy frontier queue is empty (no `γ` to extract).
+    /// `true` when the greedy frontier is empty (no `γ` to extract).
     #[inline]
     pub(crate) fn frontier_is_empty(&self) -> bool {
-        self.frontier.is_empty()
+        self.above == 0
     }
 
     /// Seeds the residual from the query's input vector.
@@ -265,7 +287,8 @@ impl DiffusionWorkspace {
             r_add::<TRACK>(
                 &mut self.slots,
                 &mut self.touched,
-                &mut self.frontier,
+                &mut self.supp_bits,
+                &mut self.above_bits,
                 &mut agg,
                 graph,
                 epoch,
@@ -279,50 +302,66 @@ impl DiffusionWorkspace {
         self.above = agg.above;
     }
 
-    /// Greedy extraction (Algo. 1 line 4): drains the frontier queue into
-    /// `γ`, zeroing those residual entries and crediting `(1−α)` of each
-    /// to the reserve — the slot is hot, so the reserve update is free.
-    /// `O(|γ|)`, no rescan of `r`.
+    /// Greedy extraction (Algo. 1 line 4): scans `above_bits` in ascending
+    /// node order into `γ`, zeroing those residual entries and crediting
+    /// `(1−α)` of each to the reserve — the slot is hot, so the reserve
+    /// update is free. `O(⌈n/64⌉ + |γ|)`, no rescan of `r`; the word scan
+    /// is sequential over an L1-resident array.
     // lint: hot-path
     pub(crate) fn extract_frontier<const TRACK: bool>(&mut self, graph: &CsrGraph, alpha: f64) {
         // The frontier only grows between extractions, so sampling here
         // (and in `extract_all`) captures its per-query peak without a
         // branch in the push loop.
-        self.frontier_peak = self.frontier_peak.max(self.frontier.len());
+        self.frontier_peak = self.frontier_peak.max(self.above);
         self.gamma.clear();
-        let mut frontier = std::mem::take(&mut self.frontier);
-        for &v in &frontier {
-            let slot = &mut self.slots[v as usize];
-            debug_assert!(slot.stamp == self.epoch && slot.r != 0.0);
-            slot.queued = 0;
-            let val = slot.r;
-            slot.r = 0.0;
-            self.supp_r -= 1;
-            if TRACK {
-                self.vol_r -= graph.weighted_degree(v);
+        for wi in 0..self.words {
+            let mut word = self.above_bits[wi];
+            if word == 0 {
+                continue;
+            }
+            self.above_bits[wi] = 0;
+            while word != 0 {
+                let v = ((wi << 6) + word.trailing_zeros() as usize) as NodeId;
+                word &= word - 1;
+                self.supp_bits[wi] &= !(1u64 << (v as usize & 63));
+                let slot = &mut self.slots[v as usize];
+                debug_assert!(slot.stamp == self.epoch && slot.r != 0.0);
+                let val = slot.r;
+                slot.r = 0.0;
+                self.supp_r -= 1;
                 self.above -= 1;
+                if TRACK {
+                    self.vol_r -= graph.weighted_degree(v);
+                }
+                if slot.q == 0.0 {
+                    self.supp_q += 1;
+                }
+                slot.q += (1.0 - alpha) * val;
+                self.gamma.push((v, val, slot.inv_d));
             }
-            if slot.q == 0.0 {
-                self.supp_q += 1;
-            }
-            slot.q += (1.0 - alpha) * val;
-            self.gamma.push((v, val, slot.inv_d));
         }
-        frontier.clear();
-        self.frontier = frontier;
     }
 
     /// Non-greedy extraction (Eq. 17): takes the *entire* residual support
-    /// into `γ`, crediting reserves as it goes. `O(touched)` over the
-    /// query's touched set.
+    /// into `γ` by scanning `supp_bits` in the same ascending order,
+    /// crediting reserves as it goes. `O(⌈n/64⌉ + |supp(r)|)`.
     // lint: hot-path
     pub(crate) fn extract_all(&mut self, _graph: &CsrGraph, alpha: f64) {
-        self.frontier_peak = self.frontier_peak.max(self.frontier.len());
+        self.frontier_peak = self.frontier_peak.max(self.above);
         self.gamma.clear();
-        let touched = std::mem::take(&mut self.touched);
-        for &v in &touched {
-            let slot = &mut self.slots[v as usize];
-            if slot.stamp == self.epoch && slot.r != 0.0 {
+        for wi in 0..self.words {
+            let mut word = self.supp_bits[wi];
+            if word == 0 {
+                continue;
+            }
+            self.supp_bits[wi] = 0;
+            // γ ⊆ supp(r): the frontier empties with the support.
+            self.above_bits[wi] = 0;
+            while word != 0 {
+                let v = ((wi << 6) + word.trailing_zeros() as usize) as NodeId;
+                word &= word - 1;
+                let slot = &mut self.slots[v as usize];
+                debug_assert!(slot.stamp == self.epoch && slot.r != 0.0);
                 let val = slot.r;
                 slot.r = 0.0;
                 if slot.q == 0.0 {
@@ -331,15 +370,13 @@ impl DiffusionWorkspace {
                 slot.q += (1.0 - alpha) * val;
                 self.gamma.push((v, val, slot.inv_d));
             }
-            slot.queued = 0;
         }
-        // Stamps stay valid (entries are "touched, now zero"), so the list
-        // keeps its no-duplicates invariant when mass flows back.
-        self.touched = touched;
+        // Stamps stay valid (entries are "touched, now zero"), so the
+        // touched list keeps its no-duplicates invariant when mass flows
+        // back; the aggregates reset wholesale.
         self.supp_r = 0;
         self.vol_r = 0.0;
         self.above = 0;
-        self.frontier.clear();
     }
 
     /// Push phase shared by both branches (Eq. 16 / Eq. 17): scatters the
@@ -365,7 +402,8 @@ impl DiffusionWorkspace {
         {
             let slots = &mut self.slots;
             let touched = &mut self.touched;
-            let frontier = &mut self.frontier;
+            let supp_bits = &mut self.supp_bits;
+            let above_bits = &mut self.above_bits;
             #[cfg(laca_trace)]
             let trace = (&mut self.trace, self.trace_cap, &mut self.trace_dropped);
             #[cfg(laca_trace)]
@@ -382,8 +420,8 @@ impl DiffusionWorkspace {
                             #[cfg(laca_trace)]
                             trace_push(trace_buf, trace_cap, trace_dropped, j, spread);
                             r_add::<TRACK>(
-                                slots, touched, frontier, &mut agg, graph, epoch, epsilon, j,
-                                spread,
+                                slots, touched, supp_bits, above_bits, &mut agg, graph, epoch,
+                                epsilon, j, spread,
                             );
                             pushes += 1;
                         }
@@ -395,7 +433,8 @@ impl DiffusionWorkspace {
                             r_add::<TRACK>(
                                 slots,
                                 touched,
-                                frontier,
+                                supp_bits,
+                                above_bits,
                                 &mut agg,
                                 graph,
                                 epoch,
@@ -476,17 +515,19 @@ struct Aggregates {
 }
 
 /// Adds residual mass at `v`, keeping `supp(r)`, `vol(r)`, the
-/// above-threshold count and the frontier queue consistent.
+/// above-threshold count and both membership bitsets consistent.
 ///
 /// Free function over split `noalias` borrows — the hot path of every
 /// solver. Steady-state cost: one [`Slot`] access (a single cache line)
-/// plus register ops; no graph loads, no hashing.
+/// plus register ops and (on the rare transitions) one bitset word; no
+/// graph loads, no hashing.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn r_add<const TRACK: bool>(
     slots: &mut [Slot],
     touched: &mut Vec<NodeId>,
-    frontier: &mut Vec<NodeId>,
+    supp_bits: &mut [u64],
+    above_bits: &mut [u64],
     agg: &mut Aggregates,
     graph: &CsrGraph,
     epoch: u32,
@@ -501,7 +542,6 @@ fn r_add<const TRACK: bool>(
     if slot.stamp != epoch {
         // First touch this query: stamp, reset, cache 1/d(v).
         slot.stamp = epoch;
-        slot.queued = 0;
         slot.r = 0.0;
         slot.q = 0.0;
         slot.inv_d = graph.inv_degree(v);
@@ -513,6 +553,7 @@ fn r_add<const TRACK: bool>(
     let inv_d = slot.inv_d;
     if old == 0.0 {
         agg.supp_r += 1;
+        supp_bits[v as usize >> 6] |= 1u64 << (v as usize & 63);
         if TRACK {
             agg.vol_r += graph.weighted_degree(v);
         }
@@ -523,13 +564,8 @@ fn r_add<const TRACK: bool>(
     let was_above = old * inv_d >= epsilon;
     let is_above = new * inv_d >= epsilon;
     if is_above && !was_above {
-        if TRACK {
-            agg.above += 1;
-        }
-        if slot.queued != epoch {
-            slot.queued = epoch;
-            frontier.push(v);
-        }
+        agg.above += 1;
+        above_bits[v as usize >> 6] |= 1u64 << (v as usize & 63);
     }
 }
 

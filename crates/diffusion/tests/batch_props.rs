@@ -1,0 +1,188 @@
+//! Differential proptest battery for the batched multi-seed solver: every
+//! lane of a batch must be **bit-identical** to its serial counterpart —
+//! identical f64 bit patterns in reserve and residual, identical per-seed
+//! iteration/push counts — over random graphs × params × batch widths
+//! 1..=16, including duplicate seeds inside one batch and degenerate
+//! single-lane batches. The same corpus is also checked against the
+//! hash-map `reference` oracles (1e-12 tolerance + count equality, the
+//! established cross-implementation contract from `tests/properties.rs`).
+
+use laca_diffusion::batch::serial_for_mode;
+use laca_diffusion::{
+    batch_diffuse_in, reference, BatchMode, BatchWorkspace, DiffusionParams, DiffusionResult,
+    DiffusionWorkspace, SparseVec,
+};
+use laca_graph::{CsrGraph, NodeId};
+use proptest::prelude::*;
+
+/// Connected graph: Hamiltonian backbone + random chords (the
+/// `tests/properties.rs` corpus shape).
+fn graph() -> impl Strategy<Value = CsrGraph> {
+    (4usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..3 * n).prop_map(move |extra| {
+            let mut edges: Vec<(NodeId, NodeId)> =
+                (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+            edges.extend(extra.into_iter().filter(|&(a, b)| a != b));
+            CsrGraph::from_edges(n, &edges).unwrap()
+        })
+    })
+}
+
+/// A batch of 1..=16 input vectors (1–3 entries each; node indices taken
+/// mod n at use time). Duplicate inputs are likely at the larger widths,
+/// covering the duplicate-seed-in-one-batch case organically — and the
+/// width-1 case covers degenerate single-lane batches.
+fn batch_inputs() -> impl Strategy<Value = Vec<Vec<(u32, f64)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..1000, 0.01f64..2.0), 1..=3),
+        1..=16,
+    )
+}
+
+fn mode_strategy() -> impl Strategy<Value = BatchMode> {
+    (0usize..3).prop_map(|m| match m {
+        0 => BatchMode::Adaptive,
+        1 => BatchMode::Greedy,
+        _ => BatchMode::NonGreedy,
+    })
+}
+
+fn materialize(g: &CsrGraph, raw: &[Vec<(u32, f64)>]) -> Vec<SparseVec> {
+    raw.iter()
+        .map(|entries| {
+            let mut f = SparseVec::new();
+            for &(i, v) in entries {
+                f.add((i as usize % g.n()) as NodeId, v);
+            }
+            f
+        })
+        .collect()
+}
+
+fn run_batch(
+    g: &CsrGraph,
+    inputs: &[SparseVec],
+    epsilons: &[f64],
+    params: &DiffusionParams,
+    mode: BatchMode,
+) -> Vec<DiffusionResult> {
+    let refs: Vec<&SparseVec> = inputs.iter().collect();
+    let mut ws = BatchWorkspace::new();
+    let stats = batch_diffuse_in(g, &refs, epsilons, params, mode, &mut ws).unwrap();
+    stats
+        .into_iter()
+        .enumerate()
+        .map(|(l, stats)| {
+            let (reserve, residual) = ws.lane_to_sparse(l);
+            DiffusionResult { reserve, residual, stats }
+        })
+        .collect()
+}
+
+/// Sorted `(node, bit-pattern)` pairs: equality here is bit-identity.
+fn bits(v: &SparseVec) -> Vec<(NodeId, u64)> {
+    let mut p: Vec<(NodeId, u64)> = v.iter().map(|(i, x)| (i, x.to_bits())).collect();
+    p.sort_unstable();
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole contract: per lane, the batched solver reproduces the
+    /// serial workspace solver to the bit — values *and* counts.
+    #[test]
+    fn batched_lanes_are_bit_identical_to_serial(
+        g in graph(),
+        raw_inputs in batch_inputs(),
+        alpha in 0.3f64..0.95,
+        eps_base in 1e-4f64..0.3,
+        sigma in 0.0f64..1.0,
+        mode in mode_strategy(),
+    ) {
+        let inputs = materialize(&g, &raw_inputs);
+        // Spread per-lane epsilons over a decade so lanes terminate at
+        // different rounds (exercising the done-lane bookkeeping).
+        let epsilons: Vec<f64> =
+            (0..inputs.len()).map(|l| eps_base * (1.0 + l as f64 * 0.6)).collect();
+        let params = DiffusionParams { alpha, epsilon: eps_base, sigma, record_residuals: false };
+        let batch = run_batch(&g, &inputs, &epsilons, &params, mode);
+        let mut serial_ws = DiffusionWorkspace::new();
+        for (l, out) in batch.iter().enumerate() {
+            let lane_params = DiffusionParams { epsilon: epsilons[l], ..params.clone() };
+            let serial = serial_for_mode(&g, &inputs[l], &lane_params, mode, &mut serial_ws).unwrap();
+            prop_assert_eq!(
+                &out.stats, &serial.stats,
+                "lane {} of {} diverged in counts ({:?})", l, inputs.len(), mode
+            );
+            prop_assert_eq!(bits(&out.reserve), bits(&serial.reserve),
+                "lane {} reserve bits ({:?})", l, mode);
+            prop_assert_eq!(bits(&out.residual), bits(&serial.residual),
+                "lane {} residual bits ({:?})", l, mode);
+        }
+    }
+
+    /// A batch of B copies of the same seed: every lane identical to the
+    /// bit, and identical to the width-1 batch of that seed.
+    #[test]
+    fn duplicate_seed_lanes_match_each_other_and_the_singleton(
+        g in graph(),
+        seed_idx in 0usize..1000,
+        width in 2usize..=16,
+        alpha in 0.3f64..0.95,
+        eps in 1e-4f64..0.3,
+        mode in mode_strategy(),
+    ) {
+        let f = SparseVec::unit((seed_idx % g.n()) as NodeId);
+        let inputs: Vec<SparseVec> = (0..width).map(|_| f.clone()).collect();
+        let epsilons = vec![eps; width];
+        let params = DiffusionParams { alpha, epsilon: eps, sigma: 0.1, record_residuals: false };
+        let batch = run_batch(&g, &inputs, &epsilons, &params, mode);
+        let singleton = run_batch(&g, &inputs[..1], &epsilons[..1], &params, mode);
+        for out in &batch {
+            prop_assert_eq!(&out.stats, &singleton[0].stats);
+            prop_assert_eq!(bits(&out.reserve), bits(&singleton[0].reserve));
+            prop_assert_eq!(bits(&out.residual), bits(&singleton[0].residual));
+        }
+    }
+
+    /// The same corpus against the hash-map `reference` oracles: values
+    /// within 1e-12 and identical iteration/push counts (the oracles sum
+    /// in hash order, so bit-identity is not expected — this is the same
+    /// contract `tests/properties.rs` pins for the serial solvers).
+    #[test]
+    fn batched_lanes_match_reference_oracles(
+        g in graph(),
+        raw_inputs in batch_inputs(),
+        alpha in 0.3f64..0.95,
+        eps in 1e-4f64..0.3,
+        sigma in 0.0f64..1.0,
+        mode in mode_strategy(),
+    ) {
+        let inputs = materialize(&g, &raw_inputs);
+        let epsilons = vec![eps; inputs.len()];
+        let params = DiffusionParams { alpha, epsilon: eps, sigma, record_residuals: false };
+        let batch = run_batch(&g, &inputs, &epsilons, &params, mode);
+        for (l, out) in batch.iter().enumerate() {
+            let oracle = match mode {
+                BatchMode::Adaptive => reference::adaptive_diffuse(&g, &inputs[l], &params),
+                BatchMode::Greedy => reference::greedy_diffuse(&g, &inputs[l], &params),
+                BatchMode::NonGreedy => reference::nongreedy_diffuse(&g, &inputs[l], &params),
+            }
+            .unwrap();
+            prop_assert_eq!(out.stats.iterations, oracle.stats.iterations, "lane {}", l);
+            prop_assert_eq!(
+                out.stats.push_operations, oracle.stats.push_operations, "lane {}", l
+            );
+            for (i, v) in out.reserve.iter() {
+                prop_assert!((v - oracle.reserve.get(i)).abs() < 1e-12);
+            }
+            for (i, v) in oracle.reserve.iter() {
+                prop_assert!((v - out.reserve.get(i)).abs() < 1e-12);
+            }
+            for (i, v) in out.residual.iter() {
+                prop_assert!((v - oracle.residual.get(i)).abs() < 1e-12);
+            }
+        }
+    }
+}

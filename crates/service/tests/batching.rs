@@ -1,0 +1,231 @@
+//! Batch-formation suite: with `batch_max > 1` a worker drains queued
+//! jobs into shared-traversal compute groups — every answer must stay
+//! **bit-identical** to the serial engine, expired jobs must be excluded
+//! during formation and resolve `Expired`, and the admission ledger
+//! (`hits + coalesced + misses + shed == submitted`) must balance under
+//! shedding policies with batching on.
+
+use laca_core::tnam::TnamConfig;
+use laca_core::{Laca, LacaParams, MetricFn, Tnam};
+use laca_graph::gen::{AttributeSpec, AttributedGraphSpec};
+use laca_graph::{AttributedDataset, NodeId};
+use laca_service::{
+    AdmissionPolicy, ClusterIndex, QueryOptions, QueryService, ServiceConfig, ServiceError,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn dataset() -> AttributedDataset {
+    AttributedGraphSpec {
+        n: 300,
+        n_clusters: 4,
+        avg_degree: 8.0,
+        p_intra: 0.85,
+        missing_intra: 0.05,
+        degree_exponent: 2.5,
+        cluster_size_skew: 0.2,
+        attributes: Some(AttributeSpec {
+            dim: 64,
+            topic_words: 12,
+            tokens_per_node: 20,
+            attr_noise: 0.25,
+        }),
+        seed: 2024,
+    }
+    .generate("batching-test")
+    .unwrap()
+}
+
+fn index(ds: &AttributedDataset, params: LacaParams) -> ClusterIndex {
+    ClusterIndex::from_dataset(ds, &TnamConfig::new(12, MetricFn::Cosine), params).unwrap()
+}
+
+fn serial_bits(
+    ds: &AttributedDataset,
+    params: &LacaParams,
+    seeds: &[NodeId],
+) -> Vec<Vec<(NodeId, u64)>> {
+    let tnam = Tnam::build(&ds.attributes, &TnamConfig::new(12, MetricFn::Cosine)).unwrap();
+    let engine = Laca::new(&ds.graph, Some(&tnam), params.clone()).unwrap();
+    seeds.iter().map(|&s| bit_pairs(&engine.bdd(s).unwrap())).collect()
+}
+
+/// Exact f64 bit patterns — "close enough" is not the bar here.
+fn bit_pairs(v: &laca_diffusion::SparseVec) -> Vec<(NodeId, u64)> {
+    v.to_sorted_pairs().into_iter().map(|(i, x)| (i, x.to_bits())).collect()
+}
+
+#[test]
+fn batched_answers_are_bit_identical_and_batches_actually_form() {
+    let ds = dataset();
+    let params = LacaParams::new(1e-5);
+    let seeds: Vec<NodeId> = (0..64).map(|i| i % 24).collect();
+    let expected = serial_bits(&ds, &params, &(0..24).collect::<Vec<_>>());
+
+    // One worker, cache off, burst of 64: the queue backs up while the
+    // first jobs compute, so later dequeues drain real multi-job groups.
+    let service = QueryService::start(
+        index(&ds, params),
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_cache_per_worker(0)
+            .with_queue_capacity(128)
+            .with_batch_max(8),
+    );
+    for (answer, &seed) in service.query_batch(&seeds).into_iter().zip(&seeds) {
+        let answer = answer.expect("batched query failed");
+        assert_eq!(answer.seed, seed);
+        assert_eq!(
+            bit_pairs(&answer.rho),
+            expected[seed as usize],
+            "seed {seed}: batched answer diverged from serial bits"
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(stats.completed, 64);
+    assert_eq!(stats.errors, 0);
+    assert!(stats.batches >= 1, "a 64-burst on one worker must form at least one batch");
+    assert!(stats.batch_jobs >= 2 * stats.batches, "formed groups have width >= 2");
+    assert!(stats.batch_jobs <= stats.completed);
+    // Per-job spans carry the compute-group width.
+    let spans = service.flight_recorder().snapshot(256);
+    let widths: Vec<u64> = spans.iter().map(|s| s.batch).collect();
+    assert!(
+        widths.iter().any(|&b| b >= 2),
+        "some recorded span must report a batched compute, got {widths:?}"
+    );
+    assert!(spans.iter().all(|s| s.batch >= 1), "every computed span records its group width");
+}
+
+#[test]
+fn deadline_expiring_mid_formation_is_excluded_and_resolves_expired() {
+    let ds = dataset();
+    let params = LacaParams::new(1e-4);
+    let expected = serial_bits(&ds, &params, &(0..8).collect::<Vec<_>>());
+    let service = QueryService::start(
+        index(&ds, params),
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_cache_per_worker(0)
+            .with_queue_capacity(64)
+            .with_batch_max(8),
+    );
+    // Interleave live jobs with already-dead ones (a zero deadline is
+    // past by the time any worker can look at it): formation must weed
+    // the dead jobs out of the group and resolve them `Expired`, while
+    // their batch-mates still compute bit-identical answers.
+    let dead_opts = QueryOptions::new().with_deadline(Duration::ZERO);
+    let handles: Vec<_> = (0..16u32)
+        .map(|i| {
+            if i % 2 == 0 {
+                (i / 2, service.submit(i / 2))
+            } else {
+                (u32::MAX, service.submit_with(i / 2, &dead_opts))
+            }
+        })
+        .collect();
+    let mut ok = 0u64;
+    let mut expired = 0u64;
+    for (seed, handle) in handles {
+        match handle.wait() {
+            Ok(answer) => {
+                assert_eq!(bit_pairs(&answer.rho), expected[seed as usize]);
+                ok += 1;
+            }
+            Err(ServiceError::Expired) => expired += 1,
+            Err(e) => panic!("unexpected outcome: {e}"),
+        }
+    }
+    assert_eq!(ok, 8, "live jobs all compute");
+    assert_eq!(expired, 8, "zero-deadline jobs all expire at formation");
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.expired, 8);
+    assert_eq!(stats.completed + stats.expired, stats.cache_misses);
+}
+
+#[test]
+fn mixed_hit_miss_coalesced_ledger_balances_with_batching_on() {
+    let ds = dataset();
+    let params = LacaParams::new(1e-4);
+    let expected = serial_bits(&ds, &params, &(0..6).collect::<Vec<_>>());
+    let service = Arc::new(QueryService::start(
+        index(&ds, params),
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_cache_per_worker(32)
+            .with_queue_capacity(64)
+            .with_admission(AdmissionPolicy::SmartShed)
+            .with_batch_max(4),
+    ));
+    // Three submitters hammering six seeds: the first computes are
+    // misses (possibly batched), concurrent duplicates coalesce onto
+    // flights, repeats after completion hit the cache.
+    let submitted = 3 * 36u64;
+    let submitters: Vec<_> = (0..3u32)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let mut outcomes = Vec::new();
+                for i in 0..36u32 {
+                    let seed = (i + t * 2) % 6;
+                    outcomes.push((seed, service.submit(seed).wait()));
+                }
+                outcomes
+            })
+        })
+        .collect();
+    for handle in submitters {
+        for (seed, result) in handle.join().unwrap() {
+            match result {
+                Ok(answer) => {
+                    assert_eq!(bit_pairs(&answer.rho), expected[seed as usize], "seed {seed}");
+                }
+                Err(ServiceError::Overloaded) => {}
+                Err(e) => panic!("unexpected outcome: {e}"),
+            }
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(
+        stats.cache_hits + stats.coalesced + stats.cache_misses + stats.shed,
+        submitted,
+        "every submission lands in exactly one admission bucket"
+    );
+    assert_eq!(stats.completed, stats.cache_misses, "no deadlines: every admitted job computes");
+    assert!(stats.cache_hits > 0, "repeats after completion must hit");
+}
+
+#[test]
+fn shed_ledger_balances_under_batching() {
+    let ds = dataset();
+    let params = LacaParams::new(1e-4);
+    let service = QueryService::start(
+        index(&ds, params),
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_cache_per_worker(0)
+            .with_queue_capacity(2)
+            .with_admission(AdmissionPolicy::Shed)
+            .with_batch_max(8),
+    );
+    // A fast burst through a 2-deep queue under `Shed`: some submissions
+    // bounce `Overloaded` at admission, the rest compute (batched or
+    // not) — and the ledger still covers every submission.
+    let handles: Vec<_> = (0..48u32).map(|i| service.submit(i % 6)).collect();
+    let mut ok = 0u64;
+    let mut overloaded = 0u64;
+    for handle in handles {
+        match handle.wait() {
+            Ok(_) => ok += 1,
+            Err(ServiceError::Overloaded) => overloaded += 1,
+            Err(e) => panic!("unexpected outcome: {e}"),
+        }
+    }
+    assert_eq!(ok + overloaded, 48);
+    let stats = service.shutdown();
+    assert_eq!(stats.cache_hits + stats.coalesced + stats.cache_misses + stats.shed, 48);
+    assert_eq!(stats.shed, overloaded);
+    assert_eq!(stats.completed, ok);
+    assert_eq!(stats.batch_jobs + (stats.completed - stats.batch_jobs), stats.completed);
+}
