@@ -10,7 +10,7 @@
 //! | `condvar-wait-in-loop` | `crates/service` | every `Condvar::wait` sits inside a `loop`/`while` re-checking its predicate |
 //! | `lock-acquisition-order` | `crates/service` | nested lock acquisitions follow the declared hierarchy |
 //! | `relaxed-ordering-justified` | non-test code | `Ordering::Relaxed` outside monotonic RMW counters carries an `// ordering:` note |
-//! | `no-bare-unwrap` | `crates/service/src` non-test | no `.unwrap()`; use typed errors or `expect` with the invariant |
+//! | `no-bare-unwrap` | `crates/{service,persist}/src` non-test | no `.unwrap()`; use typed errors or `expect` with the invariant |
 //!
 //! The scanner is deliberately **not** a full parser (no `syn` — the
 //! workspace builds offline): it splits each line into code and comment
@@ -327,6 +327,16 @@ fn is_service_src(path: &str) -> bool {
     p.contains("crates/service/src/")
 }
 
+/// Non-test sources where bare `.unwrap()` is banned: the serving crate
+/// plus the persistence crate — a loader that panics on malformed input
+/// would defeat `laca-persist`'s fail-closed typed-error contract. The
+/// concurrency rules (condvar/lock-order) stay service-only; persistence
+/// has no locks to order.
+fn is_no_unwrap_src(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    is_service_src(path) || p.contains("crates/persist/src/")
+}
+
 /// Test-ish files: integration test dirs and `*_tests.rs` modules (the
 /// model-check suite). `#[cfg(test)]` regions are tracked separately.
 fn is_test_file(path: &str) -> bool {
@@ -340,6 +350,7 @@ pub fn lint_source(path: &str, source: &str) -> SourceReport {
     let lines = split_lines(source);
     let mut report = SourceReport::default();
     let service_src = is_service_src(path);
+    let no_unwrap_src = is_no_unwrap_src(path);
     let test_file = is_test_file(path);
 
     let mut scopes: Vec<Scope> = Vec::new();
@@ -453,15 +464,6 @@ pub fn lint_source(path: &str, source: &str) -> SourceReport {
                 }
             }
 
-            if code.contains(".unwrap()") {
-                emit(
-                    RULE_UNWRAP,
-                    "bare `.unwrap()`; return a typed error or use `expect` naming the invariant"
-                        .into(),
-                    &mut report,
-                );
-            }
-
             // Lock hierarchy: classify this line's acquisition, if any.
             if let Some((level, label)) = find_acquisition(code, impl_name.as_deref()) {
                 for held in &guards {
@@ -490,6 +492,15 @@ pub fn lint_source(path: &str, source: &str) -> SourceReport {
             if let Some(dropped) = code.strip_prefix("drop(").and_then(|r| r.strip_suffix(");")) {
                 guards.retain(|g| g.name != dropped.trim());
             }
+        }
+
+        if no_unwrap_src && !in_test && code.contains(".unwrap()") {
+            emit(
+                RULE_UNWRAP,
+                "bare `.unwrap()`; return a typed error or use `expect` naming the invariant"
+                    .into(),
+                &mut report,
+            );
         }
 
         if !in_test && code.contains("Ordering::Relaxed") {

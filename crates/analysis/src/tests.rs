@@ -381,6 +381,28 @@ fn bare_unwrap_is_flagged_in_service_sources_only() {
 }
 
 #[test]
+fn persist_sources_are_inside_the_unwrap_scope_but_not_the_lock_rules() {
+    // `crates/persist/src` joins the no-bare-unwrap scope (a loader that
+    // panics on malformed input defeats its fail-closed contract), but
+    // the service-only concurrency rules must not follow: persistence
+    // has no condvars or lock hierarchy.
+    let unwrap_src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    for path in ["crates/persist/src/format.rs", "crates/persist/src/store.rs"] {
+        let report = lint_source(path, unwrap_src);
+        assert_eq!(rules_of(&report), vec![RULE_UNWRAP], "{path} not in unwrap scope");
+    }
+    // `.wait(guard)` outside a loop: flagged in service, not in persist.
+    let wait_src = "fn g(cv: &Condvar, m: MutexGuard<u32>) {\n    cv.wait(m);\n}\n";
+    assert_eq!(rules_of(&lint_service(wait_src)), vec![RULE_CONDVAR]);
+    let persist = lint_source("crates/persist/src/store.rs", wait_src);
+    assert!(persist.findings.is_empty(), "{:?}", persist.findings);
+    // Test regions inside persist sources keep their unwrap allowance.
+    let test_src = "#[cfg(test)]\nmod tests {\n    fn t(x: Option<u32>) -> u32 {\n        x.unwrap()\n    }\n}\n";
+    let report = lint_source("crates/persist/src/format.rs", test_src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
 fn overload_modules_are_inside_the_strict_scope() {
     // The overload-hardening modules (PR 7) must stay under the serving
     // crate's strictest rules. Pinned per-path so a future move out of

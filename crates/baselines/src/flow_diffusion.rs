@@ -167,7 +167,10 @@ impl<'g> FlowDiffusion<'g> {
         ws: &mut FlowWorkspace,
     ) -> Vec<Result<Score, BaselineError>> {
         if self.p < 2.0 {
-            return seeds.iter().map(|_| Err(BaselineError::BadParameter("p must be >= 2"))).collect();
+            return seeds
+                .iter()
+                .map(|_| Err(BaselineError::BadParameter("p must be >= 2")))
+                .collect();
         }
         let mut out = Vec::with_capacity(seeds.len());
         for chunk in seeds.chunks(MAX_LANES.max(1)) {
@@ -221,22 +224,21 @@ impl<'g> FlowDiffusion<'g> {
         let mut updates = vec![0usize; lanes];
         while !cur_nodes.is_empty() {
             cur_nodes.sort_unstable();
-            for i in 0..cur_nodes.len() {
-                let v = cur_nodes[i];
+            for &v in &cur_nodes {
                 let vi = v as usize;
                 let vmask = ws.cur_mask[vi];
                 ws.cur_mask[vi] = 0;
                 let dv = g.weighted_degree(v);
                 let vb = ws.lane_base(v);
-                for l in 0..lanes {
+                for (l, lane_updates) in updates.iter_mut().enumerate() {
                     if vmask & (1 << l) == 0 {
                         continue;
                     }
-                    if updates[l] >= self.max_updates {
+                    if *lane_updates >= self.max_updates {
                         // Capped lane: stop scheduling, keep what it has.
                         continue;
                     }
-                    updates[l] += 1;
+                    *lane_updates += 1;
                     let excess = ws.mass[vb + l] - dv;
                     if excess <= self.tol * dv {
                         continue;

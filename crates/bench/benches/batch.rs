@@ -168,9 +168,12 @@ fn bench_kernel(c: &mut Criterion, ds: &AttributedDataset) {
 }
 
 fn bench_serving(c: &mut Criterion, ds: &AttributedDataset) {
-    let index =
-        ClusterIndex::from_dataset(ds, &TnamConfig::new(32, MetricFn::Cosine), LacaParams::new(1e-4))
-            .unwrap();
+    let index = ClusterIndex::from_dataset(
+        ds,
+        &TnamConfig::new(32, MetricFn::Cosine),
+        LacaParams::new(1e-4),
+    )
+    .unwrap();
     let queries = correlated_burst(ds, SERVING_BURST);
     let mut group = c.benchmark_group("batch/serving");
     group.sample_size(20);

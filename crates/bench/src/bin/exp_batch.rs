@@ -44,8 +44,7 @@ fn main() {
             let batch = engine.bdd_batch_with_stats_in(chunk, &mut bws);
             for (&s, result) in chunk.iter().zip(batch) {
                 let (rho_b, stats_b) = result.expect("batched query");
-                let (rho_s, stats_s) =
-                    engine.bdd_with_stats_in(s, &mut sws).expect("serial query");
+                let (rho_s, stats_s) = engine.bdd_with_stats_in(s, &mut sws).expect("serial query");
                 assert_eq!(
                     rho_b.to_sorted_pairs(),
                     rho_s.to_sorted_pairs(),
@@ -111,7 +110,11 @@ fn main() {
             format!("{:.2}x", aligned_batch / aligned_serial),
         ]);
 
-        banner(&format!("Batched execution on {name} (ε = {:.0e}, pool = {})", params.epsilon, pool.len()));
+        banner(&format!(
+            "Batched execution on {name} (ε = {:.0e}, pool = {})",
+            params.epsilon,
+            pool.len()
+        ));
         println!("{}", table.render());
         table.write_csv(&args.out_dir.join(format!("batch_{name}.csv"))).expect("write csv");
     }

@@ -1,0 +1,125 @@
+//! **Persistence scenario**: the cold-start path the on-disk index store
+//! exists for. Per dataset: build the `ClusterIndex` from scratch (what a
+//! service restart pays without a store), publish it to an
+//! [`laca_persist::IndexStore`], load it back through the full
+//! fail-closed validation pipeline, and register the loaded index on a
+//! [`laca_service::ServiceRouter`] straight from disk. The run verifies
+//! the loaded index answers **bit-identically** (rho f64 bits and push
+//! counts) on sampled seeds, then reports the wall-clock ledger: rebuild
+//! vs load time, image size, and the resulting startup speedup.
+//!
+//! ```sh
+//! cargo run --release -p laca-bench --bin exp_persist -- --seeds 8
+//! ```
+
+use laca_bench::{banner, load_dataset, ExpArgs};
+use laca_core::tnam::TnamConfig;
+use laca_core::{LacaParams, MetricFn};
+use laca_eval::harness::sample_seeds;
+use laca_eval::table::Table;
+use laca_persist::{IndexStore, RouterStoreExt};
+use laca_service::{ClusterIndex, ServiceConfig, ServiceRouter};
+use std::time::Instant;
+
+fn main() {
+    let args = ExpArgs::parse(8);
+    let names = args.dataset_names(&["cora", "pubmed"]);
+    let params = LacaParams::new(1e-4);
+    let tnam_config = TnamConfig::new(32, MetricFn::Cosine);
+
+    let store_dir = std::env::temp_dir().join(format!("laca-exp-persist-{}", std::process::id()));
+    let store = IndexStore::open(&store_dir).expect("open store");
+
+    let mut table = Table::new(&[
+        "dataset",
+        "n",
+        "rebuild s",
+        "save s",
+        "load s",
+        "speedup",
+        "image MB",
+        "seeds checked",
+    ]);
+
+    for name in &names {
+        let ds = load_dataset(name, args.scale);
+        let seeds = sample_seeds(&ds, args.seeds.max(2), 0x9E51);
+
+        // Cold rebuild: the full offline pipeline (TNAM + index plumbing).
+        let t0 = Instant::now();
+        let index = ClusterIndex::from_dataset(&ds, &tnam_config, params.clone())
+            .expect("index construction");
+        let rebuild_s = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let path = store.save(&index).expect("publish index");
+        let save_s = t0.elapsed().as_secs_f64();
+        let image_mb = std::fs::metadata(&path).expect("stat image").len() as f64 / 1e6;
+
+        let t0 = Instant::now();
+        let loaded = store.load(index.dataset(), index.fingerprint()).expect("load index");
+        let load_s = t0.elapsed().as_secs_f64();
+
+        // Bit-identity check: the loaded index must be indistinguishable
+        // from the freshly built one on every probe — same rho f64 bit
+        // patterns, same push counts.
+        let (built_engine, loaded_engine) = (index.engine(), loaded.engine());
+        for &seed in &seeds {
+            let (rho_a, stats_a) = built_engine.bdd_with_stats(seed).expect("built query");
+            let (rho_b, stats_b) = loaded_engine.bdd_with_stats(seed).expect("loaded query");
+            let bits = |pairs: Vec<(u32, f64)>| -> Vec<(u32, u64)> {
+                pairs.into_iter().map(|(node, v)| (node, v.to_bits())).collect()
+            };
+            assert_eq!(
+                bits(rho_a.to_sorted_pairs()),
+                bits(rho_b.to_sorted_pairs()),
+                "{name}: rho drifted through persistence at seed {seed}"
+            );
+            assert_eq!(
+                stats_a.bdd.push_operations, stats_b.bdd.push_operations,
+                "{name}: push count drifted through persistence at seed {seed}"
+            );
+        }
+
+        // Startup-from-disk path: the router registers the stored image
+        // directly and serves the same answers.
+        let router = ServiceRouter::new();
+        let key = router
+            .register_from_store(
+                &store,
+                index.dataset(),
+                index.fingerprint(),
+                ServiceConfig::default().with_workers(1),
+            )
+            .expect("register from store");
+        let probe = seeds[0];
+        let answer = router.submit(&key, probe).expect("submit").wait().expect("serve");
+        let direct = built_engine.bdd(probe).expect("direct query");
+        assert_eq!(
+            answer.rho.to_sorted_pairs(),
+            direct.to_sorted_pairs(),
+            "{name}: served answer differs from direct computation"
+        );
+        router.drain();
+
+        eprintln!(
+            "[{name}] rebuild {rebuild_s:.3}s, load {load_s:.3}s ({:.1}x), image {image_mb:.2} MB",
+            rebuild_s / load_s
+        );
+        table.add_row(vec![
+            name.clone(),
+            ds.graph.n().to_string(),
+            format!("{rebuild_s:.3}"),
+            format!("{save_s:.3}"),
+            format!("{load_s:.3}"),
+            format!("{:.1}", rebuild_s / load_s),
+            format!("{image_mb:.2}"),
+            seeds.len().to_string(),
+        ]);
+    }
+
+    std::fs::remove_dir_all(&store_dir).ok();
+    banner("Index persistence: cold rebuild vs store load (bit-identical answers)");
+    println!("{}", table.render());
+    table.write_csv(&args.out_dir.join("persist.csv")).expect("write csv");
+}

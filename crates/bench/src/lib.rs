@@ -91,13 +91,20 @@ impl ExpArgs {
     }
 }
 
-/// Generates a registry dataset at `default_scale × extra_scale`.
+/// Generates a registry dataset at `default_scale × extra_scale` — or
+/// loads it from the on-disk store named by `LACA_INDEX_STORE` when a
+/// previous run already cached the identical spec (keyed by
+/// [`laca_graph::gen::AttributedGraphSpec::fingerprint`], so any spec or
+/// scale change regenerates). CI points every test/bench job at a shared
+/// cached store directory; generation is bit-identical for any thread
+/// count, so the cache is safely shared across matrix legs.
 pub fn load_dataset(name: &str, extra_scale: f64) -> AttributedDataset {
     let scale = default_scale(name) * extra_scale;
     let spec = by_name(name, scale)
         .unwrap_or_else(|| panic!("unknown dataset '{name}' (see laca_graph::datasets)"));
     let t0 = std::time::Instant::now();
-    let ds = spec.generate(format!("{name}-like")).expect("dataset generation failed");
+    let ds = laca_persist::cached_dataset(&spec, &format!("{name}-like"))
+        .expect("dataset generation failed");
     let stats = ds.stats();
     eprintln!(
         "[gen] {name}: n={} m={} d={} |Ys|~{:.0} ({:.1}s)",

@@ -758,13 +758,7 @@ mod tests {
         assert!(matches!(out[1], Err(CoreError::BadParameter(_))));
         assert!(out[2].is_ok());
         // The good lanes still match their serial answers.
-        assert_eq!(
-            rho_bits(out[0].as_ref().unwrap()),
-            rho_bits(&engine.bdd(1).unwrap())
-        );
-        assert_eq!(
-            rho_bits(out[2].as_ref().unwrap()),
-            rho_bits(&engine.bdd(2).unwrap())
-        );
+        assert_eq!(rho_bits(out[0].as_ref().unwrap()), rho_bits(&engine.bdd(1).unwrap()));
+        assert_eq!(rho_bits(out[2].as_ref().unwrap()), rho_bits(&engine.bdd(2).unwrap()));
     }
 }

@@ -29,7 +29,7 @@ pub mod variants;
 
 pub use laca::{Laca, LacaParams};
 pub use snas::MetricFn;
-pub use tnam::{Tnam, TnamConfig};
+pub use tnam::{Tnam, TnamConfig, TnamRowsView};
 
 /// Errors from LACA construction and queries.
 #[derive(Debug, Clone, PartialEq)]

@@ -105,6 +105,24 @@ pub struct Tnam {
     fingerprint: u64,
 }
 
+/// A borrowed view of a [`Tnam`]'s row storage, exposed so serializers
+/// (`laca-persist`) can write the backing arrays verbatim without the
+/// crate leaking its private `Rows` enum. The inverse operations are
+/// [`Tnam::from_dense_parts`] and [`Tnam::from_sparse_scaled_parts`].
+#[derive(Debug, Clone, Copy)]
+pub enum TnamRowsView<'a> {
+    /// Dense `n × width` row matrix (the k-SVD and ORF configurations).
+    Dense(&'a DenseMatrix),
+    /// `z⁽ⁱ⁾ = scales[i] · x⁽ⁱ⁾` over sparse attribute rows (the cosine
+    /// "w/o k-SVD" ablation).
+    SparseScaled {
+        /// The shared sparse attribute rows `x⁽ⁱ⁾`.
+        attrs: &'a AttributeMatrix,
+        /// Per-row scale factors (length `n`).
+        scales: &'a [f64],
+    },
+}
+
 impl Tnam {
     /// Runs Algo. 3. Cost is `O(n·d)` (Lemma V.3) for the SVD
     /// configurations; the k-SVD and ORF kernels run on the rayon pool
@@ -187,6 +205,67 @@ impl Tnam {
             Rows::SparseScaled { attrs, .. } => attrs.dim(),
         };
         Ok(Tnam { rows, width, n, metric, fingerprint: config.fingerprint() })
+    }
+
+    /// Reassembles a dense-row TNAM from owned parts, as previously
+    /// exposed by [`Tnam::rows_view`]. The deserialization entry point:
+    /// `z` is adopted verbatim (no renormalization — a round trip is
+    /// bit-identical) and `fingerprint` must be the
+    /// [`TnamConfig::fingerprint`] the rows were originally built with,
+    /// so cache/routing identity survives persistence. Fails closed on
+    /// structurally invalid parts (empty matrix, non-finite entries).
+    pub fn from_dense_parts(
+        z: DenseMatrix,
+        metric: MetricFn,
+        fingerprint: u64,
+    ) -> Result<Self, CoreError> {
+        if z.rows() == 0 || z.cols() == 0 {
+            return Err(CoreError::BadParameter("TNAM rows must be non-empty"));
+        }
+        if z.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(CoreError::BadParameter("TNAM rows must be finite"));
+        }
+        let (n, width) = (z.rows(), z.cols());
+        Ok(Tnam { rows: Rows::Dense(z), width, n, metric, fingerprint })
+    }
+
+    /// Reassembles a sparse-scaled TNAM (the cosine "w/o k-SVD"
+    /// representation) from owned parts. `scales` must carry one finite
+    /// factor per attribute row; the metric is necessarily
+    /// [`MetricFn::Cosine`] — no other configuration produces this
+    /// storage. See [`Tnam::from_dense_parts`] for the fingerprint
+    /// contract.
+    pub fn from_sparse_scaled_parts(
+        attrs: AttributeMatrix,
+        scales: Vec<f64>,
+        fingerprint: u64,
+    ) -> Result<Self, CoreError> {
+        if attrs.is_empty() {
+            return Err(CoreError::NoAttributes);
+        }
+        if scales.len() != attrs.n() {
+            return Err(CoreError::BadParameter("TNAM scales must cover every row"));
+        }
+        if scales.iter().any(|v| !v.is_finite()) {
+            return Err(CoreError::BadParameter("TNAM scales must be finite"));
+        }
+        let (n, width) = (attrs.n(), attrs.dim());
+        Ok(Tnam {
+            rows: Rows::SparseScaled { attrs, scales },
+            width,
+            n,
+            metric: MetricFn::Cosine,
+            fingerprint,
+        })
+    }
+
+    /// A borrowed view of the row storage for serializers; see
+    /// [`TnamRowsView`].
+    pub fn rows_view(&self) -> TnamRowsView<'_> {
+        match &self.rows {
+            Rows::Dense(z) => TnamRowsView::Dense(z),
+            Rows::SparseScaled { attrs, scales } => TnamRowsView::SparseScaled { attrs, scales },
+        }
     }
 
     /// Number of nodes.
@@ -468,6 +547,53 @@ mod tests {
         assert_eq!(c.width(), 4);
         let e = Tnam::build(&x, &TnamConfig::new(4, MetricFn::ExpCosine { delta: 1.0 })).unwrap();
         assert_eq!(e.width(), 8);
+    }
+
+    #[test]
+    fn rows_view_round_trips_bit_identically() {
+        let x = attrs();
+        // Dense representation (k-SVD path).
+        let dense = Tnam::build(&x, &TnamConfig::new(6, MetricFn::Cosine)).unwrap();
+        let rebuilt = match dense.rows_view() {
+            TnamRowsView::Dense(z) => {
+                Tnam::from_dense_parts(z.clone(), dense.metric(), dense.fingerprint()).unwrap()
+            }
+            TnamRowsView::SparseScaled { .. } => panic!("k-SVD TNAM must be dense"),
+        };
+        assert_eq!(rebuilt.width(), dense.width());
+        assert_eq!(rebuilt.fingerprint(), dense.fingerprint());
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(dense.s_approx(i, j).to_bits(), rebuilt.s_approx(i, j).to_bits());
+            }
+        }
+        // Sparse-scaled representation (w/o k-SVD ablation).
+        let sparse = Tnam::build(&x, &TnamConfig::new(6, MetricFn::Cosine).without_svd()).unwrap();
+        let rebuilt = match sparse.rows_view() {
+            TnamRowsView::SparseScaled { attrs, scales } => {
+                Tnam::from_sparse_scaled_parts(attrs.clone(), scales.to_vec(), sparse.fingerprint())
+                    .unwrap()
+            }
+            TnamRowsView::Dense(_) => panic!("ablation TNAM must be sparse-scaled"),
+        };
+        assert_eq!(rebuilt.width(), sparse.width());
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(sparse.s_approx(i, j).to_bits(), rebuilt.s_approx(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_input() {
+        let x = attrs();
+        assert!(Tnam::from_dense_parts(DenseMatrix::zeros(0, 4), MetricFn::Cosine, 0).is_err());
+        let mut bad = DenseMatrix::zeros(2, 2);
+        bad.set(0, 0, f64::NAN);
+        assert!(Tnam::from_dense_parts(bad, MetricFn::Cosine, 0).is_err());
+        assert!(Tnam::from_sparse_scaled_parts(AttributeMatrix::empty(3), vec![0.0; 3], 0).is_err());
+        assert!(Tnam::from_sparse_scaled_parts(x.clone(), vec![1.0; 2], 0).is_err());
+        assert!(Tnam::from_sparse_scaled_parts(x, vec![f64::INFINITY; 8], 0).is_err());
     }
 
     #[test]

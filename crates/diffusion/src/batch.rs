@@ -33,10 +33,8 @@
 //! batches, batch widths, and graphs.
 
 use crate::workspace::DiffusionWorkspace;
+use crate::{adaptive_diffuse_in, greedy_diffuse_in, nongreedy_diffuse_in, sparse_vec::SparseVec};
 use crate::{check_input, DiffusionError, DiffusionParams, DiffusionResult, DiffusionStats};
-use crate::{
-    adaptive_diffuse_in, greedy_diffuse_in, nongreedy_diffuse_in, sparse_vec::SparseVec,
-};
 use laca_graph::{CsrGraph, NodeId};
 
 /// Maximum lanes per batch (lane masks are `u16`).
@@ -241,11 +239,7 @@ impl BatchWorkspace {
     /// `‖r‖₁` of one lane over its touched set (residual-history
     /// telemetry only; summation order matches the lane's serial run).
     fn lane_residual_l1(&self, l: usize) -> f64 {
-        self.lane[l]
-            .touched
-            .iter()
-            .map(|&v| self.r[v as usize * self.stride + l].abs())
-            .sum()
+        self.lane[l].touched.iter().map(|&v| self.r[v as usize * self.stride + l].abs()).sum()
     }
 
     /// Converts one lane back to the `(reserve, residual)` boundary
@@ -337,8 +331,8 @@ pub fn batch_diffuse_in(
     }
 
     let mut eps = [0.0f64; MAX_LANES];
-    for l in 0..lanes {
-        eps[l] = ws.lane[l].eps;
+    for (e, lane) in eps.iter_mut().zip(&ws.lane[..lanes]) {
+        *e = lane.eps;
     }
 
     loop {
@@ -374,8 +368,7 @@ pub fn batch_diffuse_in(
                 }
                 BatchMode::Adaptive => {
                     let vol_r = s.vol_r;
-                    let ratio =
-                        if s.supp_r == 0 { 0.0 } else { s.above as f64 / s.supp_r as f64 };
+                    let ratio = if s.supp_r == 0 { 0.0 } else { s.above as f64 / s.supp_r as f64 };
                     if ratio > params.sigma && s.stats.nongreedy_cost + vol_r < s.budget {
                         ng |= 1 << l;
                         s.stats.iterations += 1;
@@ -618,12 +611,11 @@ fn push(ws: &mut BatchWorkspace, graph: &CsrGraph, alpha: f64, track_vol: bool, 
     // Hoisted once per pass: the dense-lane kernel vectorizes only when
     // the lane block is a whole number of 4-wide f64 vectors.
     #[cfg(target_arch = "x86_64")]
-    let simd = stride % 4 == 0 && std::arch::is_x86_feature_detected!("avx2");
+    let simd = stride.is_multiple_of(4) && std::arch::is_x86_feature_detected!("avx2");
     #[cfg(not(target_arch = "x86_64"))]
     let simd = false;
     let mut cursor = 0usize;
-    for gi in 0..rounds {
-        let (v, em) = gamma_nodes[gi];
+    for &(v, em) in &gamma_nodes[..rounds] {
         let inv_dv = ws.inv_d[v as usize];
         // γ values are compact (one per set `em` bit, ascending); lanes
         // outside `em` pushed nothing, so their spread is an exact zero —
@@ -695,7 +687,10 @@ fn push(ws: &mut BatchWorkspace, graph: &CsrGraph, alpha: f64, track_vol: bool, 
 /// early return, and both regimes produce identical bits and bookkeeping.
 // lint: hot-path
 #[inline]
-#[allow(clippy::too_many_arguments)]
+// neg_cmp_op_on_partial_ord: the threshold crossing test deliberately
+// uses `!(old >= eps)` so a hypothetical NaN residual classifies exactly
+// as in the serial kernel; `old < eps` would flip it.
+#[allow(clippy::too_many_arguments, clippy::neg_cmp_op_on_partial_ord)]
 fn push_node(
     ws: &mut BatchWorkspace,
     graph: &CsrGraph,
@@ -882,13 +877,9 @@ mod tests {
             let serial =
                 serial_for_mode(g, inputs[l], &serial_params, mode, &mut DiffusionWorkspace::new())
                     .unwrap();
-            assert_eq!(
-                out.stats, serial.stats,
-                "lane {l} stats diverged from serial ({mode:?})"
-            );
+            assert_eq!(out.stats, serial.stats, "lane {l} stats diverged from serial ({mode:?})");
             let bits = |v: &SparseVec| {
-                let mut p: Vec<(NodeId, u64)> =
-                    v.iter().map(|(i, x)| (i, x.to_bits())).collect();
+                let mut p: Vec<(NodeId, u64)> = v.iter().map(|(i, x)| (i, x.to_bits())).collect();
                 p.sort_unstable();
                 p
             };

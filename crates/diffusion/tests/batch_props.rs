@@ -20,8 +20,7 @@ use proptest::prelude::*;
 fn graph() -> impl Strategy<Value = CsrGraph> {
     (4usize..40).prop_flat_map(|n| {
         proptest::collection::vec((0..n as u32, 0..n as u32), 0..3 * n).prop_map(move |extra| {
-            let mut edges: Vec<(NodeId, NodeId)> =
-                (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+            let mut edges: Vec<(NodeId, NodeId)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
             edges.extend(extra.into_iter().filter(|&(a, b)| a != b));
             CsrGraph::from_edges(n, &edges).unwrap()
         })
@@ -33,10 +32,7 @@ fn graph() -> impl Strategy<Value = CsrGraph> {
 /// covering the duplicate-seed-in-one-batch case organically — and the
 /// width-1 case covers degenerate single-lane batches.
 fn batch_inputs() -> impl Strategy<Value = Vec<Vec<(u32, f64)>>> {
-    proptest::collection::vec(
-        proptest::collection::vec((0u32..1000, 0.01f64..2.0), 1..=3),
-        1..=16,
-    )
+    proptest::collection::vec(proptest::collection::vec((0u32..1000, 0.01f64..2.0), 1..=3), 1..=16)
 }
 
 fn mode_strategy() -> impl Strategy<Value = BatchMode> {

@@ -89,6 +89,80 @@ impl AttributeMatrix {
         Self::from_rows(dim, &sparse)
     }
 
+    /// Reassembles a matrix from raw CSR arrays, as produced by
+    /// [`AttributeMatrix::offsets`] / [`AttributeMatrix::indices_flat`] /
+    /// [`AttributeMatrix::values_flat`].
+    ///
+    /// The deserialization entry point (`laca-persist`): rows are **not**
+    /// re-normalized — values are trusted to be the already-normalized
+    /// output of a constructor, so a round trip is bit-identical — but
+    /// every structural invariant is re-validated and malformed input
+    /// fails closed:
+    ///
+    /// * `offsets` has `n + 1` entries, starts at 0, is monotone, and
+    ///   ends at `indices.len()`;
+    /// * `values` parallels `indices`;
+    /// * per-row indices are strictly ascending and `< dim`;
+    /// * stored values are finite and non-zero.
+    pub fn from_raw_parts(
+        dim: usize,
+        offsets: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self, GraphError> {
+        if offsets.is_empty() {
+            return Err(GraphError::InvalidCsr { reason: "attribute offsets empty" });
+        }
+        let n = offsets.len() - 1;
+        if offsets[0] != 0 {
+            return Err(GraphError::InvalidCsr { reason: "attribute offsets must start at 0" });
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::InvalidCsr { reason: "attribute offsets must be monotone" });
+        }
+        if offsets[n] != indices.len() || values.len() != indices.len() {
+            return Err(GraphError::InvalidCsr { reason: "attribute arrays disagree on nnz" });
+        }
+        for i in 0..n {
+            let (start, end) = (offsets[i], offsets[i + 1]);
+            let mut prev: Option<u32> = None;
+            for k in start..end {
+                let j = indices[k];
+                if j as usize >= dim || !values[k].is_finite() || values[k] == 0.0 {
+                    return Err(GraphError::InvalidAttribute { row: i });
+                }
+                if prev.is_some_and(|p| p >= j) {
+                    return Err(GraphError::InvalidCsr {
+                        reason: "attribute row indices not strictly ascending",
+                    });
+                }
+                prev = Some(j);
+            }
+        }
+        Ok(AttributeMatrix { n, dim, offsets, indices, values })
+    }
+
+    /// The raw CSR offset array (`n + 1` entries into
+    /// [`AttributeMatrix::indices_flat`]).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat column-index array (one entry per stored non-zero).
+    #[inline]
+    pub fn indices_flat(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The flat value array parallel to
+    /// [`AttributeMatrix::indices_flat`]. Values are already
+    /// L2-normalized per row.
+    #[inline]
+    pub fn values_flat(&self) -> &[f64] {
+        &self.values
+    }
+
     /// An `n × 0` matrix: the "no attributes" case for Table VIII graphs.
     pub fn empty(n: usize) -> Self {
         AttributeMatrix {
@@ -335,6 +409,47 @@ mod tests {
         assert_eq!(x.dim(), 0);
         assert!(x.is_empty());
         assert_eq!(x.dot(0, 4), 0.0);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_and_reject_malformed() {
+        let x = m3();
+        let back = AttributeMatrix::from_raw_parts(
+            x.dim(),
+            x.offsets().to_vec(),
+            x.indices_flat().to_vec(),
+            x.values_flat().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(x, back);
+        // Values must be preserved to the bit (no re-normalization).
+        for (a, b) in x.values_flat().iter().zip(back.values_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let (off, idx, val) =
+            (x.offsets().to_vec(), x.indices_flat().to_vec(), x.values_flat().to_vec());
+        // Out-of-range column.
+        let mut bad = idx.clone();
+        bad[0] = 99;
+        assert!(AttributeMatrix::from_raw_parts(x.dim(), off.clone(), bad, val.clone()).is_err());
+        // Unsorted row (row 0 has two entries).
+        let mut bad = idx.clone();
+        bad.swap(0, 1);
+        assert!(AttributeMatrix::from_raw_parts(x.dim(), off.clone(), bad, val.clone()).is_err());
+        // Non-finite value.
+        let mut bad = val.clone();
+        bad[1] = f64::NAN;
+        assert!(AttributeMatrix::from_raw_parts(x.dim(), off.clone(), idx.clone(), bad).is_err());
+        // nnz disagreement.
+        let mut bad = off.clone();
+        bad[3] = 2;
+        assert!(AttributeMatrix::from_raw_parts(x.dim(), bad, idx.clone(), val.clone()).is_err());
+        // Non-monotone offsets.
+        let mut bad = off.clone();
+        bad[1] = 4;
+        bad[2] = 2;
+        assert!(AttributeMatrix::from_raw_parts(x.dim(), bad, idx, val).is_err());
     }
 
     #[test]

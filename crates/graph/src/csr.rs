@@ -123,6 +123,111 @@ impl CsrGraph {
         Ok(CsrGraph { offsets, neighbors, weights: Some(weights), degrees, inv_degrees })
     }
 
+    /// Reassembles a graph from raw CSR arrays, as produced by
+    /// [`CsrGraph::offsets`] / [`CsrGraph::neighbors_flat`] /
+    /// [`CsrGraph::weights_flat`].
+    ///
+    /// This is the deserialization entry point (`laca-persist` loads
+    /// sections straight into these vectors), so it re-validates every
+    /// invariant the ordinary constructors establish and **fails closed**
+    /// on malformed input instead of panicking later in a push loop:
+    ///
+    /// * `offsets` starts at 0, is monotone non-decreasing, and ends at
+    ///   `neighbors.len()`;
+    /// * adjacency lists are strictly ascending (sorted, deduplicated),
+    ///   in range, and free of self-loops;
+    /// * the adjacency relation is symmetric, with bit-equal mirrored
+    ///   weights when present;
+    /// * `weights` (if given) parallels `neighbors` and is finite and
+    ///   strictly positive.
+    ///
+    /// Degrees and cached reciprocals are recomputed with the same
+    /// arithmetic as the ordinary constructors, so a round-tripped graph
+    /// is bit-identical to the original (`PartialEq` compares only the
+    /// stored arrays, but the derived arrays match bit-for-bit too).
+    pub fn from_raw_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<NodeId>,
+        weights: Option<Vec<f64>>,
+    ) -> Result<Self, GraphError> {
+        if offsets.len() < 2 {
+            return Err(GraphError::Empty);
+        }
+        let n = offsets.len() - 1;
+        if offsets[0] != 0 {
+            return Err(GraphError::InvalidCsr { reason: "offsets must start at 0" });
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::InvalidCsr { reason: "offsets must be monotone" });
+        }
+        if offsets[n] != neighbors.len() {
+            return Err(GraphError::InvalidCsr { reason: "offsets must end at neighbors.len()" });
+        }
+        if let Some(w) = &weights {
+            if w.len() != neighbors.len() {
+                return Err(GraphError::InvalidCsr { reason: "weights must parallel neighbors" });
+            }
+        }
+        for u in 0..n {
+            let (start, end) = (offsets[u], offsets[u + 1]);
+            let list = &neighbors[start..end];
+            let mut prev: Option<NodeId> = None;
+            for (i, &v) in list.iter().enumerate() {
+                if v as usize >= n {
+                    return Err(GraphError::NodeOutOfRange { node: v, n });
+                }
+                if v as usize == u {
+                    return Err(GraphError::InvalidCsr { reason: "self-loop in adjacency list" });
+                }
+                if prev.is_some_and(|p| p >= v) {
+                    return Err(GraphError::InvalidCsr {
+                        reason: "adjacency list not strictly ascending",
+                    });
+                }
+                prev = Some(v);
+                if let Some(w) = &weights {
+                    let wv = w[start + i];
+                    if !wv.is_finite() || wv <= 0.0 {
+                        return Err(GraphError::InvalidWeight { u: u as NodeId, v });
+                    }
+                }
+            }
+        }
+        // Symmetry (and mirrored-weight equality): every (u, v) must have
+        // its (v, u) counterpart. O(m log d) binary searches — cheap next
+        // to any index build, and it closes the "checksummed but
+        // logically inconsistent" corruption class.
+        for u in 0..n {
+            let (start, end) = (offsets[u], offsets[u + 1]);
+            for idx in start..end {
+                let v = neighbors[idx] as usize;
+                let vlist = &neighbors[offsets[v]..offsets[v + 1]];
+                match vlist.binary_search(&(u as NodeId)) {
+                    Ok(pos) => {
+                        if let Some(w) = &weights {
+                            if w[idx].to_bits() != w[offsets[v] + pos].to_bits() {
+                                return Err(GraphError::InvalidCsr {
+                                    reason: "asymmetric edge weights",
+                                });
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        return Err(GraphError::InvalidCsr {
+                            reason: "adjacency relation not symmetric",
+                        })
+                    }
+                }
+            }
+        }
+        let degrees: Vec<f64> = match &weights {
+            None => (0..n).map(|i| (offsets[i + 1] - offsets[i]) as f64).collect(),
+            Some(w) => (0..n).map(|i| w[offsets[i]..offsets[i + 1]].iter().sum()).collect(),
+        };
+        let inv_degrees = reciprocals(&degrees);
+        Ok(CsrGraph { offsets, neighbors, weights, degrees, inv_degrees })
+    }
+
     /// Number of nodes `n`.
     #[inline]
     pub fn n(&self) -> usize {
@@ -315,6 +420,28 @@ impl CsrGraph {
             next += 1;
         }
         (comp, next as usize)
+    }
+
+    /// The raw CSR offset array (`n + 1` entries into
+    /// [`CsrGraph::neighbors_flat`]). Serializers write these arrays
+    /// verbatim; [`CsrGraph::from_raw_parts`] reassembles them.
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat adjacency array (length `2m`), concatenating every node's
+    /// sorted neighbor list.
+    #[inline]
+    pub fn neighbors_flat(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// The flat edge-weight array parallel to
+    /// [`CsrGraph::neighbors_flat`], or `None` when unweighted.
+    #[inline]
+    pub fn weights_flat(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
     }
 
     /// All undirected edges as `(u, v)` with `u < v`.
@@ -519,5 +646,82 @@ mod tests {
     fn total_volume_is_twice_m() {
         let g = path4();
         assert_eq!(g.total_volume(), 2.0 * g.m() as f64);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_unweighted_and_weighted() {
+        let g = path4();
+        let back = CsrGraph::from_raw_parts(
+            g.offsets().to_vec(),
+            g.neighbors_flat().to_vec(),
+            g.weights_flat().map(|w| w.to_vec()),
+        )
+        .unwrap();
+        assert_eq!(g, back);
+        for v in 0..4 {
+            assert_eq!(g.inv_degree(v).to_bits(), back.inv_degree(v).to_bits());
+        }
+
+        let w = CsrGraph::from_weighted_edges(3, &[(0, 1, 2.5), (1, 2, 0.25)]).unwrap();
+        let back = CsrGraph::from_raw_parts(
+            w.offsets().to_vec(),
+            w.neighbors_flat().to_vec(),
+            w.weights_flat().map(|x| x.to_vec()),
+        )
+        .unwrap();
+        assert_eq!(w, back);
+        assert_eq!(w.weighted_degree(1).to_bits(), back.weighted_degree(1).to_bits());
+    }
+
+    #[test]
+    fn raw_parts_reject_malformed_input() {
+        let g = path4();
+        let off = g.offsets().to_vec();
+        let nbr = g.neighbors_flat().to_vec();
+        // Non-monotone offsets.
+        let mut bad = off.clone();
+        bad[1] = 5;
+        assert!(matches!(
+            CsrGraph::from_raw_parts(bad, nbr.clone(), None),
+            Err(GraphError::InvalidCsr { .. })
+        ));
+        // Offsets not ending at neighbors.len().
+        let mut bad = off.clone();
+        bad[4] = 3;
+        assert!(CsrGraph::from_raw_parts(bad, nbr.clone(), None).is_err());
+        // Out-of-range neighbor.
+        let mut bad_n = nbr.clone();
+        bad_n[0] = 99;
+        assert!(matches!(
+            CsrGraph::from_raw_parts(off.clone(), bad_n, None),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        // Asymmetric adjacency: swap one endpoint.
+        let mut bad_n = nbr.clone();
+        bad_n[0] = 3;
+        assert!(CsrGraph::from_raw_parts(off.clone(), bad_n, None).is_err());
+        // Unsorted list (node 1 has [0, 2]; reverse it).
+        let mut bad_n = nbr.clone();
+        bad_n.swap(1, 2);
+        assert!(CsrGraph::from_raw_parts(off.clone(), bad_n, None).is_err());
+        // Bad weight.
+        let w = vec![1.0; nbr.len()];
+        let mut bad_w = w.clone();
+        bad_w[2] = -1.0;
+        assert!(matches!(
+            CsrGraph::from_raw_parts(off.clone(), nbr.clone(), Some(bad_w)),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        // Asymmetric weights (edge (0,1) has different bits each way).
+        let mut bad_w = w.clone();
+        bad_w[0] = 2.0;
+        assert!(CsrGraph::from_raw_parts(off.clone(), nbr.clone(), Some(bad_w)).is_err());
+        // Wrong weight arity.
+        assert!(CsrGraph::from_raw_parts(off, nbr, Some(vec![1.0])).is_err());
+        // Empty.
+        assert!(matches!(
+            CsrGraph::from_raw_parts(vec![0], Vec::new(), None),
+            Err(GraphError::Empty)
+        ));
     }
 }

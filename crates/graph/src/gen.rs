@@ -99,6 +99,36 @@ impl AttributedGraphSpec {
     pub fn generate(&self, name: impl Into<String>) -> Result<AttributedDataset, GraphError> {
         generate(name.into(), self)
     }
+
+    /// Stable digest of every generator field (floats hashed by bit
+    /// pattern). Generation is fully deterministic given the spec, so
+    /// this fingerprint *is* the identity of the generated dataset —
+    /// `laca-persist`'s on-disk store keys cached datasets on it, which
+    /// is sound because the generated realization is also bit-identical
+    /// for any rayon thread count (PR 4 contract).
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = rustc_hash::FxHasher::default();
+        self.n.hash(&mut h);
+        self.n_clusters.hash(&mut h);
+        self.avg_degree.to_bits().hash(&mut h);
+        self.p_intra.to_bits().hash(&mut h);
+        self.missing_intra.to_bits().hash(&mut h);
+        self.degree_exponent.to_bits().hash(&mut h);
+        self.cluster_size_skew.to_bits().hash(&mut h);
+        match &self.attributes {
+            None => 0u8.hash(&mut h),
+            Some(a) => {
+                1u8.hash(&mut h);
+                a.dim.hash(&mut h);
+                a.topic_words.hash(&mut h);
+                a.tokens_per_node.hash(&mut h);
+                a.attr_noise.to_bits().hash(&mut h);
+            }
+        }
+        self.seed.hash(&mut h);
+        h.finish()
+    }
 }
 
 /// Weighted-index sampler over a cumulative-sum table.

@@ -44,6 +44,12 @@ pub enum GraphError {
     InvalidAttribute { row: usize },
     /// Dimension mismatch between two structures that must agree.
     DimensionMismatch { expected: usize, found: usize },
+    /// Raw CSR parts violated a structural invariant (monotone offsets,
+    /// sorted/deduplicated adjacency, symmetry, weight positivity).
+    /// Produced by [`CsrGraph::from_raw_parts`] /
+    /// [`AttributeMatrix::from_raw_parts`] when handed malformed arrays —
+    /// deserializers rely on this to fail closed instead of panicking.
+    InvalidCsr { reason: &'static str },
     /// An I/O or parse failure, with a human-readable description.
     Io(String),
 }
@@ -63,6 +69,9 @@ impl std::fmt::Display for GraphError {
             }
             GraphError::DimensionMismatch { expected, found } => {
                 write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            GraphError::InvalidCsr { reason } => {
+                write!(f, "invalid CSR structure: {reason}")
             }
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
         }

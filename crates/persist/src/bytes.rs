@@ -1,0 +1,175 @@
+//! Raw-byte plumbing for the container format: the section checksum and
+//! the one-pass (`memcpy`) slice↔byte conversions behind the
+//! near-zero-copy load path.
+
+/// Plain-old-data element types a section may hold. Sealed: only the
+/// fixed-layout primitives below qualify (no padding, no invalid bit
+/// patterns, alignment ≤ the section alignment).
+pub(crate) trait Pod: Copy + 'static {
+    /// Element size in bytes.
+    const SIZE: usize;
+}
+
+impl Pod for u32 {
+    const SIZE: usize = 4;
+}
+impl Pod for u64 {
+    const SIZE: usize = 8;
+}
+impl Pod for f64 {
+    const SIZE: usize = 8;
+}
+
+/// Views a POD slice as raw bytes without copying (the save path writes
+/// sections straight from the live arrays).
+pub(crate) fn bytes_of<T: Pod>(data: &[T]) -> &[u8] {
+    let len = std::mem::size_of_val(data);
+    // SAFETY: `T: Pod` guarantees a fixed layout with no padding bytes,
+    // so every byte of the slice is initialized; the returned slice
+    // covers exactly the same memory with alignment 1 ≤ align_of::<T>()
+    // and inherits the input lifetime.
+    unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), len) }
+}
+
+/// Copies a byte region into a freshly allocated `Vec<T>` in a single
+/// `memcpy` — the "no per-element decode" load path. Returns `None` when
+/// the byte length is not a whole number of elements.
+pub(crate) fn vec_from_bytes<T: Pod>(bytes: &[u8]) -> Option<Vec<T>> {
+    if !bytes.len().is_multiple_of(T::SIZE) {
+        return None;
+    }
+    let count = bytes.len() / T::SIZE;
+    let mut out = Vec::<T>::with_capacity(count);
+    // SAFETY: the destination has capacity for `count` elements
+    // (`count * T::SIZE` bytes); the source spans exactly that many
+    // bytes; the regions cannot overlap (fresh allocation); `T: Pod`
+    // means any bit pattern is a valid `T`, so `set_len` exposes only
+    // initialized, valid values. Source alignment is irrelevant to a
+    // byte-wise copy.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), bytes.len());
+        out.set_len(count);
+    }
+    Some(out)
+}
+
+/// Converts stored `u64` offsets into the in-memory `usize` form. On
+/// 64-bit targets this re-tags the allocation without touching the data.
+#[cfg(target_pointer_width = "64")]
+pub(crate) fn u64s_to_usizes(v: Vec<u64>) -> Vec<usize> {
+    let mut v = std::mem::ManuallyDrop::new(v);
+    let (ptr, len, cap) = (v.as_mut_ptr(), v.len(), v.capacity());
+    // SAFETY: on a 64-bit target `usize` and `u64` have identical size
+    // and alignment, so the allocation's layout is unchanged; ownership
+    // transfers exactly once (the source is ManuallyDrop), and every
+    // `u64` bit pattern is a valid `usize`.
+    unsafe { Vec::from_raw_parts(ptr.cast::<usize>(), len, cap) }
+}
+
+/// Fallback for non-64-bit targets: element-wise convert. Oversized
+/// offsets are truncated here, but the structural validation in
+/// `from_raw_parts` rejects any resulting inconsistency, so the failure
+/// stays closed.
+#[cfg(not(target_pointer_width = "64"))]
+pub(crate) fn u64s_to_usizes(v: Vec<u64>) -> Vec<usize> {
+    v.into_iter().map(|x| x as usize).collect()
+}
+
+/// The inverse of [`u64s_to_usizes`] for the save path.
+#[cfg(target_pointer_width = "64")]
+pub(crate) fn usize_bytes(data: &[usize]) -> std::borrow::Cow<'_, [u8]> {
+    let len = std::mem::size_of_val(data);
+    // SAFETY: `usize` on a 64-bit target is an 8-byte integer with no
+    // padding; same argument as `bytes_of`.
+    std::borrow::Cow::Borrowed(unsafe {
+        std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), len)
+    })
+}
+
+/// Fallback for non-64-bit targets: widen element-wise into owned bytes.
+#[cfg(not(target_pointer_width = "64"))]
+pub(crate) fn usize_bytes(data: &[usize]) -> std::borrow::Cow<'_, [u8]> {
+    let mut out = Vec::with_capacity(data.len() * 8);
+    for &x in data {
+        out.extend_from_slice(&(x as u64).to_le_bytes());
+    }
+    std::borrow::Cow::Owned(out)
+}
+
+/// 64-bit section checksum: splitmix64-mixed fold over 8-byte words,
+/// length-salted, with a zero-padded tail. Not cryptographic — it exists
+/// to catch torn writes, truncation and bit rot, and any single flipped
+/// bit changes the result.
+pub(crate) fn checksum(bytes: &[u8]) -> u64 {
+    #[inline]
+    fn mix(mut x: u64) -> u64 {
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+    let mut acc = 0x9E37_79B9_7F4A_7C15u64 ^ (bytes.len() as u64);
+    let words = bytes.len() / 8;
+    for i in 0..words {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&bytes[i * 8..i * 8 + 8]);
+        acc = mix(acc ^ u64::from_le_bytes(w));
+    }
+    let rem = &bytes[words * 8..];
+    if !rem.is_empty() {
+        let mut w = [0u8; 8];
+        w[..rem.len()].copy_from_slice(rem);
+        acc = mix(acc ^ u64::from_le_bytes(w) ^ 0xFF);
+    }
+    mix(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_f64_and_u32() {
+        let xs = [1.5f64, -0.0, f64::MIN_POSITIVE, 1e300];
+        let back: Vec<f64> = vec_from_bytes(bytes_of(&xs)).expect("aligned length");
+        assert_eq!(xs.len(), back.len());
+        for (a, b) in xs.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let ys = [0u32, 7, u32::MAX];
+        let back: Vec<u32> = vec_from_bytes(bytes_of(&ys)).expect("aligned length");
+        assert_eq!(back, ys);
+    }
+
+    #[test]
+    fn misaligned_length_is_rejected() {
+        assert!(vec_from_bytes::<u64>(&[1, 2, 3]).is_none());
+        assert!(vec_from_bytes::<u32>(&[1, 2, 3]).is_none());
+        assert_eq!(vec_from_bytes::<u64>(&[]).map(|v| v.len()), Some(0));
+    }
+
+    #[test]
+    fn usize_round_trip() {
+        let xs = [0usize, 1, 42, usize::MAX];
+        let bytes = usize_bytes(&xs);
+        let back = u64s_to_usizes(vec_from_bytes::<u64>(&bytes).expect("aligned"));
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn checksum_detects_any_single_bit_flip() {
+        let data: Vec<u8> = (0..37u8).collect();
+        let base = checksum(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupt = data.clone();
+                corrupt[i] ^= 1 << bit;
+                assert_ne!(checksum(&corrupt), base, "flip at byte {i} bit {bit} undetected");
+            }
+        }
+        // Length is salted in: a zero-extended buffer hashes differently.
+        let mut extended = data.clone();
+        extended.push(0);
+        assert_ne!(checksum(&extended), base);
+        assert_ne!(checksum(&[]), checksum(&[0]));
+    }
+}

@@ -1,0 +1,227 @@
+//! # `laca-persist` — versioned on-disk persistence for preprocessed indices
+//!
+//! A [`laca_service::ClusterIndex`] is expensive to build (the TNAM's
+//! randomized k-SVD dominates) and immutable once built — exactly the
+//! artifact worth persisting. This crate defines **LACA index format
+//! v1**, a flat binary container, plus an [`IndexStore`]: a
+//! fingerprint-keyed on-disk directory with atomic write-then-rename
+//! publication so a crash mid-save can never expose a torn file.
+//!
+//! ## Format
+//!
+//! ```text
+//! ┌────────────────────────────────────────────────────────────────┐
+//! │ header (32 B): magic "LACAIDX\0" · version u32 · #sections u32 │
+//! │                layout probe u64 · table checksum u64           │
+//! ├────────────────────────────────────────────────────────────────┤
+//! │ section table: #sections × { id u32, pad, offset u64,         │
+//! │                              len u64, checksum u64 }           │
+//! ├────────────────────────────────────────────────────────────────┤
+//! │ payload sections, each offset 64-byte aligned:                 │
+//! │   META · CSR_OFFSETS · CSR_NEIGHBORS · [CSR_WEIGHTS]           │
+//! │   [TNAM_DENSE] | [TNAM_SCALES + ATTR_*] · [dataset sections]   │
+//! └────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Sections hold the backing arrays of [`laca_graph::CsrGraph`],
+//! [`laca_core::Tnam`] and [`laca_graph::AttributeMatrix`] **verbatim**
+//! (native layout, 64-byte aligned), so loading is near-zero-copy: each
+//! section is validated against its checksum and then `memcpy`'d in one
+//! pass into its destination vector — no per-element decode on the load
+//! path. A layout probe word makes a file written under a different
+//! byte order fail closed with a typed error instead of loading garbage.
+//!
+//! Identity rides along: the META section stores
+//! [`laca_core::LacaParams::fingerprint`], the TNAM's config fingerprint
+//! and the combined index fingerprint. Loading recomputes all three and
+//! refuses the file on any mismatch, so an index loaded from disk can
+//! never be routed or cached under the wrong key.
+//!
+//! The same container also persists whole generated datasets
+//! ([`laca_graph::AttributedDataset`]: graph + attributes + planted
+//! ground truth), keyed by [`laca_graph::gen::AttributedGraphSpec::fingerprint`] —
+//! CI uses this to stop regenerating datasets in every job.
+//!
+//! ## Fail-closed contract
+//!
+//! Every way a file can be malformed — truncation, flipped bytes in any
+//! section, wrong magic, a future format version, inconsistent
+//! metadata, structurally invalid CSR arrays — returns a typed
+//! [`PersistError`]; the parser never panics and never reads past the
+//! buffer (property-tested against arbitrary byte mutations, and pinned
+//! by the corruption matrix in `tests/corruption.rs`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use laca_core::tnam::TnamConfig;
+//! use laca_core::{LacaParams, MetricFn};
+//! use laca_graph::gen::{AttributeSpec, AttributedGraphSpec};
+//! use laca_persist::IndexStore;
+//! use laca_service::ClusterIndex;
+//!
+//! let ds = AttributedGraphSpec {
+//!     n: 150, n_clusters: 3, avg_degree: 6.0, p_intra: 0.85,
+//!     missing_intra: 0.05, degree_exponent: 2.5, cluster_size_skew: 0.2,
+//!     attributes: Some(AttributeSpec::default_for(32)), seed: 7,
+//! }
+//! .generate("demo")
+//! .unwrap();
+//!
+//! // Offline, once: build and publish.
+//! let index = ClusterIndex::from_dataset(
+//!     &ds, &TnamConfig::new(8, MetricFn::Cosine), LacaParams::new(1e-4)).unwrap();
+//! let dir = std::env::temp_dir().join("laca-doc-store");
+//! let store = IndexStore::open(&dir).unwrap();
+//! store.save(&index).unwrap();
+//!
+//! // Every later process start: load instead of rebuild.
+//! let loaded = store.load(index.dataset(), index.fingerprint()).unwrap();
+//! assert_eq!(loaded.fingerprint(), index.fingerprint());
+//! let a = index.engine().bdd(0).unwrap();
+//! let b = loaded.engine().bdd(0).unwrap();
+//! assert_eq!(a.to_sorted_pairs(), b.to_sorted_pairs());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![warn(missing_docs)]
+
+mod bytes;
+pub mod format;
+pub mod store;
+
+pub use format::{
+    read_dataset_bytes, read_index_bytes, write_dataset_bytes, write_index_bytes, FORMAT_VERSION,
+    MAGIC,
+};
+pub use store::{cached_dataset, IndexStore, RouterStoreExt, STORE_ENV};
+
+use laca_core::CoreError;
+use laca_graph::GraphError;
+use laca_service::RouterError;
+
+/// Everything that can go wrong saving or loading a persisted image.
+///
+/// Malformed input **fails closed**: every variant is a typed error and
+/// the parser never panics, whatever the bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistError {
+    /// Filesystem error (message carries the operation and path).
+    Io(String),
+    /// The file does not start with the LACA index magic.
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    /// Bump-and-reread requires the matching reader (versioning policy:
+    /// readers never guess forward).
+    UnsupportedVersion {
+        /// Version stamped in the file.
+        found: u32,
+        /// Latest version this reader supports.
+        supported: u32,
+    },
+    /// The layout probe mismatched: the file was written under a
+    /// different byte order / word layout than this host's.
+    LayoutMismatch,
+    /// The buffer ends before a structure it promises.
+    Truncated {
+        /// Bytes the structure needs.
+        needed: u64,
+        /// Bytes actually available.
+        have: u64,
+    },
+    /// The section table is malformed (bad count, misaligned or
+    /// out-of-bounds section, duplicate id).
+    SectionTable(&'static str),
+    /// Stored checksum does not match the bytes (named region).
+    ChecksumMismatch {
+        /// Which region failed: `"table"` or a section name.
+        section: &'static str,
+    },
+    /// A section the META block promises is absent.
+    MissingSection(&'static str),
+    /// A section id this version does not define (or one repeated /
+    /// inconsistent with the META flags).
+    UnexpectedSection(u32),
+    /// The META section is self-inconsistent or carries invalid
+    /// parameters.
+    Meta(&'static str),
+    /// Reconstructing the graph/attribute arrays failed structural
+    /// validation.
+    Graph(GraphError),
+    /// Reconstructing the TNAM or the query engine failed validation.
+    Core(CoreError),
+    /// A stored identity fingerprint disagrees with the one recomputed
+    /// from the loaded parts.
+    Fingerprint(&'static str),
+    /// The store has no entry under this key.
+    NotFound {
+        /// Dataset label of the requested entry.
+        dataset: String,
+        /// Index fingerprint of the requested entry.
+        fingerprint: u64,
+    },
+    /// Registering a loaded index with a router failed.
+    Router(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(msg) => write!(f, "i/o error: {msg}"),
+            PersistError::BadMagic => write!(f, "not a LACA index file (bad magic)"),
+            PersistError::UnsupportedVersion { found, supported } => {
+                write!(f, "format version {found} is newer than supported {supported}")
+            }
+            PersistError::LayoutMismatch => {
+                write!(f, "file written under a different byte order / word layout")
+            }
+            PersistError::Truncated { needed, have } => {
+                write!(f, "truncated image: needed {needed} bytes, have {have}")
+            }
+            PersistError::SectionTable(reason) => write!(f, "bad section table: {reason}"),
+            PersistError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in {section}")
+            }
+            PersistError::MissingSection(name) => write!(f, "missing section {name}"),
+            PersistError::UnexpectedSection(id) => write!(f, "unexpected section id {id}"),
+            PersistError::Meta(reason) => write!(f, "invalid metadata: {reason}"),
+            PersistError::Graph(e) => write!(f, "graph reconstruction failed: {e}"),
+            PersistError::Core(e) => write!(f, "index reconstruction failed: {e}"),
+            PersistError::Fingerprint(which) => {
+                write!(f, "stored {which} fingerprint disagrees with recomputed identity")
+            }
+            PersistError::NotFound { dataset, fingerprint } => {
+                write!(f, "no stored index for ({dataset}, {fingerprint:#018x})")
+            }
+            PersistError::Router(msg) => write!(f, "route registration failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<GraphError> for PersistError {
+    fn from(e: GraphError) -> Self {
+        PersistError::Graph(e)
+    }
+}
+
+impl From<CoreError> for PersistError {
+    fn from(e: CoreError) -> Self {
+        PersistError::Core(e)
+    }
+}
+
+impl From<RouterError> for PersistError {
+    fn from(e: RouterError) -> Self {
+        PersistError::Router(e.to_string())
+    }
+}
+
+/// `io::Error` carries no `Clone`/`PartialEq`, so it is flattened to its
+/// message at the boundary (the path context is added by callers).
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,394 @@
+//! [`IndexStore`]: a fingerprint-keyed on-disk directory of persisted
+//! images with atomic write-then-rename publication.
+//!
+//! Entries are keyed exactly the way the serving layer routes:
+//! `(dataset label, index fingerprint)` for indices and
+//! `(dataset name, generator-spec fingerprint)` for cached datasets — so
+//! a params change, a TNAM rebuild, or a generator tweak always misses
+//! the store instead of loading a stale artifact.
+//!
+//! **Atomic-publish protocol.** A save writes the full image to a
+//! process-unique `*.tmp-<pid>` sibling, syncs it, and `rename`s it onto
+//! the final path. Readers therefore only ever observe either no file or
+//! a complete one; a crash mid-save leaves a temp file the next
+//! successful save of the same key overwrites. Concurrent savers of the
+//! same key race benignly — both write identical bytes (the writer is
+//! deterministic) and the last rename wins.
+
+use crate::format::{read_dataset_bytes, read_index_bytes, write_dataset_bytes, write_index_bytes};
+use crate::PersistError;
+use laca_graph::gen::AttributedGraphSpec;
+use laca_graph::AttributedDataset;
+use laca_service::{ClusterIndex, RouteKey, ServiceConfig, ServiceRouter};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Environment variable naming the store directory that
+/// [`cached_dataset`] (and the CI test jobs) use; unset means "no store,
+/// always rebuild".
+pub const STORE_ENV: &str = "LACA_INDEX_STORE";
+
+/// A directory of persisted LACA images, keyed by identity fingerprints.
+///
+/// See the [module docs](self) for the publication protocol and the
+/// crate docs for a quickstart.
+#[derive(Debug, Clone)]
+pub struct IndexStore {
+    root: PathBuf,
+}
+
+/// Filesystem-safe slug of a dataset label (collisions are disambiguated
+/// by the appended label hash, so sanitizing is purely cosmetic).
+fn slug(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect();
+    out.truncate(48);
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn label_hash(name: &str) -> u32 {
+    use std::hash::{Hash, Hasher};
+    let mut h = rustc_hash::FxHasher::default();
+    name.hash(&mut h);
+    h.finish() as u32
+}
+
+impl IndexStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let root = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| PersistError::Io(format!("create {}: {e}", root.display())))?;
+        Ok(IndexStore { root })
+    }
+
+    /// Opens the store named by the `LACA_INDEX_STORE` environment
+    /// variable; `Ok(None)` when the variable is unset or empty.
+    pub fn from_env() -> Result<Option<Self>, PersistError> {
+        match std::env::var(STORE_ENV) {
+            Ok(dir) if !dir.is_empty() => Self::open(dir).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// On-disk path an index with this key publishes to.
+    pub fn index_path(&self, dataset: &str, fingerprint: u64) -> PathBuf {
+        self.root.join(format!(
+            "idx-{}-{:08x}-{fingerprint:016x}.laca",
+            slug(dataset),
+            label_hash(dataset)
+        ))
+    }
+
+    /// On-disk path a cached dataset with this key publishes to.
+    pub fn dataset_path(&self, name: &str, spec_fingerprint: u64) -> PathBuf {
+        self.root.join(format!(
+            "ds-{}-{:08x}-{spec_fingerprint:016x}.laca",
+            slug(name),
+            label_hash(name)
+        ))
+    }
+
+    /// Atomically publishes `bytes` at `path` (write temp → sync →
+    /// rename); see the module docs for why readers never see torn files.
+    fn publish(&self, path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        let ctx = |op: &str, p: &Path, e: std::io::Error| {
+            PersistError::Io(format!("{op} {}: {e}", p.display()))
+        };
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| ctx("create", &tmp, e))?;
+            f.write_all(bytes).map_err(|e| ctx("write", &tmp, e))?;
+            f.sync_all().map_err(|e| ctx("sync", &tmp, e))?;
+        }
+        std::fs::rename(&tmp, path).map_err(|e| ctx("publish", path, e))
+    }
+
+    /// Serializes and publishes `index` under its routing key. Returns
+    /// the published path.
+    pub fn save(&self, index: &ClusterIndex) -> Result<PathBuf, PersistError> {
+        let path = self.index_path(index.dataset(), index.fingerprint());
+        self.publish(&path, &write_index_bytes(index))?;
+        Ok(path)
+    }
+
+    /// Loads the index stored under `(dataset, fingerprint)`, running the
+    /// full fail-closed validation pipeline, and additionally checks the
+    /// loaded identity matches the requested key (a renamed or shuffled
+    /// file cannot impersonate another entry).
+    pub fn load(&self, dataset: &str, fingerprint: u64) -> Result<ClusterIndex, PersistError> {
+        let path = self.index_path(dataset, fingerprint);
+        if !path.exists() {
+            return Err(PersistError::NotFound { dataset: dataset.to_string(), fingerprint });
+        }
+        let bytes = std::fs::read(&path)
+            .map_err(|e| PersistError::Io(format!("read {}: {e}", path.display())))?;
+        let index = read_index_bytes(&bytes)?;
+        if index.dataset() != dataset || index.fingerprint() != fingerprint {
+            return Err(PersistError::Fingerprint("store key"));
+        }
+        Ok(index)
+    }
+
+    /// `true` when an entry for this key has been published.
+    pub fn contains(&self, dataset: &str, fingerprint: u64) -> bool {
+        self.index_path(dataset, fingerprint).exists()
+    }
+
+    /// Serializes and publishes a generated dataset keyed by the spec
+    /// fingerprint that generated it. Returns the published path.
+    pub fn save_dataset(
+        &self,
+        ds: &AttributedDataset,
+        spec_fingerprint: u64,
+    ) -> Result<PathBuf, PersistError> {
+        let path = self.dataset_path(&ds.name, spec_fingerprint);
+        self.publish(&path, &write_dataset_bytes(ds, spec_fingerprint))?;
+        Ok(path)
+    }
+
+    /// Loads the dataset cached under `(name, spec_fingerprint)`, with
+    /// the same key re-verification as [`IndexStore::load`].
+    pub fn load_dataset(
+        &self,
+        name: &str,
+        spec_fingerprint: u64,
+    ) -> Result<AttributedDataset, PersistError> {
+        let path = self.dataset_path(name, spec_fingerprint);
+        if !path.exists() {
+            return Err(PersistError::NotFound {
+                dataset: name.to_string(),
+                fingerprint: spec_fingerprint,
+            });
+        }
+        let bytes = std::fs::read(&path)
+            .map_err(|e| PersistError::Io(format!("read {}: {e}", path.display())))?;
+        let (ds, fp) = read_dataset_bytes(&bytes)?;
+        if ds.name != name || fp != spec_fingerprint {
+            return Err(PersistError::Fingerprint("store key"));
+        }
+        Ok(ds)
+    }
+}
+
+/// Generates `spec` as `name` — unless the store named by
+/// [`STORE_ENV`] already holds it, in which case the cached image is
+/// loaded instead (and a fresh generation is published back on a miss).
+///
+/// This is sound because generation is deterministic and bit-identical
+/// for any rayon thread count, so every consumer of the same
+/// `(name, spec fingerprint)` key — including different CI matrix legs —
+/// agrees on the bytes. An unusable cache entry (corrupt, wrong version)
+/// is reported to stderr and regenerated, never trusted: a broken cache
+/// can cost time, not correctness.
+pub fn cached_dataset(
+    spec: &AttributedGraphSpec,
+    name: &str,
+) -> Result<AttributedDataset, PersistError> {
+    let store = match IndexStore::from_env() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("laca-persist: ignoring unusable {STORE_ENV} directory: {e}");
+            None
+        }
+    };
+    let fp = spec.fingerprint();
+    if let Some(store) = &store {
+        match store.load_dataset(name, fp) {
+            Ok(ds) => return Ok(ds),
+            Err(PersistError::NotFound { .. }) => {}
+            Err(e) => {
+                eprintln!("laca-persist: regenerating dataset {name}: cached image unusable: {e}")
+            }
+        }
+    }
+    let ds = spec.generate(name)?;
+    if let Some(store) = &store {
+        if let Err(e) = store.save_dataset(&ds, fp) {
+            eprintln!("laca-persist: failed to cache dataset {name}: {e}");
+        }
+    }
+    Ok(ds)
+}
+
+/// Registers indices straight from an [`IndexStore`] — the
+/// "start the service from disk" path (no TNAM rebuild at startup).
+pub trait RouterStoreExt {
+    /// Loads `(dataset, fingerprint)` from `store` and registers it,
+    /// returning the live [`RouteKey`].
+    fn register_from_store(
+        &self,
+        store: &IndexStore,
+        dataset: &str,
+        fingerprint: u64,
+        config: ServiceConfig,
+    ) -> Result<RouteKey, PersistError>;
+}
+
+impl RouterStoreExt for ServiceRouter {
+    fn register_from_store(
+        &self,
+        store: &IndexStore,
+        dataset: &str,
+        fingerprint: u64,
+        config: ServiceConfig,
+    ) -> Result<RouteKey, PersistError> {
+        let index = store.load(dataset, fingerprint)?;
+        Ok(self.register(index, config)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laca_core::tnam::TnamConfig;
+    use laca_core::{LacaParams, MetricFn};
+    use laca_graph::gen::AttributeSpec;
+
+    fn spec() -> AttributedGraphSpec {
+        AttributedGraphSpec {
+            n: 140,
+            n_clusters: 3,
+            avg_degree: 6.0,
+            p_intra: 0.85,
+            missing_intra: 0.05,
+            degree_exponent: 2.5,
+            cluster_size_skew: 0.2,
+            attributes: Some(AttributeSpec {
+                dim: 32,
+                topic_words: 8,
+                tokens_per_node: 12,
+                attr_noise: 0.2,
+            }),
+            seed: 31,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("laca-store-test-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip_and_not_found() {
+        let dir = tmp_dir("rt");
+        let store = IndexStore::open(&dir).unwrap();
+        let ds = spec().generate("store-rt").unwrap();
+        let index = ClusterIndex::from_dataset(
+            &ds,
+            &TnamConfig::new(8, MetricFn::Cosine),
+            LacaParams::new(1e-4),
+        )
+        .unwrap();
+        assert!(!store.contains(index.dataset(), index.fingerprint()));
+        assert!(matches!(
+            store.load(index.dataset(), index.fingerprint()),
+            Err(PersistError::NotFound { .. })
+        ));
+        let path = store.save(&index).unwrap();
+        assert!(path.exists());
+        assert!(store.contains(index.dataset(), index.fingerprint()));
+        let loaded = store.load(index.dataset(), index.fingerprint()).unwrap();
+        assert_eq!(loaded.fingerprint(), index.fingerprint());
+        let a = index.engine().bdd(5).unwrap().to_sorted_pairs();
+        let b = loaded.engine().bdd(5).unwrap().to_sorted_pairs();
+        assert_eq!(a, b);
+        // No temp files linger after a successful publish.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x != "laca"))
+            .collect();
+        assert!(stray.is_empty(), "stray files: {stray:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shuffled_entries_cannot_impersonate_each_other() {
+        let dir = tmp_dir("imp");
+        let store = IndexStore::open(&dir).unwrap();
+        let ds = spec().generate("store-imp").unwrap();
+        let a = ClusterIndex::from_dataset(
+            &ds,
+            &TnamConfig::new(8, MetricFn::Cosine),
+            LacaParams::new(1e-4),
+        )
+        .unwrap();
+        let b = ClusterIndex::from_dataset(
+            &ds,
+            &TnamConfig::new(8, MetricFn::Cosine),
+            LacaParams::new(1e-3),
+        )
+        .unwrap();
+        let pa = store.save(&a).unwrap();
+        // Overwrite b's slot with a's bytes: the key check must refuse.
+        let pb = store.index_path(b.dataset(), b.fingerprint());
+        std::fs::copy(&pa, &pb).unwrap();
+        assert_eq!(
+            store.load(b.dataset(), b.fingerprint()).unwrap_err(),
+            PersistError::Fingerprint("store key")
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dataset_cache_round_trip() {
+        let dir = tmp_dir("ds");
+        let store = IndexStore::open(&dir).unwrap();
+        let s = spec();
+        let ds = s.generate("store-ds").unwrap();
+        let fp = s.fingerprint();
+        assert!(matches!(store.load_dataset("store-ds", fp), Err(PersistError::NotFound { .. })));
+        store.save_dataset(&ds, fp).unwrap();
+        let back = store.load_dataset("store-ds", fp).unwrap();
+        assert_eq!(back.name, ds.name);
+        assert_eq!(back.membership, ds.membership);
+        assert_eq!(back.clusters, ds.clusters);
+        // A different spec fingerprint is a different key entirely.
+        assert!(matches!(
+            store.load_dataset("store-ds", fp ^ 1),
+            Err(PersistError::NotFound { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn router_registers_from_store() {
+        let dir = tmp_dir("router");
+        let store = IndexStore::open(&dir).unwrap();
+        let ds = spec().generate("store-router").unwrap();
+        let index = ClusterIndex::from_dataset(
+            &ds,
+            &TnamConfig::new(8, MetricFn::Cosine),
+            LacaParams::new(1e-4),
+        )
+        .unwrap();
+        let (dataset, fp) = (index.dataset().to_string(), index.fingerprint());
+        store.save(&index).unwrap();
+
+        let router = ServiceRouter::new();
+        let key =
+            router.register_from_store(&store, &dataset, fp, ServiceConfig::default()).unwrap();
+        let answer = router.submit(&key, 3).unwrap().wait().unwrap();
+        let direct = index.engine().bdd(3).unwrap().to_sorted_pairs();
+        assert_eq!(answer.rho.to_sorted_pairs(), direct);
+        // Missing entries surface as NotFound, not a panic or a bad route.
+        assert!(matches!(
+            router.register_from_store(&store, "absent", 42, ServiceConfig::default()),
+            Err(PersistError::NotFound { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

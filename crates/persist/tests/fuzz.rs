@@ -1,0 +1,106 @@
+//! Deterministic fuzz leg: arbitrary byte mutations of a valid image —
+//! and arbitrary garbage buffers — must never panic, never over-read,
+//! and only ever produce a typed [`PersistError`] or, when a mutation
+//! happens to be a no-op, the original image. The vendored proptest
+//! runner is deterministically seeded, so this leg is reproducible in CI.
+
+use laca_core::tnam::TnamConfig;
+use laca_core::{LacaParams, MetricFn};
+use laca_graph::gen::{AttributeSpec, AttributedGraphSpec};
+use laca_persist::{read_dataset_bytes, read_index_bytes, write_dataset_bytes, write_index_bytes};
+use laca_service::ClusterIndex;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn base_images() -> &'static (Vec<u8>, Vec<u8>) {
+    static IMAGES: OnceLock<(Vec<u8>, Vec<u8>)> = OnceLock::new();
+    IMAGES.get_or_init(|| {
+        let s = AttributedGraphSpec {
+            n: 120,
+            n_clusters: 3,
+            avg_degree: 6.0,
+            p_intra: 0.85,
+            missing_intra: 0.05,
+            degree_exponent: 2.5,
+            cluster_size_skew: 0.2,
+            attributes: Some(AttributeSpec {
+                dim: 28,
+                topic_words: 8,
+                tokens_per_node: 10,
+                attr_noise: 0.2,
+            }),
+            seed: 61,
+        };
+        let ds = s.generate("fuzz").expect("generate");
+        let index = ClusterIndex::from_dataset(
+            &ds,
+            &TnamConfig::new(6, MetricFn::Cosine),
+            LacaParams::new(1e-3),
+        )
+        .expect("build");
+        (write_index_bytes(&index), write_dataset_bytes(&ds, s.fingerprint()))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// XOR-mutate up to 8 arbitrary bytes and optionally truncate: the
+    /// parser must return (never panic), and a changed image must never
+    /// be accepted as a *different* valid index — any accepted result
+    /// carries the original identity (the fingerprint chain holds).
+    #[test]
+    fn mutated_index_images_never_panic(
+        muts in proptest::collection::vec((0usize..100_000, 1u8..=255), 0..8),
+        cut in 0usize..100_000,
+    ) {
+        let (index_img, _) = base_images();
+        let mut bytes = index_img.clone();
+        for &(pos, mask) in &muts {
+            let len = bytes.len();
+            bytes[pos % len] ^= mask;
+        }
+        // `cut` hitting the full length keeps the image untruncated.
+        bytes.truncate(cut % (index_img.len() + 1));
+        if let Ok(index) = read_index_bytes(&bytes) {
+            // Accepted ⇒ identity equals the original's (checksums make
+            // surviving mutations overwhelmingly no-ops or pad bytes).
+            let original = read_index_bytes(index_img).expect("base image");
+            prop_assert_eq!(index.fingerprint(), original.fingerprint());
+            prop_assert_eq!(index.dataset(), original.dataset());
+        }
+    }
+
+    #[test]
+    fn mutated_dataset_images_never_panic(
+        muts in proptest::collection::vec((0usize..100_000, 1u8..=255), 0..8),
+        cut in 0usize..100_000,
+    ) {
+        let (_, ds_img) = base_images();
+        let mut bytes = ds_img.clone();
+        for &(pos, mask) in &muts {
+            let len = bytes.len();
+            bytes[pos % len] ^= mask;
+        }
+        bytes.truncate(cut % (ds_img.len() + 1));
+        if let Ok((ds, fp)) = read_dataset_bytes(&bytes) {
+            let (original, base_fp) = read_dataset_bytes(ds_img).expect("base image");
+            prop_assert_eq!(fp, base_fp);
+            prop_assert_eq!(ds.name, original.name);
+        }
+    }
+
+    /// Pure garbage — including buffers that start with the magic — is
+    /// always a typed error.
+    #[test]
+    fn garbage_buffers_are_typed_errors(
+        mut garbage in proptest::collection::vec(0u8..=255, 0..2048),
+        stamp_magic in 0u8..2,
+    ) {
+        if stamp_magic == 1 && garbage.len() >= 8 {
+            garbage[..8].copy_from_slice(b"LACAIDX\0");
+        }
+        prop_assert!(read_index_bytes(&garbage).is_err());
+        prop_assert!(read_dataset_bytes(&garbage).is_err());
+    }
+}

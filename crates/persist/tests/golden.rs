@@ -1,0 +1,198 @@
+//! Golden-fixture compatibility gate.
+//!
+//! `tests/fixtures/persist/` (repo root) holds one committed index image
+//! and one dataset image **per format version**, plus a sidecar of
+//! expected query answers (f64 bit patterns and push counts). Every
+//! committed version must keep loading byte-correctly forever:
+//!
+//! * `fixture_exists_for_every_supported_version` fails the moment
+//!   `FORMAT_VERSION` is bumped without committing a new fixture — the
+//!   policy "every version we ever wrote stays readable" is enforced
+//!   mechanically, not by review;
+//! * `every_fixture_loads_and_answers_match_sidecar` replays recorded
+//!   queries against each fixture;
+//! * `current_fixture_reserializes_byte_identically` pins writer
+//!   determinism for the current version.
+//!
+//! Regenerate (only when *adding* a version, never to paper over a
+//! mismatch): `PERSIST_REGEN_FIXTURES=1 cargo test -p laca-persist --test golden`.
+
+use laca_core::tnam::TnamConfig;
+use laca_core::{LacaParams, MetricFn};
+use laca_graph::gen::{AttributeSpec, AttributedGraphSpec};
+use laca_persist::{
+    read_dataset_bytes, read_index_bytes, write_dataset_bytes, write_index_bytes, FORMAT_VERSION,
+};
+use laca_service::ClusterIndex;
+use std::path::PathBuf;
+
+const PROBE_SEEDS: [u32; 4] = [0, 3, 17, 80];
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/persist")
+}
+
+/// The frozen generator config behind the fixtures. Changing it only
+/// affects future regenerations; committed fixtures are self-contained.
+fn golden_spec() -> AttributedGraphSpec {
+    AttributedGraphSpec {
+        n: 96,
+        n_clusters: 3,
+        avg_degree: 6.0,
+        p_intra: 0.85,
+        missing_intra: 0.05,
+        degree_exponent: 2.5,
+        cluster_size_skew: 0.2,
+        attributes: Some(AttributeSpec {
+            dim: 24,
+            topic_words: 8,
+            tokens_per_node: 10,
+            attr_noise: 0.2,
+        }),
+        seed: 0x601D,
+    }
+}
+
+fn golden_index() -> ClusterIndex {
+    let ds = golden_spec().generate("golden").expect("generate golden dataset");
+    ClusterIndex::from_dataset(&ds, &TnamConfig::new(6, MetricFn::Cosine), LacaParams::new(1e-4))
+        .expect("build golden index")
+}
+
+/// Sidecar format, one record per line:
+/// `pushes <seed> <count>` and `rho <seed> <node> <f64-bits-hex>`.
+fn sidecar_for(index: &ClusterIndex) -> String {
+    let engine = index.engine();
+    let mut out = String::new();
+    for &seed in &PROBE_SEEDS {
+        let (rho, stats) = engine.bdd_with_stats(seed).expect("golden query");
+        out.push_str(&format!("pushes {seed} {}\n", stats.bdd.push_operations));
+        for (node, value) in rho.to_sorted_pairs() {
+            out.push_str(&format!("rho {seed} {node} {:016x}\n", value.to_bits()));
+        }
+    }
+    out
+}
+
+fn regen_requested() -> bool {
+    std::env::var("PERSIST_REGEN_FIXTURES").is_ok_and(|v| v == "1")
+}
+
+fn maybe_regen() {
+    if !regen_requested() {
+        return;
+    }
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    let index = golden_index();
+    let v = FORMAT_VERSION;
+    std::fs::write(dir.join(format!("index-v{v}.laca")), write_index_bytes(&index))
+        .expect("write index fixture");
+    std::fs::write(dir.join(format!("index-v{v}.expected")), sidecar_for(&index))
+        .expect("write sidecar");
+    let s = golden_spec();
+    let ds = s.generate("golden").expect("generate");
+    std::fs::write(
+        dir.join(format!("dataset-v{v}.laca")),
+        write_dataset_bytes(&ds, s.fingerprint()),
+    )
+    .expect("write dataset fixture");
+    eprintln!("[golden] regenerated fixtures for format v{v} in {}", dir.display());
+}
+
+#[test]
+fn fixture_exists_for_every_supported_version() {
+    maybe_regen();
+    let dir = fixture_dir();
+    for v in 1..=FORMAT_VERSION {
+        for stem in ["index", "dataset"] {
+            let path = dir.join(format!("{stem}-v{v}.laca"));
+            assert!(
+                path.exists(),
+                "missing golden fixture {} — bumping FORMAT_VERSION requires committing a \
+                 fixture for the new version (PERSIST_REGEN_FIXTURES=1 cargo test -p \
+                 laca-persist --test golden), and old fixtures must never be deleted",
+                path.display()
+            );
+        }
+        let sidecar = dir.join(format!("index-v{v}.expected"));
+        assert!(sidecar.exists(), "missing sidecar {}", sidecar.display());
+    }
+}
+
+#[test]
+fn every_fixture_loads_and_answers_match_sidecar() {
+    maybe_regen();
+    let dir = fixture_dir();
+    for v in 1..=FORMAT_VERSION {
+        let bytes = std::fs::read(dir.join(format!("index-v{v}.laca"))).expect("read fixture");
+        let index = read_index_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("committed v{v} fixture no longer loads: {e}"));
+        let engine = index.engine();
+        let expected =
+            std::fs::read_to_string(dir.join(format!("index-v{v}.expected"))).expect("sidecar");
+        let mut answers = std::collections::HashMap::new();
+        let mut pushes = std::collections::HashMap::new();
+        for line in expected.lines() {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            match parts.as_slice() {
+                ["pushes", seed, count] => {
+                    pushes.insert(
+                        seed.parse::<u32>().expect("seed"),
+                        count.parse::<usize>().expect("count"),
+                    );
+                }
+                ["rho", seed, node, bits] => {
+                    answers.insert(
+                        (seed.parse::<u32>().expect("seed"), node.parse::<u32>().expect("node")),
+                        u64::from_str_radix(bits, 16).expect("bits"),
+                    );
+                }
+                _ => panic!("malformed sidecar line: {line}"),
+            }
+        }
+        for &seed in &PROBE_SEEDS {
+            let (rho, stats) = engine.bdd_with_stats(seed).expect("query");
+            assert_eq!(
+                Some(&stats.bdd.push_operations),
+                pushes.get(&seed),
+                "v{v}: push count drifted at seed {seed}"
+            );
+            let pairs = rho.to_sorted_pairs();
+            let recorded = answers.keys().filter(|(s, _)| *s == seed).count();
+            assert_eq!(pairs.len(), recorded, "v{v}: support size drifted at seed {seed}");
+            for (node, value) in pairs {
+                assert_eq!(
+                    Some(&value.to_bits()),
+                    answers.get(&(seed, node)),
+                    "v{v}: rho bits drifted at seed {seed} node {node}"
+                );
+            }
+        }
+        // Dataset fixture: must load and preserve its identity stamp.
+        let ds_bytes =
+            std::fs::read(dir.join(format!("dataset-v{v}.laca"))).expect("read ds fixture");
+        let (ds, fp) = read_dataset_bytes(&ds_bytes)
+            .unwrap_or_else(|e| panic!("committed v{v} dataset fixture no longer loads: {e}"));
+        assert_eq!(ds.name, "golden");
+        assert_eq!(fp, golden_spec().fingerprint(), "v{v}: spec fingerprint drifted");
+    }
+}
+
+#[test]
+fn current_fixture_reserializes_byte_identically() {
+    maybe_regen();
+    let dir = fixture_dir();
+    let v = FORMAT_VERSION;
+    let bytes = std::fs::read(dir.join(format!("index-v{v}.laca"))).expect("read fixture");
+    let index = read_index_bytes(&bytes).expect("load");
+    assert_eq!(
+        write_index_bytes(&index),
+        bytes,
+        "current-version writer no longer reproduces the committed fixture byte-for-byte; \
+         if the format changed, bump FORMAT_VERSION and add a new fixture"
+    );
+    let ds_bytes = std::fs::read(dir.join(format!("dataset-v{v}.laca"))).expect("read fixture");
+    let (ds, fp) = read_dataset_bytes(&ds_bytes).expect("load");
+    assert_eq!(write_dataset_bytes(&ds, fp), ds_bytes);
+}

@@ -1,0 +1,159 @@
+//! The blocking round-trip leg of the `persist` CI job: save → load →
+//! query must be **bit-identical** to a fresh build — identical f64 bit
+//! patterns in every answer and identical push counts — across every
+//! TNAM representation, through the store (not just in-memory bytes),
+//! and end-to-end through a router registered from disk.
+//!
+//! The `load_is_10x_faster_than_rebuild` test is `#[ignore]`d here and
+//! run explicitly (release mode, `--include-ignored`) by the CI job:
+//! wall-clock ratios are meaningless in debug builds.
+
+use laca_core::tnam::TnamConfig;
+use laca_core::{LacaParams, MetricFn};
+use laca_graph::datasets::pubmed_like;
+use laca_graph::gen::{AttributeSpec, AttributedGraphSpec};
+use laca_persist::{IndexStore, RouterStoreExt};
+use laca_service::{ClusterIndex, ServiceConfig, ServiceRouter};
+use std::path::PathBuf;
+
+fn spec() -> AttributedGraphSpec {
+    AttributedGraphSpec {
+        n: 400,
+        n_clusters: 4,
+        avg_degree: 8.0,
+        p_intra: 0.8,
+        missing_intra: 0.08,
+        degree_exponent: 2.5,
+        cluster_size_skew: 0.2,
+        attributes: Some(AttributeSpec {
+            dim: 64,
+            topic_words: 12,
+            tokens_per_node: 16,
+            attr_noise: 0.25,
+        }),
+        seed: 77,
+    }
+}
+
+fn tmp_store(tag: &str) -> (IndexStore, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("laca-rt-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    (IndexStore::open(&dir).expect("open store"), dir)
+}
+
+/// Asserts two engines answer every probed seed with identical f64 bit
+/// patterns and identical push counts.
+fn assert_bit_identical(fresh: &ClusterIndex, loaded: &ClusterIndex, seeds: &[u32]) {
+    let a = fresh.engine();
+    let b = loaded.engine();
+    for &seed in seeds {
+        let (x, sx) = a.bdd_with_stats(seed).expect("fresh query");
+        let (y, sy) = b.bdd_with_stats(seed).expect("loaded query");
+        let xp = x.to_sorted_pairs();
+        let yp = y.to_sorted_pairs();
+        assert_eq!(xp.len(), yp.len(), "support size differs at seed {seed}");
+        for ((u, ru), (v, rv)) in xp.iter().zip(&yp) {
+            assert_eq!(u, v, "support differs at seed {seed}");
+            assert_eq!(ru.to_bits(), rv.to_bits(), "rho bits differ at seed {seed} node {u}");
+        }
+        assert_eq!(sx.bdd.push_operations, sy.bdd.push_operations, "pushes differ at {seed}");
+        assert_eq!(sx.rwr.push_operations, sy.rwr.push_operations, "rwr pushes differ at {seed}");
+    }
+}
+
+#[test]
+fn store_round_trip_is_bit_identical_for_every_representation() {
+    let ds = spec().generate("rt").expect("generate");
+    let (store, dir) = tmp_store("configs");
+    let cosine = TnamConfig::new(12, MetricFn::Cosine);
+    let exp = TnamConfig::new(12, MetricFn::ExpCosine { delta: 1.0 });
+    let ablation = TnamConfig::new(12, MetricFn::Cosine).without_svd();
+    for (cfg, params) in [
+        (&cosine, LacaParams::new(1e-4)),
+        (&exp, LacaParams::new(1e-4)),
+        (&ablation, LacaParams::new(1e-4)),
+        (&cosine, LacaParams::new(1e-4).without_snas()),
+    ] {
+        let fresh = ClusterIndex::from_dataset(&ds, cfg, params).expect("build");
+        store.save(&fresh).expect("save");
+        let loaded = store.load(fresh.dataset(), fresh.fingerprint()).expect("load");
+        assert_bit_identical(&fresh, &loaded, &[0, 17, 123, 399]);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn router_from_disk_serves_identical_answers() {
+    let ds = spec().generate("rt-router").expect("generate");
+    let fresh = ClusterIndex::from_dataset(
+        &ds,
+        &TnamConfig::new(12, MetricFn::Cosine),
+        LacaParams::new(1e-4),
+    )
+    .expect("build");
+    let (store, dir) = tmp_store("router");
+    store.save(&fresh).expect("save");
+
+    let router = ServiceRouter::new();
+    let key = router
+        .register_from_store(
+            &store,
+            fresh.dataset(),
+            fresh.fingerprint(),
+            ServiceConfig { workers: 2, ..ServiceConfig::default() },
+        )
+        .expect("register from disk");
+    let engine = fresh.engine();
+    for seed in [0u32, 42, 250] {
+        let served = router.submit(&key, seed).expect("route").wait().expect("answer");
+        let direct = engine.bdd(seed).expect("direct");
+        let sp = served.rho.to_sorted_pairs();
+        let dp = direct.to_sorted_pairs();
+        assert_eq!(sp.len(), dp.len());
+        for ((u, ru), (v, rv)) in sp.iter().zip(&dp) {
+            assert_eq!(u, v);
+            assert_eq!(ru.to_bits(), rv.to_bits());
+        }
+    }
+    router.drain();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The headline acceptance criterion: on a pubmed-like dataset, loading
+/// the persisted index must be ≥ 10× faster than rebuilding it from the
+/// dataset — with bit-identical answers. Run in release mode by the
+/// `persist` CI job (`cargo test -p laca-persist --release -- --include-ignored`).
+#[test]
+#[ignore = "wall-clock gate; run in release mode via the persist CI job"]
+fn load_is_10x_faster_than_rebuild() {
+    // Same dataset the committed BENCH_persist.json measures (pubmed-like
+    // at the bench registry's default scale, n = 19 717).
+    let ds = pubmed_like().generate("pubmed-like").expect("generate pubmed-like");
+    let cfg = TnamConfig::new(32, MetricFn::Cosine);
+    let params = LacaParams::new(1e-4);
+
+    let t0 = std::time::Instant::now();
+    let fresh = ClusterIndex::from_dataset(&ds, &cfg, params.clone()).expect("build");
+    let rebuild = t0.elapsed();
+
+    let (store, dir) = tmp_store("speedup");
+    store.save(&fresh).expect("save");
+
+    let t1 = std::time::Instant::now();
+    let loaded = store.load(fresh.dataset(), fresh.fingerprint()).expect("load");
+    let load = t1.elapsed();
+
+    assert_bit_identical(&fresh, &loaded, &[0, 1000, 5000]);
+    let speedup = rebuild.as_secs_f64() / load.as_secs_f64().max(1e-9);
+    eprintln!(
+        "[persist] rebuild {:.3}s, load {:.4}s, speedup {speedup:.1}x",
+        rebuild.as_secs_f64(),
+        load.as_secs_f64()
+    );
+    assert!(
+        speedup >= 10.0,
+        "load must be >= 10x faster than rebuild, got {speedup:.1}x \
+         (rebuild {rebuild:?}, load {load:?})"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -106,6 +106,18 @@ impl ClusterIndex {
         &self.graph
     }
 
+    /// The shared graph's `Arc` (serializers and sibling indices share
+    /// it without cloning the data).
+    pub fn graph_arc(&self) -> &Arc<CsrGraph> {
+        &self.graph
+    }
+
+    /// The prebuilt TNAM, when the params use the SNAS (`None` for
+    /// topology-only indices).
+    pub fn tnam(&self) -> Option<&Arc<Tnam>> {
+        self.tnam.as_ref()
+    }
+
     /// Number of nodes (valid seed ids are `0..n`).
     pub fn n(&self) -> usize {
         self.graph.n()

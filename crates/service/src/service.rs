@@ -1388,11 +1388,7 @@ pub(crate) fn fill_route_metrics(
             "Multi-job compute groups formed by the batch-formation drain.",
             stats.batches,
         ),
-        (
-            "laca_batch_jobs_total",
-            "Jobs answered through batched computes.",
-            stats.batch_jobs,
-        ),
+        ("laca_batch_jobs_total", "Jobs answered through batched computes.", stats.batch_jobs),
     ];
     for (name, help, value) in counters {
         registry.counter(name, help, &route_label, value);

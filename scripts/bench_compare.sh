@@ -49,7 +49,7 @@ metric_for() {
 }
 
 status=0
-for suite in diffusion batch serving tnam routing overload; do
+for suite in diffusion batch serving tnam routing overload persist; do
     baseline="BENCH_${suite}.json"
     if [[ ! -f "$baseline" ]]; then
         echo "skipping $suite: no committed $baseline"

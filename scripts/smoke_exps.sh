@@ -49,5 +49,6 @@ run exp_batch --seeds 6 --scale 0.02 --datasets arxiv
 run exp_routing --seeds 6 --scale 0.02 --datasets arxiv
 run exp_overload --seeds 6 --scale 0.02 --datasets arxiv
 run exp_telemetry --seeds 6 --scale 0.02 --datasets arxiv
+run exp_persist --seeds 4 --scale 0.02 --datasets arxiv
 
 echo "all experiment binaries smoked OK"

@@ -60,6 +60,7 @@ pub use laca_diffusion as diffusion;
 pub use laca_eval as eval;
 pub use laca_graph as graph;
 pub use laca_linalg as linalg;
+pub use laca_persist as persist;
 pub use laca_service as service;
 pub use laca_telemetry as telemetry;
 
@@ -72,6 +73,7 @@ pub mod prelude {
         SparseVec,
     };
     pub use laca_graph::{AttributeMatrix, AttributedDataset, CsrGraph, NodeId};
+    pub use laca_persist::{IndexStore, PersistError, RouterStoreExt};
     pub use laca_service::{
         ClusterIndex, QueryService, RouteKey, ServiceConfig, ServiceRouter, ServiceStats,
     };

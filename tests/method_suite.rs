@@ -19,7 +19,7 @@ use std::sync::OnceLock;
 fn noisy_dataset() -> &'static AttributedDataset {
     static DS: OnceLock<AttributedDataset> = OnceLock::new();
     DS.get_or_init(|| {
-        AttributedGraphSpec {
+        let spec = AttributedGraphSpec {
             n: 600,
             n_clusters: 4,
             avg_degree: 14.0,
@@ -34,9 +34,10 @@ fn noisy_dataset() -> &'static AttributedDataset {
                 attr_noise: 0.25,
             }),
             seed: 0x5EED,
-        }
-        .generate("noisy")
-        .unwrap()
+        };
+        // Heavy shared dataset: served from the on-disk store when
+        // LACA_INDEX_STORE is set (CI), generated otherwise.
+        laca::persist::cached_dataset(&spec, "noisy").unwrap()
     })
 }
 
